@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared helpers for the per-table/per-figure benchmark binaries.
+ *
+ * Every binary prints the rows of one table or figure of the paper.
+ * Instruction counts default to 2 M warm-up + 8 M measured per run
+ * and scale via SDBP_INSTRUCTIONS / SDBP_WARMUP toward the paper's
+ * 1 B-instruction SimPoints.
+ */
+
+#ifndef SDBP_BENCH_COMMON_HH
+#define SDBP_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace sdbp::bench
+{
+
+/** Strip the numeric SPEC prefix for compact rows ("456.hmmer"). */
+inline std::string
+shortName(const std::string &benchmark)
+{
+    return benchmark;
+}
+
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::cout << "==========================================================\n"
+              << title << "\n"
+              << "(reproduces " << paper_ref << ")\n"
+              << "==========================================================\n";
+}
+
+inline void
+footer()
+{
+    std::cout << std::endl;
+}
+
+/**
+ * Run the 19-benchmark subset under one policy; returns
+ * benchmark -> result.
+ */
+inline std::map<std::string, RunResult>
+runSubset(PolicyKind kind, const RunConfig &cfg)
+{
+    std::map<std::string, RunResult> out;
+    for (const auto &bench : memoryIntensiveSubset())
+        out[bench] = runSingleCore(bench, kind, cfg);
+    return out;
+}
+
+} // namespace sdbp::bench
+
+#endif // SDBP_BENCH_COMMON_HH

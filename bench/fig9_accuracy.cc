@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig. 9: coverage (fraction of LLC accesses predicted dead) and
+ * false-positive rate of the reftrace, counting and sampling
+ * predictors driving DBRB on a default LRU cache.
+ */
+
+#include "bench/common.hh"
+
+using namespace sdbp;
+
+int
+main()
+{
+    bench::banner("Fig. 9: predictor coverage and false positives",
+                  "Fig. 9, Sec. VII-C");
+
+    const RunConfig cfg = RunConfig::singleCore();
+    const std::vector<PolicyKind> predictors = {
+        PolicyKind::Tdbp, PolicyKind::Cdbp, PolicyKind::Sampler};
+
+    TextTable t({"Benchmark", "reftrace cov", "reftrace FP",
+                 "counting cov", "counting FP", "sampler cov",
+                 "sampler FP"});
+    std::map<std::string, std::vector<double>> cov, fp;
+
+    for (const auto &bench : memoryIntensiveSubset()) {
+        auto &row = t.row().cell(bench);
+        for (const auto kind : predictors) {
+            const RunResult r = runSingleCore(bench, kind, cfg);
+            const double c = r.dbrb.coverage();
+            const double f = r.dbrb.falsePositiveRate();
+            cov[policyName(kind)].push_back(c);
+            fp[policyName(kind)].push_back(f);
+            row.cell(formatPercent(c, 1)).cell(formatPercent(f, 1));
+        }
+    }
+
+    auto &mean_row = t.row().cell("amean");
+    for (const auto kind : predictors) {
+        mean_row.cell(formatPercent(amean(cov[policyName(kind)]), 1));
+        mean_row.cell(formatPercent(amean(fp[policyName(kind)]), 1));
+    }
+    t.print(std::cout);
+
+    std::cout <<
+        "\nPaper reference (amean): reftrace 88% coverage / 19.9% FP; "
+        "counting 67% / 7.2%;\nsampler 59% / 3.0%.  The sampler's "
+        "low false-positive rate is what turns coverage into "
+        "speedup.\n";
+    bench::footer();
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the hot operations: predictor
+ * lookup/update, sampler access, cache access, and a full simulated
+ * instruction (supports the latency discussion of Sec. IV-E: the
+ * sampling predictor does far less work per LLC access than the
+ * metadata read-modify-write predictors).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cache/cache.hh"
+#include "cache/lru.hh"
+#include "core/sdbp.hh"
+#include "cpu/system.hh"
+#include "predictor/counting.hh"
+#include "predictor/reftrace.hh"
+#include "sim/runner.hh"
+#include "trace/spec_profiles.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace sdbp;
+
+void
+BM_SkewedTableLookup(benchmark::State &state)
+{
+    SkewedTable table;
+    Rng rng(1);
+    std::uint64_t sig = 0;
+    for (auto _ : state) {
+        sig = (sig + 0x9e37) & mask(15);
+        benchmark::DoNotOptimize(table.predict(sig));
+    }
+}
+BENCHMARK(BM_SkewedTableLookup);
+
+void
+BM_SdbpAccessUnsampledSet(benchmark::State &state)
+{
+    SamplingDeadBlockPredictor p;
+    Addr addr = 0;
+    for (auto _ : state) {
+        addr += 64;
+        benchmark::DoNotOptimize(
+            p.onAccess(1, addr, 0x400000 + (addr & 0xff), 0));
+    }
+}
+BENCHMARK(BM_SdbpAccessUnsampledSet);
+
+void
+BM_SdbpAccessSampledSet(benchmark::State &state)
+{
+    SamplingDeadBlockPredictor p;
+    Addr addr = 0;
+    for (auto _ : state) {
+        addr += 2048; // stay in sampled set 0
+        benchmark::DoNotOptimize(
+            p.onAccess(0, addr, 0x400000 + (addr & 0xff), 0));
+    }
+}
+BENCHMARK(BM_SdbpAccessSampledSet);
+
+void
+BM_RefTraceAccess(benchmark::State &state)
+{
+    RefTracePredictor p;
+    Addr addr = 0;
+    for (auto _ : state) {
+        addr = (addr + 1) & 0xfff;
+        p.onFill(0, addr, 0x400000);
+        benchmark::DoNotOptimize(p.onAccess(0, addr, 0x400004, 0));
+        p.onEvict(0, addr);
+    }
+}
+BENCHMARK(BM_RefTraceAccess);
+
+void
+BM_CountingAccess(benchmark::State &state)
+{
+    CountingPredictor p;
+    Addr addr = 0;
+    for (auto _ : state) {
+        addr = (addr + 1) & 0xfff;
+        p.onFill(0, addr, 0x400000);
+        benchmark::DoNotOptimize(p.onAccess(0, addr, 0x400000, 0));
+        p.onEvict(0, addr);
+    }
+}
+BENCHMARK(BM_CountingAccess);
+
+void
+BM_LruCacheAccess(benchmark::State &state)
+{
+    CacheConfig cfg;
+    cfg.numSets = 2048;
+    cfg.assoc = 16;
+    Cache cache(cfg, std::make_unique<LruPolicy>(2048, 16));
+    Rng rng(7);
+    std::uint64_t now = 0;
+    for (auto _ : state) {
+        AccessInfo info;
+        info.blockAddr = rng.below(1 << 16);
+        info.pc = 0x400000;
+        if (!cache.access(info, now))
+            cache.fill(info, now);
+        ++now;
+    }
+}
+BENCHMARK(BM_LruCacheAccess);
+
+void
+BM_SimulatedInstruction(benchmark::State &state)
+{
+    HierarchyConfig hcfg;
+    System sys(hcfg, CoreConfig{},
+               makePolicy(PolicyKind::Sampler, hcfg.llc.numSets,
+                          hcfg.llc.assoc));
+    SyntheticWorkload workload(specProfile("456.hmmer"));
+    // Use run() in chunks so the benchmark measures steady state.
+    std::vector<AccessGenerator *> gens = {&workload};
+    for (auto _ : state)
+        sys.run(gens, 0, 10000);
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatedInstruction)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

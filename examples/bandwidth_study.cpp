@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared-DRAM bandwidth study: shows how the value of a shared-LLC
+ * miss reduction grows when cores queue behind a bounded memory
+ * channel — the effect that amplifies the paper's multi-core
+ * weighted speedups (Sec. VII-D).
+ *
+ *   ./bandwidth_study [mixN]
+ *
+ * Runs one quad-core mix under LRU and under the sampling
+ * dead-block policy at several DRAM service intervals (0 =
+ * unlimited bandwidth) and reports misses and weighted IPC.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "util/table.hh"
+
+using namespace sdbp;
+
+int
+main(int argc, char **argv)
+{
+    MixProfile mix = multicoreMixes()[0];
+    if (argc == 2) {
+        for (const auto &m : multicoreMixes())
+            if (m.name == argv[1])
+                mix = m;
+    }
+
+    std::cout << "DRAM bandwidth sensitivity for quad-core mix '"
+              << mix.name << "'\n(service interval = min cycles "
+              << "between DRAM accesses; 0 = unlimited)\n\n";
+
+    TextTable t({"Service interval", "LRU misses", "Sampler misses",
+                 "miss reduction", "LRU wIPC", "Sampler wIPC",
+                 "weighted speedup"});
+
+    for (const Cycle interval : {0u, 6u, 12u, 24u}) {
+        RunConfig cfg = RunConfig::quadCore();
+        cfg.hierarchy.memServiceInterval = interval;
+
+        const auto lru = runMulticore(mix, PolicyKind::Lru, cfg);
+        const auto smp = runMulticore(mix, PolicyKind::Sampler, cfg);
+        const double lru_w = weightedIpc(lru, cfg);
+        const double smp_w = weightedIpc(smp, cfg);
+        const double reduction = lru.llcMisses == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(smp.llcMisses) /
+                  static_cast<double>(lru.llcMisses);
+        t.row()
+            .cell(static_cast<std::uint64_t>(interval))
+            .cell(lru.llcMisses)
+            .cell(smp.llcMisses)
+            .cell(formatPercent(reduction, 1))
+            .cell(lru_w, 3)
+            .cell(smp_w, 3)
+            .cell(lru_w > 0 ? smp_w / lru_w : 1.0, 3);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nThe same miss reduction buys more weighted "
+                 "speedup as the channel gets tighter:\nqueueing "
+                 "delay behind the DRAM bound is super-linear in the "
+                 "miss rate.\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Policy explorer: compare every LLC policy on a chosen benchmark
+ * (or on the whole memory-intensive subset), at a chosen LLC size.
+ *
+ *   ./policy_explorer [benchmark|subset] [llc_kb]
+ *
+ * Examples:
+ *   ./policy_explorer 462.libquantum
+ *   ./policy_explorer subset 1024
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace sdbp;
+
+namespace
+{
+
+const std::vector<PolicyKind> kAllPolicies = {
+    PolicyKind::Lru,         PolicyKind::Random,
+    PolicyKind::Dip,         PolicyKind::Rrip,
+    PolicyKind::Tdbp,        PolicyKind::Cdbp,
+    PolicyKind::Sampler,     PolicyKind::RandomCdbp,
+    PolicyKind::RandomSampler,
+};
+
+void
+exploreOne(const std::string &benchmark, const RunConfig &cfg)
+{
+    std::cout << "\n== " << benchmark << " (LLC "
+              << cfg.hierarchy.llc.sizeBytes() / 1024 << " KB) ==\n";
+    TextTable t({"Policy", "MPKI", "IPC", "norm. misses", "coverage",
+                 "FP rate"});
+    double lru_misses = 0, base_ipc = 0;
+    for (const auto kind : kAllPolicies) {
+        const RunResult r = runSingleCore(benchmark, kind, cfg);
+        if (kind == PolicyKind::Lru) {
+            lru_misses = static_cast<double>(r.llcMisses);
+            base_ipc = r.ipc;
+        }
+        (void)base_ipc;
+        t.row()
+            .cell(r.policy)
+            .cell(r.mpki, 2)
+            .cell(r.ipc, 3)
+            .cell(lru_misses > 0
+                      ? static_cast<double>(r.llcMisses) / lru_misses
+                      : 1.0,
+                  3)
+            .cell(r.hasDbrb ? formatPercent(r.dbrb.coverage(), 1)
+                            : std::string("-"))
+            .cell(r.hasDbrb
+                      ? formatPercent(r.dbrb.falsePositiveRate(), 1)
+                      : std::string("-"));
+    }
+    t.print(std::cout);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string target = argc > 1 ? argv[1] : "450.soplex";
+    RunConfig cfg = RunConfig::singleCore();
+    if (argc > 2) {
+        const unsigned kb = static_cast<unsigned>(std::stoul(argv[2]));
+        // 16-way, 64 B blocks: sets = bytes / (16 * 64).
+        cfg.hierarchy.llc.numSets = kb * 1024 / (16 * 64);
+    }
+
+    if (target == "subset") {
+        for (const auto &bench : memoryIntensiveSubset())
+            exploreOne(bench, cfg);
+    } else {
+        exploreOne(target, cfg);
+    }
+    return 0;
+}

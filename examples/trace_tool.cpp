@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Trace utility: capture synthetic benchmark traces to disk, inspect
+ * them, and replay them through the simulator.
+ *
+ *   ./trace_tool capture <benchmark> <records> <file>
+ *   ./trace_tool info <file>
+ *   ./trace_tool replay <file> [policy]
+ *
+ * Example:
+ *   ./trace_tool capture 456.hmmer 2000000 hmmer.sdbptrace
+ *   ./trace_tool info hmmer.sdbptrace
+ *   ./trace_tool replay hmmer.sdbptrace Sampler
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "cpu/system.hh"
+#include "sim/policy_factory.hh"
+#include "trace/spec_profiles.hh"
+#include "trace/trace_file.hh"
+#include "util/table.hh"
+
+using namespace sdbp;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr <<
+        "usage:\n"
+        "  trace_tool capture <benchmark> <records> <file>\n"
+        "  trace_tool info <file>\n"
+        "  trace_tool replay <file> [policy]\n";
+    return 2;
+}
+
+PolicyKind
+policyByName(const std::string &name)
+{
+    static const std::map<std::string, PolicyKind> kinds = {
+        {"LRU", PolicyKind::Lru},       {"Random", PolicyKind::Random},
+        {"DIP", PolicyKind::Dip},       {"RRIP", PolicyKind::Rrip},
+        {"TDBP", PolicyKind::Tdbp},     {"CDBP", PolicyKind::Cdbp},
+        {"Sampler", PolicyKind::Sampler},
+        {"AIP", PolicyKind::Aip},       {"NRU", PolicyKind::Nru},
+    };
+    auto it = kinds.find(name);
+    if (it == kinds.end()) {
+        std::cerr << "unknown policy '" << name << "', using Sampler\n";
+        return PolicyKind::Sampler;
+    }
+    return it->second;
+}
+
+int
+doCapture(const std::string &bench, std::uint64_t n,
+          const std::string &path)
+{
+    SyntheticWorkload gen(specProfile(bench));
+    captureTrace(gen, n, path);
+    std::cout << "captured " << n << " records of " << bench
+              << " into " << path << "\n";
+    return 0;
+}
+
+int
+doInfo(const std::string &path)
+{
+    const auto records = readTraceFile(path);
+    std::uint64_t instructions = 0, writes = 0, dependent = 0;
+    std::map<PC, std::uint64_t> pcs;
+    for (const auto &r : records) {
+        instructions += r.gap + 1;
+        writes += r.access.isWrite;
+        dependent += r.access.dependsOnPrevLoad;
+        ++pcs[r.access.pc];
+    }
+    TextTable t({"metric", "value"});
+    t.row().cell("records").cell(std::uint64_t(records.size()));
+    t.row().cell("instructions").cell(instructions);
+    t.row().cell("distinct PCs").cell(std::uint64_t(pcs.size()));
+    t.row().cell("store fraction")
+        .cell(formatPercent(
+            static_cast<double>(writes) /
+            static_cast<double>(records.size())));
+    t.row().cell("dependent loads")
+        .cell(formatPercent(
+            static_cast<double>(dependent) /
+            static_cast<double>(records.size())));
+    t.print(std::cout);
+    return 0;
+}
+
+int
+doReplay(const std::string &path, const std::string &policy_name)
+{
+    const PolicyKind kind = policyByName(policy_name);
+    TraceReplayGenerator replay(path);
+    HierarchyConfig cfg;
+    System sys(cfg, CoreConfig{},
+               makePolicy(kind, cfg.llc.numSets, cfg.llc.assoc));
+    std::vector<AccessGenerator *> gens = {&replay};
+    // One pass over the trace, capped to its instruction content.
+    std::uint64_t instructions = 0;
+    for (const auto &r : readTraceFile(path))
+        instructions += r.gap + 1;
+    const auto results =
+        sys.run(gens, 0, std::max<std::uint64_t>(instructions, 1000));
+
+    const auto &llc = sys.hierarchy().llc().stats();
+    TextTable t({"metric", "value"});
+    t.row().cell("policy").cell(policyName(kind));
+    t.row().cell("instructions").cell(results[0].instructions);
+    t.row().cell("IPC").cell(results[0].ipc, 3);
+    t.row().cell("LLC accesses").cell(llc.demandAccesses);
+    t.row().cell("LLC misses").cell(llc.demandMisses);
+    t.row().cell("LLC bypasses").cell(llc.bypasses);
+    t.print(std::cout);
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "capture" && argc == 5) {
+        return doCapture(argv[2],
+                         std::strtoull(argv[3], nullptr, 10), argv[4]);
+    }
+    if (cmd == "info" && argc == 3)
+        return doInfo(argv[2]);
+    if (cmd == "replay" && (argc == 3 || argc == 4))
+        return doReplay(argv[2], argc == 4 ? argv[3] : "Sampler");
+    return usage();
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Per-block cache state.
+ */
+
+#ifndef SDBP_CACHE_BLOCK_HH
+#define SDBP_CACHE_BLOCK_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace sdbp
+{
+
+/**
+ * One cache block frame.  Replacement-policy state (LRU stacks,
+ * RRPVs, ...) lives inside the policy objects, not here; the only
+ * optimization metadata carried by the block itself is the single
+ * predicted-dead bit, exactly as in the paper (Sec. III-C).
+ */
+struct CacheBlock
+{
+    /** Full block address (block-aligned address >> 6). */
+    Addr blockAddr = 0;
+    bool valid = false;
+    bool dirty = false;
+    /** The one bit of dead-block metadata per block. */
+    bool predictedDead = false;
+    /** Thread that filled the block (multi-core bookkeeping). */
+    ThreadId owner = 0;
+    /** Tick of fill, for live/dead-time accounting. */
+    std::uint64_t fillTick = 0;
+    /** Tick of the most recent demand touch. */
+    std::uint64_t lastTouchTick = 0;
+};
+
+} // namespace sdbp
+
+#endif // SDBP_CACHE_BLOCK_HH

@@ -1,0 +1,225 @@
+#include "cache/cache.hh"
+
+#include <cassert>
+
+#include "trace/access.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace sdbp
+{
+
+std::uint64_t
+CacheConfig::sizeBytes() const
+{
+    return static_cast<std::uint64_t>(numSets) * assoc * blockBytes;
+}
+
+double
+CacheStats::efficiency() const
+{
+    return totalTime > 0 ? liveTime / totalTime : 0.0;
+}
+
+Cache::Cache(const CacheConfig &cfg,
+             std::unique_ptr<ReplacementPolicy> policy)
+    : cfg_(cfg), policy_(std::move(policy)),
+      blocks_(static_cast<std::size_t>(cfg.numSets) * cfg.assoc)
+{
+    if (!isPowerOfTwo(cfg_.numSets))
+        fatal("cache '" + cfg_.name + "': numSets must be a power of 2");
+    if (cfg_.assoc == 0)
+        fatal("cache '" + cfg_.name + "': zero associativity");
+    assert(policy_->numSets() == cfg_.numSets);
+    assert(policy_->assoc() == cfg_.assoc);
+    if (cfg_.trackEfficiency) {
+        frameLive_.assign(blocks_.size(), 0.0);
+        frameTotal_.assign(blocks_.size(), 0.0);
+    }
+}
+
+std::uint32_t
+Cache::setIndex(Addr block_addr) const
+{
+    return static_cast<std::uint32_t>(block_addr & (cfg_.numSets - 1));
+}
+
+int
+Cache::findWay(std::uint32_t set, Addr block_addr) const
+{
+    const auto *base = &blocks_[static_cast<std::size_t>(set) *
+                                cfg_.assoc];
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
+        if (base[w].valid && base[w].blockAddr == block_addr)
+            return static_cast<int>(w);
+    return -1;
+}
+
+std::span<const CacheBlock>
+Cache::setBlocks(std::uint32_t set) const
+{
+    return {&blocks_[static_cast<std::size_t>(set) * cfg_.assoc],
+            cfg_.assoc};
+}
+
+bool
+Cache::probe(Addr block_addr) const
+{
+    return findWay(setIndex(block_addr), block_addr) >= 0;
+}
+
+void
+Cache::invalidate(Addr block_addr)
+{
+    const std::uint32_t set = setIndex(block_addr);
+    const int way = findWay(set, block_addr);
+    if (way >= 0) {
+        auto &blk = blocks_[static_cast<std::size_t>(set) * cfg_.assoc +
+                            static_cast<std::uint32_t>(way)];
+        policy_->onEvict(set, static_cast<std::uint32_t>(way), blk);
+        blk.valid = false;
+    }
+}
+
+bool
+Cache::access(const AccessInfo &info, std::uint64_t now)
+{
+    const std::uint32_t set = setIndex(info.blockAddr);
+    const int way = findWay(set, info.blockAddr);
+
+    if (info.isWriteback) {
+        ++stats_.writebackAccesses;
+    } else {
+        ++stats_.demandAccesses;
+    }
+
+    CacheBlock *blk = nullptr;
+    if (way >= 0) {
+        blk = &blocks_[static_cast<std::size_t>(set) * cfg_.assoc +
+                       static_cast<std::uint32_t>(way)];
+        if (info.isWriteback) {
+            ++stats_.writebackHits;
+            blk->dirty = true;
+        } else {
+            ++stats_.demandHits;
+            blk->lastTouchTick = now;
+            if (info.isWrite)
+                blk->dirty = true;
+        }
+    } else {
+        if (!info.isWriteback)
+            ++stats_.demandMisses;
+    }
+
+    policy_->onAccess(set, way, blk, info);
+    return way >= 0;
+}
+
+void
+Cache::retireGeneration(std::uint32_t set, std::uint32_t way,
+                        const CacheBlock &blk, std::uint64_t now)
+{
+    if (!blk.valid || now < blk.fillTick)
+        return;
+    const double live =
+        static_cast<double>(blk.lastTouchTick - blk.fillTick);
+    const double total = static_cast<double>(now - blk.fillTick);
+    stats_.liveTime += live;
+    stats_.totalTime += total;
+    if (cfg_.trackEfficiency) {
+        const std::size_t idx =
+            static_cast<std::size_t>(set) * cfg_.assoc + way;
+        frameLive_[idx] += live;
+        frameTotal_[idx] += total;
+    }
+}
+
+EvictedBlock
+Cache::fill(const AccessInfo &info, std::uint64_t now)
+{
+    EvictedBlock evicted;
+    const std::uint32_t set = setIndex(info.blockAddr);
+    assert(findWay(set, info.blockAddr) < 0 && "fill of resident block");
+
+    if (policy_->shouldBypass(set, info)) {
+        ++stats_.bypasses;
+        return evicted;
+    }
+
+    // Prefer an invalid frame.
+    auto *base = &blocks_[static_cast<std::size_t>(set) * cfg_.assoc];
+    std::uint32_t way = cfg_.assoc;
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+        if (!base[w].valid) {
+            way = w;
+            break;
+        }
+    }
+    if (way == cfg_.assoc) {
+        way = policy_->victim(set, setBlocks(set), info);
+        assert(way < cfg_.assoc);
+        CacheBlock &victim_blk = base[way];
+        retireGeneration(set, way, victim_blk, now);
+        evicted.valid = true;
+        evicted.dirty = victim_blk.dirty;
+        evicted.blockAddr = victim_blk.blockAddr;
+        evicted.owner = victim_blk.owner;
+        ++stats_.evictions;
+        if (victim_blk.dirty)
+            ++stats_.dirtyEvictions;
+        policy_->onEvict(set, way, victim_blk);
+    }
+
+    CacheBlock &blk = base[way];
+    blk.blockAddr = info.blockAddr;
+    blk.valid = true;
+    blk.dirty = info.isWrite || info.isWriteback;
+    blk.predictedDead = false;
+    blk.owner = info.thread;
+    blk.fillTick = now;
+    blk.lastTouchTick = now;
+    ++stats_.fills;
+    policy_->onFill(set, way, blk, info);
+    return evicted;
+}
+
+void
+Cache::finalizeEfficiency(std::uint64_t now)
+{
+    for (std::uint32_t s = 0; s < cfg_.numSets; ++s) {
+        for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+            auto &blk = blocks_[static_cast<std::size_t>(s) *
+                                cfg_.assoc + w];
+            retireGeneration(s, w, blk, now);
+            // Restart the generation so finalize is idempotent-ish
+            // for continued simulation.
+            if (blk.valid) {
+                blk.fillTick = now;
+                blk.lastTouchTick = now;
+            }
+        }
+    }
+}
+
+double
+Cache::frameEfficiency(std::uint32_t set, std::uint32_t way) const
+{
+    if (!cfg_.trackEfficiency)
+        return 0.0;
+    const std::size_t idx = static_cast<std::size_t>(set) * cfg_.assoc +
+        way;
+    return frameTotal_[idx] > 0 ? frameLive_[idx] / frameTotal_[idx]
+                                : 0.0;
+}
+
+void
+Cache::clearStats()
+{
+    stats_ = CacheStats{};
+    if (cfg_.trackEfficiency) {
+        frameLive_.assign(blocks_.size(), 0.0);
+        frameTotal_.assign(blocks_.size(), 0.0);
+    }
+}
+
+} // namespace sdbp

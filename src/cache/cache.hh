@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Set-associative cache model with pluggable replacement/bypass
+ * policy, writeback handling and live/dead-time accounting.
+ */
+
+#ifndef SDBP_CACHE_CACHE_HH
+#define SDBP_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cache/block.hh"
+#include "cache/policy.hh"
+
+namespace sdbp
+{
+
+/** Static geometry of one cache. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint32_t numSets = 64;
+    std::uint32_t assoc = 8;
+    /** Hit latency in cycles (used by the timing model). */
+    Cycle latency = 1;
+    /** Collect per-frame live/dead time statistics (Fig. 1). */
+    bool trackEfficiency = false;
+
+    std::uint64_t sizeBytes() const;
+};
+
+/** Aggregate counters of one cache. */
+struct CacheStats
+{
+    std::uint64_t demandAccesses = 0;
+    std::uint64_t demandHits = 0;
+    std::uint64_t demandMisses = 0;
+    std::uint64_t writebackAccesses = 0;
+    std::uint64_t writebackHits = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t bypasses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t dirtyEvictions = 0;
+
+    /** Summed live time of completed block generations (ticks). */
+    double liveTime = 0;
+    /** Summed resident time of completed block generations. */
+    double totalTime = 0;
+
+    /** Live-time ratio: the cache "efficiency" of Fig. 1. */
+    double efficiency() const;
+};
+
+/** What fell out of the cache during a fill or writeback allocate. */
+struct EvictedBlock
+{
+    bool valid = false;
+    bool dirty = false;
+    Addr blockAddr = 0;
+    ThreadId owner = 0;
+};
+
+/**
+ * The cache.  The caller (the hierarchy) drives it with the
+ * protocol:
+ *
+ *   if (!cache.access(info, now))      // miss
+ *       ... service miss below ...
+ *       evicted = cache.fill(info, now);  // may bypass
+ *       ... write back evicted.dirty ...
+ */
+class Cache
+{
+  public:
+    Cache(const CacheConfig &cfg,
+          std::unique_ptr<ReplacementPolicy> policy);
+
+    /**
+     * Demand or writeback lookup; updates policy and stats.
+     *
+     * @param now a monotonically increasing tick used for live/dead
+     *        accounting (the driver passes the instruction count)
+     * @return true on hit
+     */
+    bool access(const AccessInfo &info, std::uint64_t now);
+
+    /**
+     * Install the block after a miss was serviced.  The policy may
+     * decline the fill (bypass).
+     *
+     * @return the block that was evicted to make room (valid=false
+     *         if an empty way was used or the fill was bypassed)
+     */
+    EvictedBlock fill(const AccessInfo &info, std::uint64_t now);
+
+    /** True if the block is present (no state change). */
+    bool probe(Addr block_addr) const;
+
+    /** Invalidate a block if present (no writeback; test hook). */
+    void invalidate(Addr block_addr);
+
+    /** Account still-resident blocks' live/dead time at end of run. */
+    void finalizeEfficiency(std::uint64_t now);
+
+    /**
+     * Per-frame efficiency (live-time ratio) of frame (set, way);
+     * only meaningful with trackEfficiency (Fig. 1 heat map).
+     */
+    double frameEfficiency(std::uint32_t set, std::uint32_t way) const;
+
+    std::uint32_t setIndex(Addr block_addr) const;
+
+    const CacheConfig &config() const { return cfg_; }
+    const CacheStats &stats() const { return stats_; }
+    ReplacementPolicy &policy() { return *policy_; }
+    const ReplacementPolicy &policy() const { return *policy_; }
+
+    std::span<const CacheBlock> setBlocks(std::uint32_t set) const;
+
+    /** Reset all content and statistics (policy state persists). */
+    void clearStats();
+
+  private:
+    int findWay(std::uint32_t set, Addr block_addr) const;
+    void retireGeneration(std::uint32_t set, std::uint32_t way,
+                          const CacheBlock &blk, std::uint64_t now);
+
+    CacheConfig cfg_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+    std::vector<CacheBlock> blocks_;
+    CacheStats stats_;
+    /** Per-frame accumulated live/total time (trackEfficiency). */
+    std::vector<double> frameLive_;
+    std::vector<double> frameTotal_;
+};
+
+} // namespace sdbp
+
+#endif // SDBP_CACHE_CACHE_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The dead-block replacement and bypass (DBRB) policy of Sec. V:
+ * wraps a default policy (LRU or random) and a dead block predictor.
+ *
+ *  - Victim selection prefers a predicted-dead block (the one
+ *    closest to eviction by the default policy's ranking), falling
+ *    back on the default victim.
+ *  - A block predicted dead on arrival bypasses the cache.
+ *  - Every demand access re-predicts and stores the single
+ *    predicted-dead metadata bit in the block.
+ */
+
+#ifndef SDBP_CACHE_DEAD_BLOCK_POLICY_HH
+#define SDBP_CACHE_DEAD_BLOCK_POLICY_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "cache/policy.hh"
+#include "predictor/dead_block_predictor.hh"
+
+namespace sdbp
+{
+
+/** Accuracy/coverage accounting for Fig. 9. */
+struct DbrbStats
+{
+    /** Predictor consultations (demand LLC accesses). */
+    std::uint64_t predictions = 0;
+    /** Consultations that predicted dead. */
+    std::uint64_t positives = 0;
+    /** Demand hits on blocks whose predicted-dead bit was set. */
+    std::uint64_t falsePositiveHits = 0;
+    /** Demand misses on recently bypassed blocks. */
+    std::uint64_t bypassReuses = 0;
+    /** Victims chosen because they were predicted dead. */
+    std::uint64_t deadEvictions = 0;
+    /** Fills declined. */
+    std::uint64_t bypasses = 0;
+
+    /** Fraction of accesses predicted dead (paper's "coverage"). */
+    double coverage() const;
+    /** Fraction of accesses with a wrong dead prediction. */
+    double falsePositiveRate() const;
+};
+
+struct DeadBlockPolicyConfig
+{
+    bool enableBypass = true;
+    /** Prefer predicted-dead victims over the default victim. */
+    bool enableDeadReplacement = true;
+    /**
+     * Window (in predictor consultations) within which a re-access
+     * to a bypassed block counts as a bypass false positive.
+     */
+    std::uint64_t bypassReuseWindow = 0; // 0 = numSets * assoc
+};
+
+class DeadBlockPolicy : public ReplacementPolicy
+{
+  public:
+    /**
+     * @param inner the default replacement policy (LRU or random)
+     * @param predictor the dead block predictor to consult
+     */
+    DeadBlockPolicy(std::unique_ptr<ReplacementPolicy> inner,
+                    std::unique_ptr<DeadBlockPredictor> predictor,
+                    const DeadBlockPolicyConfig &cfg = {});
+
+    void onAccess(std::uint32_t set, int hit_way, CacheBlock *blk,
+                  const AccessInfo &info) override;
+    bool shouldBypass(std::uint32_t set, const AccessInfo &info) override;
+    std::uint32_t victim(std::uint32_t set,
+                         std::span<const CacheBlock> blocks,
+                         const AccessInfo &info) override;
+    void onEvict(std::uint32_t set, std::uint32_t way,
+                 const CacheBlock &blk) override;
+    void onFill(std::uint32_t set, std::uint32_t way, CacheBlock &blk,
+                const AccessInfo &info) override;
+    std::uint32_t rank(std::uint32_t set, std::uint32_t way)
+        const override;
+    std::string name() const override;
+
+    const DbrbStats &dbrbStats() const { return stats_; }
+    DeadBlockPredictor &predictor() { return *predictor_; }
+    const DeadBlockPredictor &predictor() const { return *predictor_; }
+    ReplacementPolicy &inner() { return *inner_; }
+
+  private:
+    void noteBypass(Addr block_addr);
+    void checkBypassReuse(Addr block_addr);
+
+    std::unique_ptr<ReplacementPolicy> inner_;
+    std::unique_ptr<DeadBlockPredictor> predictor_;
+    DeadBlockPolicyConfig cfg_;
+    DbrbStats stats_;
+
+    /** Prediction computed for the in-flight miss. */
+    bool lastPrediction_ = false;
+    /** Recently bypassed blocks -> consultation tick. */
+    std::unordered_map<Addr, std::uint64_t> recentBypasses_;
+    std::uint64_t bypassWindow_;
+};
+
+} // namespace sdbp
+
+#endif // SDBP_CACHE_DEAD_BLOCK_POLICY_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Three-level cache hierarchy: per-core L1D and L2, shared LLC —
+ * the Nehalem-like configuration of Sec. VI-A.  Non-inclusive,
+ * writeback caches; demand misses allocate at every level, while
+ * writebacks update a present copy or forward down a level
+ * (no-write-allocate), keeping content purely demand-driven.
+ */
+
+#ifndef SDBP_CACHE_HIERARCHY_HH
+#define SDBP_CACHE_HIERARCHY_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/prefetcher.hh"
+#include "trace/access.hh"
+
+namespace sdbp
+{
+
+struct HierarchyConfig
+{
+    CacheConfig l1{.name = "L1D", .numSets = 64, .assoc = 8,
+                   .latency = 3};
+    CacheConfig l2{.name = "L2", .numSets = 512, .assoc = 8,
+                   .latency = 12};
+    CacheConfig llc{.name = "LLC", .numSets = 2048, .assoc = 16,
+                    .latency = 30};
+    /** DRAM access latency in cycles. */
+    Cycle memLatency = 200;
+    /**
+     * Minimum cycles between successive DRAM accesses (shared
+     * memory-bandwidth model; 0 = unlimited bandwidth).  Queueing
+     * behind this bound is what makes shared-cache miss reductions
+     * pay off superlinearly in multi-core runs, as on real machines.
+     */
+    Cycle memServiceInterval = 12;
+    std::uint32_t numCores = 1;
+    /** Optional LLC prefetcher (degree 0 = off). */
+    PrefetcherConfig prefetch;
+};
+
+/** Reference to one LLC demand access, recorded for the optimal
+ *  policy replay (Sec. VI-B). */
+struct LlcRef
+{
+    Addr blockAddr;
+    PC pc;
+    ThreadId thread;
+    bool isWrite;
+};
+
+/** Where an access was finally serviced. */
+enum class ServiceLevel { L1, L2, Llc, Memory };
+
+struct HierarchyResult
+{
+    Cycle latency = 0;
+    ServiceLevel level = ServiceLevel::L1;
+    bool llcAccess = false;
+    bool llcMiss = false;
+};
+
+class Hierarchy
+{
+  public:
+    /**
+     * @param cfg geometry; cfg.llc describes the single shared LLC
+     * @param llc_policy replacement policy for the LLC
+     * @param make_private_policy factory for L1/L2 policies; when
+     *        null, true LRU is used (the standard configuration)
+     */
+    Hierarchy(const HierarchyConfig &cfg,
+              std::unique_ptr<ReplacementPolicy> llc_policy);
+
+    /**
+     * Perform one demand access from @p core.
+     *
+     * @param now monotonic tick for live/dead-time accounting
+     */
+    HierarchyResult access(ThreadId core, const MemAccess &acc,
+                           std::uint64_t now);
+
+    Cache &l1(ThreadId core) { return *l1_[core]; }
+    const Prefetcher &prefetcher() const { return prefetcher_; }
+    Cache &l2(ThreadId core) { return *l2_[core]; }
+    Cache &llc() { return *llc_; }
+    const Cache &llc() const { return *llc_; }
+    const HierarchyConfig &config() const { return cfg_; }
+
+    /** Number of DRAM reads (LLC demand misses). */
+    std::uint64_t memReads() const { return memReads_; }
+    /** Number of DRAM writes (dirty LLC evictions). */
+    std::uint64_t memWrites() const { return memWrites_; }
+
+    /**
+     * When set, every LLC demand access is appended to @p out so an
+     * optimal policy can be replayed over the same reference stream.
+     */
+    void recordLlcTrace(std::vector<LlcRef> *out) { llcTrace_ = out; }
+
+    /**
+     * Trace index at the last clearStats() call — i.e. where the
+     * measurement phase begins within the recorded trace.
+     */
+    std::size_t llcTraceMark() const { return llcTraceMark_; }
+
+    /** Clear statistics in every cache (content is preserved). */
+    void clearStats();
+
+  private:
+    void writebackTo(int level, ThreadId core, Addr block_addr,
+                     ThreadId owner, std::uint64_t now);
+
+    HierarchyConfig cfg_;
+    std::vector<std::unique_ptr<Cache>> l1_;
+    std::vector<std::unique_ptr<Cache>> l2_;
+    std::unique_ptr<Cache> llc_;
+    Prefetcher prefetcher_;
+    std::uint64_t memReads_ = 0;
+    std::uint64_t memWrites_ = 0;
+    std::vector<LlcRef> *llcTrace_ = nullptr;
+    std::size_t llcTraceMark_ = 0;
+};
+
+} // namespace sdbp
+
+#endif // SDBP_CACHE_HIERARCHY_HH

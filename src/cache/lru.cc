@@ -1,0 +1,78 @@
+#include "cache/lru.hh"
+
+#include <cassert>
+
+namespace sdbp
+{
+
+LruPolicy::LruPolicy(std::uint32_t num_sets, std::uint32_t assoc)
+    : ReplacementPolicy(num_sets, assoc), pos_(num_sets * assoc)
+{
+    assert(assoc <= 255);
+    for (std::uint32_t s = 0; s < num_sets; ++s)
+        for (std::uint32_t w = 0; w < assoc; ++w)
+            pos_[s * assoc + w] = static_cast<std::uint8_t>(w);
+}
+
+void
+LruPolicy::moveTo(std::uint32_t set, std::uint32_t way,
+                  std::uint32_t target_pos)
+{
+    auto *base = &pos_[set * assoc_];
+    const std::uint8_t old_pos = base[way];
+    const auto target = static_cast<std::uint8_t>(target_pos);
+    if (old_pos == target)
+        return;
+    if (old_pos > target) {
+        // Moving toward MRU: ways between target and old shift down.
+        for (std::uint32_t w = 0; w < assoc_; ++w)
+            if (base[w] >= target && base[w] < old_pos)
+                ++base[w];
+    } else {
+        // Moving toward LRU: ways between old and target shift up.
+        for (std::uint32_t w = 0; w < assoc_; ++w)
+            if (base[w] > old_pos && base[w] <= target)
+                --base[w];
+    }
+    base[way] = target;
+}
+
+void
+LruPolicy::onAccess(std::uint32_t set, int hit_way, CacheBlock *blk,
+                    const AccessInfo &info)
+{
+    (void)blk;
+    (void)info;
+    if (hit_way >= 0)
+        moveTo(set, static_cast<std::uint32_t>(hit_way), 0);
+}
+
+std::uint32_t
+LruPolicy::victim(std::uint32_t set, std::span<const CacheBlock> blocks,
+                  const AccessInfo &info)
+{
+    (void)blocks;
+    (void)info;
+    const auto *base = &pos_[set * assoc_];
+    for (std::uint32_t w = 0; w < assoc_; ++w)
+        if (base[w] == assoc_ - 1)
+            return w;
+    return 0; // unreachable with consistent state
+}
+
+void
+LruPolicy::onFill(std::uint32_t set, std::uint32_t way, CacheBlock &blk,
+                  const AccessInfo &info)
+{
+    (void)blk;
+    (void)info;
+    moveTo(set, way, 0);
+}
+
+std::uint32_t
+LruPolicy::rank(std::uint32_t set, std::uint32_t way) const
+{
+    return pos_[set * assoc_ + way];
+}
+
+} // namespace sdbp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * True-LRU replacement, the paper's baseline policy.
+ */
+
+#ifndef SDBP_CACHE_LRU_HH
+#define SDBP_CACHE_LRU_HH
+
+#include <vector>
+
+#include "cache/policy.hh"
+
+namespace sdbp
+{
+
+/**
+ * True LRU via explicit stack positions: position 0 is MRU,
+ * position assoc-1 is LRU.
+ */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(std::uint32_t num_sets, std::uint32_t assoc);
+
+    void onAccess(std::uint32_t set, int hit_way, CacheBlock *blk,
+                  const AccessInfo &info) override;
+    std::uint32_t victim(std::uint32_t set,
+                         std::span<const CacheBlock> blocks,
+                         const AccessInfo &info) override;
+    void onFill(std::uint32_t set, std::uint32_t way, CacheBlock &blk,
+                const AccessInfo &info) override;
+    std::uint32_t rank(std::uint32_t set, std::uint32_t way)
+        const override;
+    std::string name() const override { return "lru"; }
+
+    /** Current stack position of a way (0 = MRU). */
+    std::uint32_t
+    stackPosition(std::uint32_t set, std::uint32_t way) const
+    {
+        return pos_[set * assoc_ + way];
+    }
+
+    /**
+     * Promote a way to a given stack position (0 = MRU); used by the
+     * insertion-policy variants (LIP/BIP) that install at LRU.
+     */
+    void moveTo(std::uint32_t set, std::uint32_t way,
+                std::uint32_t target_pos);
+
+  private:
+    /** pos_[set * assoc + way] = stack position of that way. */
+    std::vector<std::uint8_t> pos_;
+};
+
+} // namespace sdbp
+
+#endif // SDBP_CACHE_LRU_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Replacement policy interface.
+ *
+ * The cache drives policies through five hooks:
+ *
+ *   onAccess -> (miss) shouldBypass -> victim -> onEvict -> onFill
+ *
+ * onAccess fires on every access (hit or miss) so recency state and
+ * dead block predictors see the full reference stream; the remaining
+ * hooks fire only on the fill path.
+ */
+
+#ifndef SDBP_CACHE_POLICY_HH
+#define SDBP_CACHE_POLICY_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "cache/block.hh"
+#include "util/types.hh"
+
+namespace sdbp
+{
+
+/** Everything a policy may want to know about one access. */
+struct AccessInfo
+{
+    PC pc = 0;
+    /** Block-aligned address >> 6. */
+    Addr blockAddr = 0;
+    ThreadId thread = 0;
+    bool isWrite = false;
+    /** True for writebacks arriving from the level above. */
+    bool isWriteback = false;
+};
+
+/**
+ * Abstract replacement (and bypass) policy for a set-associative
+ * cache.
+ */
+class ReplacementPolicy
+{
+  public:
+    /**
+     * @param num_sets number of sets of the cache this policy manages
+     * @param assoc associativity
+     */
+    ReplacementPolicy(std::uint32_t num_sets, std::uint32_t assoc)
+        : numSets_(num_sets), assoc_(assoc)
+    {
+    }
+
+    virtual ~ReplacementPolicy() = default;
+
+    /**
+     * Called on every access.
+     *
+     * @param set the set index
+     * @param hit_way way that hit, or -1 on a miss
+     * @param blk the hit block (mutable, e.g. to set the
+     *        predicted-dead bit), or nullptr on a miss
+     */
+    virtual void onAccess(std::uint32_t set, int hit_way,
+                          CacheBlock *blk, const AccessInfo &info) = 0;
+
+    /**
+     * After a miss: should the incoming block bypass the cache?
+     * Policies without bypass keep the default.
+     */
+    virtual bool
+    shouldBypass(std::uint32_t set, const AccessInfo &info)
+    {
+        (void)set;
+        (void)info;
+        return false;
+    }
+
+    /**
+     * Choose a victim in a full set.  May mutate policy state (e.g.
+     * RRIP aging).
+     */
+    virtual std::uint32_t victim(std::uint32_t set,
+                                 std::span<const CacheBlock> blocks,
+                                 const AccessInfo &info) = 0;
+
+    /** A valid block is being removed from the cache. */
+    virtual void
+    onEvict(std::uint32_t set, std::uint32_t way, const CacheBlock &blk)
+    {
+        (void)set;
+        (void)way;
+        (void)blk;
+    }
+
+    /** A new block was just installed in (set, way). */
+    virtual void onFill(std::uint32_t set, std::uint32_t way,
+                        CacheBlock &blk, const AccessInfo &info) = 0;
+
+    /**
+     * Eviction preference of a resident block: larger means closer
+     * to eviction.  Used by the dead-block wrapper to pick the
+     * predicted-dead block "closest to LRU" (Sec. II-A4).
+     */
+    virtual std::uint32_t
+    rank(std::uint32_t set, std::uint32_t way) const
+    {
+        (void)set;
+        (void)way;
+        return 0;
+    }
+
+    virtual std::string name() const = 0;
+
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t assoc() const { return assoc_; }
+
+  protected:
+    std::uint32_t numSets_;
+    std::uint32_t assoc_;
+};
+
+} // namespace sdbp
+
+#endif // SDBP_CACHE_POLICY_HH

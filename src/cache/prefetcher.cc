@@ -1,0 +1,58 @@
+#include "cache/prefetcher.hh"
+
+namespace sdbp
+{
+
+Prefetcher::Prefetcher(const PrefetcherConfig &cfg) : cfg_(cfg)
+{
+}
+
+bool
+Prefetcher::tryInstall(Cache &llc, Addr block_addr, PC pc,
+                       ThreadId thread, std::uint64_t now)
+{
+    if (llc.probe(block_addr)) {
+        ++stats_.redundant;
+        return false;
+    }
+
+    if (cfg_.deadBlockDirected) {
+        // Only install when an invalid or predicted-dead frame can
+        // absorb the speculation.
+        const std::uint32_t set = llc.setIndex(block_addr);
+        bool has_frame = false;
+        for (const CacheBlock &blk : llc.setBlocks(set)) {
+            if (!blk.valid || blk.predictedDead) {
+                has_frame = true;
+                break;
+            }
+        }
+        if (!has_frame) {
+            ++stats_.noDeadFrame;
+            return false;
+        }
+    }
+
+    AccessInfo info;
+    info.pc = pc;
+    info.blockAddr = block_addr;
+    info.thread = thread;
+    llc.fill(info, now);
+    // The policy may still decline (bypass); only count real installs.
+    if (!llc.probe(block_addr))
+        return false;
+    ++stats_.installed;
+    return true;
+}
+
+void
+Prefetcher::onDemandMiss(Cache &llc, Addr block_addr, PC pc,
+                         ThreadId thread, std::uint64_t now)
+{
+    for (unsigned i = 1; i <= cfg_.degree; ++i) {
+        ++stats_.issued;
+        tryInstall(llc, block_addr + i, pc, thread, now);
+    }
+}
+
+} // namespace sdbp

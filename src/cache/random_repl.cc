@@ -1,0 +1,22 @@
+#include "cache/random_repl.hh"
+
+namespace sdbp
+{
+
+RandomPolicy::RandomPolicy(std::uint32_t num_sets, std::uint32_t assoc,
+                           std::uint64_t seed)
+    : ReplacementPolicy(num_sets, assoc), rng_(seed)
+{
+}
+
+std::uint32_t
+RandomPolicy::victim(std::uint32_t set, std::span<const CacheBlock> blocks,
+                     const AccessInfo &info)
+{
+    (void)set;
+    (void)blocks;
+    (void)info;
+    return static_cast<std::uint32_t>(rng_.below(assoc_));
+}
+
+} // namespace sdbp

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Random replacement: the cheap default policy the paper pairs with
+ * the sampling predictor in Sec. V-A / VII-B.
+ */
+
+#ifndef SDBP_CACHE_RANDOM_REPL_HH
+#define SDBP_CACHE_RANDOM_REPL_HH
+
+#include "cache/policy.hh"
+#include "util/rng.hh"
+
+namespace sdbp
+{
+
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(std::uint32_t num_sets, std::uint32_t assoc,
+                 std::uint64_t seed = 0x7a9f);
+
+    void
+    onAccess(std::uint32_t set, int hit_way, CacheBlock *blk,
+             const AccessInfo &info) override
+    {
+        (void)set;
+        (void)hit_way;
+        (void)blk;
+        (void)info;
+    }
+
+    std::uint32_t victim(std::uint32_t set,
+                         std::span<const CacheBlock> blocks,
+                         const AccessInfo &info) override;
+
+    void
+    onFill(std::uint32_t set, std::uint32_t way, CacheBlock &blk,
+           const AccessInfo &info) override
+    {
+        (void)set;
+        (void)way;
+        (void)blk;
+        (void)info;
+    }
+
+    std::string name() const override { return "random"; }
+
+  private:
+    Rng rng_;
+};
+
+} // namespace sdbp
+
+#endif // SDBP_CACHE_RANDOM_REPL_HH

@@ -1,0 +1,143 @@
+#include "core/sampler.hh"
+
+#include <cassert>
+
+namespace sdbp
+{
+
+Sampler::Sampler(const SamplerConfig &cfg)
+    : cfg_(cfg),
+      entries_(static_cast<std::size_t>(cfg.numSets) * cfg.assoc)
+{
+    assert(cfg_.numSets > 0);
+    assert(cfg_.assoc > 0 && cfg_.assoc <= 255);
+    assert(cfg_.tagBits <= 16 && cfg_.pcBits <= 16);
+    reset();
+}
+
+void
+Sampler::reset()
+{
+    for (std::uint32_t s = 0; s < cfg_.numSets; ++s) {
+        for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+            auto &e = entries_[s * cfg_.assoc + w];
+            e = SamplerEntry{};
+            e.lruPos = static_cast<std::uint8_t>(w);
+        }
+    }
+    hits_ = 0;
+    replacements_ = 0;
+    trainedEvictions_ = 0;
+    victimTick_ = 0;
+}
+
+void
+Sampler::moveToMru(std::uint32_t set, std::uint32_t way)
+{
+    auto *base = &entries_[set * cfg_.assoc];
+    const std::uint8_t old_pos = base[way].lruPos;
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
+        if (base[w].lruPos < old_pos)
+            ++base[w].lruPos;
+    base[way].lruPos = 0;
+}
+
+std::uint32_t
+Sampler::pickVictim(std::uint32_t set, bool *dead_preferred)
+{
+    *dead_preferred = false;
+    const auto *base = &entries_[set * cfg_.assoc];
+
+    // 1. An empty way.
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
+        if (!base[w].valid)
+            return w;
+
+    // 2. The youngest predicted-dead entry past a small grace age.
+    //    Evicting dead entries early is how the sampler frees space
+    //    for live tags, but a grace period of assoc/2 LRU positions
+    //    lets a *mispredicted* entry survive to its next touch and
+    //    retrain the tables toward "live" — without it, a dead
+    //    prediction would be self-sustaining (the tags that could
+    //    refute it would always be evicted before their reuse).
+    //    Among eligible entries the youngest is chosen, shielding
+    //    older entries that may still be awaiting a more distant
+    //    reuse.  Every eighth replacement falls back on true LRU so
+    //    stale live-predicted entries cannot pin a way forever.
+    if (cfg_.learnFromOwnEvictions && ++victimTick_ % 8 != 0) {
+        const std::uint8_t grace = static_cast<std::uint8_t>(
+            std::max<std::uint32_t>(1, cfg_.assoc / 2));
+        int best = -1;
+        std::uint8_t best_pos = 0;
+        for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+            if (base[w].predictedDead && base[w].lruPos >= grace &&
+                (best < 0 || base[w].lruPos < best_pos)) {
+                best = static_cast<int>(w);
+                best_pos = base[w].lruPos;
+            }
+        }
+        if (best >= 0) {
+            *dead_preferred = true;
+            return static_cast<std::uint32_t>(best);
+        }
+    }
+
+    // 3. True LRU.
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
+        if (base[w].lruPos == cfg_.assoc - 1)
+            return w;
+    return 0; // unreachable with consistent LRU state
+}
+
+void
+Sampler::access(std::uint32_t set, std::uint16_t partial_tag,
+                std::uint16_t pc_sig, SkewedTable &table)
+{
+    assert(set < cfg_.numSets);
+    auto *base = &entries_[set * cfg_.assoc];
+
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == partial_tag) {
+            // The previously recorded access was not the block's
+            // last touch: train its PC toward "live".
+            ++hits_;
+            table.decrement(base[w].pc);
+            base[w].pc = pc_sig;
+            base[w].predictedDead = table.predict(pc_sig);
+            moveToMru(set, w);
+            return;
+        }
+    }
+
+    // Miss: every access to a sampled set enters the sampler
+    // (tags never bypass it, Sec. V-B).
+    bool dead_preferred = false;
+    const std::uint32_t victim = pickVictim(set, &dead_preferred);
+    SamplerEntry &e = base[victim];
+    if (e.valid && !dead_preferred) {
+        // The recorded access was the last touch before this natural
+        // (LRU) eviction: train its PC toward "dead".  Dead-preferred
+        // evictions do NOT train: the predictor itself caused them,
+        // and charging the PC again would make any dead prediction
+        // self-confirming, with no path back for a mispredicted PC.
+        table.increment(e.pc);
+        ++trainedEvictions_;
+    }
+    ++replacements_;
+    e.valid = true;
+    e.tag = partial_tag;
+    e.pc = pc_sig;
+    e.predictedDead = table.predict(pc_sig);
+    moveToMru(set, victim);
+}
+
+std::uint64_t
+Sampler::storageBits() const
+{
+    // tag + pc + prediction bit + valid bit + 4 LRU bits per entry.
+    const std::uint64_t per_entry = cfg_.tagBits + cfg_.pcBits + 1 + 1 +
+        4;
+    return per_entry * cfg_.numSets * cfg_.assoc;
+}
+
+} // namespace sdbp

@@ -1,0 +1,68 @@
+#include "core/skewed_table.hh"
+
+#include <cassert>
+
+namespace sdbp
+{
+
+SkewedTable::SkewedTable(const SkewedTableConfig &cfg) : cfg_(cfg)
+{
+    assert(cfg_.numTables >= 1 && cfg_.numTables <= 4);
+    assert(cfg_.indexBits >= 1 && cfg_.indexBits <= 24);
+    assert(cfg_.counterBits >= 1 && cfg_.counterBits <= 8);
+    counterMax_ = (1u << cfg_.counterBits) - 1;
+    assert(cfg_.threshold <= cfg_.numTables * counterMax_);
+    counters_.assign(static_cast<std::size_t>(cfg_.numTables)
+                         << cfg_.indexBits,
+                     0);
+}
+
+void
+SkewedTable::reset()
+{
+    counters_.assign(counters_.size(), 0);
+}
+
+void
+SkewedTable::increment(std::uint64_t signature)
+{
+    for (unsigned t = 0; t < cfg_.numTables; ++t) {
+        auto &c = counters_[entryIndex(t, signature)];
+        if (c < counterMax_)
+            ++c;
+    }
+}
+
+void
+SkewedTable::decrement(std::uint64_t signature)
+{
+    for (unsigned t = 0; t < cfg_.numTables; ++t) {
+        auto &c = counters_[entryIndex(t, signature)];
+        if (c > 0)
+            --c;
+    }
+}
+
+unsigned
+SkewedTable::confidence(std::uint64_t signature) const
+{
+    unsigned sum = 0;
+    for (unsigned t = 0; t < cfg_.numTables; ++t)
+        sum += counters_[entryIndex(t, signature)];
+    return sum;
+}
+
+unsigned
+SkewedTable::maxConfidence() const
+{
+    return cfg_.numTables * counterMax_;
+}
+
+std::uint64_t
+SkewedTable::storageBits() const
+{
+    return static_cast<std::uint64_t>(counters_.size()) *
+        cfg_.counterBits;
+}
+
+} // namespace sdbp

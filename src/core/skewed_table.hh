@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The skewed prediction table of Sec. III-E: several banks of
+ * saturating counters, each indexed by a different hash of the
+ * signature; the prediction confidence is the sum of the counters.
+ */
+
+#ifndef SDBP_CORE_SKEWED_TABLE_HH
+#define SDBP_CORE_SKEWED_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitops.hh"
+#include "util/hash.hh"
+
+namespace sdbp
+{
+
+struct SkewedTableConfig
+{
+    /** Number of banks (3 in the paper; 1 = conventional table). */
+    unsigned numTables = 3;
+    /** log2 entries per bank (12 -> 4096 entries). */
+    unsigned indexBits = 12;
+    /** Counter width (2 in the paper). */
+    unsigned counterBits = 2;
+    /** Sum-of-counters confidence threshold (8 in the paper). */
+    unsigned threshold = 8;
+};
+
+/**
+ * Skewed table of 2-bit (configurable) saturating counters.
+ *
+ * With three 2-bit banks the confidence has ten levels (0..9); the
+ * paper finds a threshold of eight gives the best accuracy.
+ */
+class SkewedTable
+{
+  public:
+    explicit SkewedTable(const SkewedTableConfig &cfg = {});
+
+    /** Train toward "dead" for this signature. */
+    void increment(std::uint64_t signature);
+    /** Train toward "live" for this signature. */
+    void decrement(std::uint64_t signature);
+
+    /** Summed confidence for a signature. */
+    unsigned confidence(std::uint64_t signature) const;
+
+    /** Predicted dead iff confidence >= threshold. */
+    bool
+    predict(std::uint64_t signature) const
+    {
+        return confidence(signature) >= cfg_.threshold;
+    }
+
+    /** Highest reachable confidence (numTables * counterMax). */
+    unsigned maxConfidence() const;
+
+    /** Total state in bits. */
+    std::uint64_t storageBits() const;
+
+    const SkewedTableConfig &config() const { return cfg_; }
+
+    /** Reset all counters to zero. */
+    void reset();
+
+  private:
+    std::size_t
+    entryIndex(unsigned table, std::uint64_t signature) const
+    {
+        return static_cast<std::size_t>(table) << cfg_.indexBits
+            | skewHash(signature, table, cfg_.indexBits);
+    }
+
+    SkewedTableConfig cfg_;
+    unsigned counterMax_;
+    std::vector<std::uint8_t> counters_;
+};
+
+} // namespace sdbp
+
+#endif // SDBP_CORE_SKEWED_TABLE_HH

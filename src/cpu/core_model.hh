@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Approximate out-of-order core timing model in the spirit of
+ * CMP$im (Sec. VI-A): 4-wide, 8-stage, 128-entry instruction
+ * window.  It is not cycle-accurate; it models the first-order
+ * effects that matter for the paper's IPC comparisons:
+ *
+ *  - dispatch width limits throughput to `width` IPC;
+ *  - independent long-latency loads overlap (memory-level
+ *    parallelism) until the instruction window fills;
+ *  - a full window stalls dispatch until the oldest instruction
+ *    completes (in-order retirement backpressure);
+ *  - address-dependent loads (pointer chasing) serialize.
+ */
+
+#ifndef SDBP_CPU_CORE_MODEL_HH
+#define SDBP_CPU_CORE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace sdbp
+{
+
+struct CoreConfig
+{
+    unsigned width = 4;
+    unsigned robSize = 128;
+    unsigned pipelineDepth = 8;
+};
+
+class CoreModel
+{
+  public:
+    explicit CoreModel(const CoreConfig &cfg = {});
+
+    /** Execute @p n single-cycle non-memory instructions. */
+    void executeNonMem(unsigned n);
+
+    /**
+     * Execute one memory instruction.
+     *
+     * @param latency the access latency reported by the hierarchy
+     * @param is_load stores retire through the write buffer and do
+     *        not stall the core
+     * @param depends_on_prev_load serialize behind the previous load
+     */
+    void executeMem(Cycle latency, bool is_load,
+                    bool depends_on_prev_load);
+
+    /** Instructions executed so far. */
+    InstCount instructions() const { return instructions_; }
+
+    /** Current cycle count, including draining in-flight work. */
+    Cycle cycles() const;
+
+    /** Restart counters (window state is cleared too). */
+    void reset();
+
+  private:
+    void dispatch(Cycle completion);
+
+    CoreConfig cfg_;
+    InstCount instructions_ = 0;
+    /** Cycle in which the next instruction dispatches. */
+    Cycle dispatchCycle_;
+    /** Instructions already dispatched in dispatchCycle_. */
+    unsigned slotInCycle_ = 0;
+    /** Completion time of the most recent load. */
+    Cycle lastLoadComplete_ = 0;
+    /** Completion of the latest-finishing instruction seen. */
+    Cycle maxCompletion_ = 0;
+    /** Ring buffer of in-flight completion times (the window). */
+    std::vector<Cycle> window_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace sdbp
+
+#endif // SDBP_CPU_CORE_MODEL_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Single- and multi-core simulated system: cores drive their
+ * workload generators through the shared hierarchy.  Implements the
+ * paper's multi-core methodology (Sec. VI-A2): all programs run
+ * simultaneously, and a program that finishes its instruction quota
+ * restarts and keeps generating contention until every program has
+ * finished; per-thread statistics freeze at first completion.
+ */
+
+#ifndef SDBP_CPU_SYSTEM_HH
+#define SDBP_CPU_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "cpu/core_model.hh"
+#include "trace/access.hh"
+
+namespace sdbp
+{
+
+/** Per-thread outcome of a run. */
+struct ThreadRunResult
+{
+    InstCount instructions = 0;
+    Cycle cycles = 0;
+    double ipc = 0;
+};
+
+class System
+{
+  public:
+    /**
+     * @param hcfg hierarchy geometry (hcfg.numCores cores)
+     * @param ccfg core model parameters
+     * @param llc_policy replacement policy for the shared LLC
+     */
+    System(const HierarchyConfig &hcfg, const CoreConfig &ccfg,
+           std::unique_ptr<ReplacementPolicy> llc_policy);
+
+    /**
+     * Run every core for @p measure instructions after a @p warmup
+     * period (statistics are cleared between the phases).
+     *
+     * @param gens one generator per core (not owned)
+     */
+    std::vector<ThreadRunResult>
+    run(const std::vector<AccessGenerator *> &gens, InstCount warmup,
+        InstCount measure);
+
+    Hierarchy &hierarchy() { return hierarchy_; }
+    const Hierarchy &hierarchy() const { return hierarchy_; }
+
+    /** Global tick (total instructions executed by all cores). */
+    std::uint64_t tick() const { return tick_; }
+
+  private:
+    /** Advance core @p c by one trace record. */
+    void step(std::uint32_t c, AccessGenerator &gen);
+
+    HierarchyConfig hcfg_;
+    CoreConfig ccfg_;
+    Hierarchy hierarchy_;
+    std::vector<CoreModel> cores_;
+    std::uint64_t tick_ = 0;
+    /** Cycle at which the shared DRAM channel is next free. */
+    Cycle memFree_ = 0;
+};
+
+} // namespace sdbp
+
+#endif // SDBP_CPU_SYSTEM_HH

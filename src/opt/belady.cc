@@ -1,0 +1,99 @@
+#include "opt/belady.hh"
+
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace sdbp
+{
+
+namespace
+{
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+} // anonymous namespace
+
+OptimalResult
+optimalMisses(const std::vector<LlcRef> &trace, std::uint32_t num_sets,
+              std::uint32_t assoc, bool allow_bypass,
+              std::size_t measure_from)
+{
+    if (!isPowerOfTwo(num_sets))
+        fatal("optimalMisses: num_sets must be a power of two");
+
+    OptimalResult result;
+    result.accesses = trace.size() > measure_from
+        ? trace.size() - measure_from
+        : 0;
+
+    // next_use[i]: index of the next reference to the same block, or
+    // kNever.  Computed with one backward pass.
+    std::vector<std::uint64_t> next_use(trace.size());
+    {
+        std::unordered_map<Addr, std::uint64_t> last_seen;
+        last_seen.reserve(trace.size() / 4 + 1);
+        for (std::size_t i = trace.size(); i-- > 0;) {
+            const Addr blk = trace[i].blockAddr;
+            auto it = last_seen.find(blk);
+            next_use[i] = it == last_seen.end() ? kNever : it->second;
+            last_seen[blk] = i;
+        }
+    }
+
+    // Per-set resident arrays: block address + its next use index.
+    struct Frame
+    {
+        Addr blockAddr;
+        std::uint64_t nextUse;
+    };
+    std::vector<std::vector<Frame>> sets(num_sets);
+    for (auto &s : sets)
+        s.reserve(assoc);
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const bool counted = i >= measure_from;
+        const Addr blk = trace[i].blockAddr;
+        const auto set = static_cast<std::uint32_t>(blk & (num_sets - 1));
+        auto &frames = sets[set];
+
+        bool hit = false;
+        for (auto &f : frames) {
+            if (f.blockAddr == blk) {
+                f.nextUse = next_use[i];
+                hit = true;
+                break;
+            }
+        }
+        if (hit)
+            continue;
+
+        if (counted)
+            ++result.misses;
+        if (frames.size() < assoc) {
+            frames.push_back({blk, next_use[i]});
+            continue;
+        }
+
+        // Find the resident block referenced farthest in the future.
+        std::size_t far_idx = 0;
+        for (std::size_t w = 1; w < frames.size(); ++w)
+            if (frames[w].nextUse > frames[far_idx].nextUse)
+                far_idx = w;
+
+        if (allow_bypass && next_use[i] >= frames[far_idx].nextUse) {
+            // The incoming block is re-referenced after (or never
+            // before) every resident block: keep it out.
+            if (counted)
+                ++result.bypasses;
+            continue;
+        }
+        frames[far_idx] = {blk, next_use[i]};
+    }
+    return result;
+}
+
+} // namespace sdbp

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Belady's MIN replacement enhanced with bypass (Sec. VI-B): given
+ * the recorded LLC demand reference stream, compute the minimal
+ * achievable number of misses when the policy may also decline to
+ * place an incoming block whose next access lies beyond the next
+ * accesses of every resident block.
+ */
+
+#ifndef SDBP_OPT_BELADY_HH
+#define SDBP_OPT_BELADY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "util/types.hh"
+
+namespace sdbp
+{
+
+struct OptimalResult
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t bypasses = 0;
+};
+
+/**
+ * Replay @p trace through a MIN + bypass cache of the given
+ * geometry.
+ *
+ * @param trace the recorded LLC demand accesses, in program order
+ * @param num_sets LLC sets (power of two)
+ * @param assoc LLC associativity
+ * @param allow_bypass disable to get classic MIN
+ * @param measure_from replay the whole trace but count accesses,
+ *        misses and bypasses only from this index on (used to warm
+ *        MIN over the warm-up portion, mirroring the real runs)
+ */
+OptimalResult optimalMisses(const std::vector<LlcRef> &trace,
+                            std::uint32_t num_sets, std::uint32_t assoc,
+                            bool allow_bypass = true,
+                            std::size_t measure_from = 0);
+
+} // namespace sdbp
+
+#endif // SDBP_OPT_BELADY_HH

@@ -1,0 +1,72 @@
+#include "power/model.hh"
+
+#include <cmath>
+
+namespace sdbp
+{
+
+namespace
+{
+
+/** Paper's baseline LLC figures (Sec. IV-D). */
+constexpr double llcDynamicW = 2.75;
+constexpr double llcLeakageW = 0.512;
+
+} // anonymous namespace
+
+SramGeometry
+PowerModel::baselineLlcGeometry()
+{
+    SramGeometry g;
+    g.name = "LLC 2MB";
+    // 2 MB data + per-block tag/state (~25 bits) for 32 K blocks.
+    const std::uint64_t blocks = 32768;
+    g.totalBits = 2ull * 1024 * 1024 * 8 + blocks * 25;
+    // One 64 B line plus a 16-way tag group per access.
+    g.accessBits = 64 * 8 + 16 * 25;
+    return g;
+}
+
+SramGeometry
+PowerModel::metadataGeometry(const std::string &name,
+                             std::uint64_t bits_per_block,
+                             std::uint64_t num_blocks)
+{
+    SramGeometry g;
+    g.name = name;
+    g.totalBits = bits_per_block * num_blocks;
+    // A read-modify-write of the per-block field on each access;
+    // the rows live inside the LLC's own arrays.
+    g.accessBits = 2 * bits_per_block;
+    g.embedded = true;
+    return g;
+}
+
+PowerModel::PowerModel()
+{
+    const SramGeometry llc = baselineLlcGeometry();
+    leakPerBit_ = llcLeakageW / static_cast<double>(llc.totalBits);
+    // Capacity exponent fitted so the predictor tables land near
+    // the paper's Table II figures (see DESIGN.md §3).
+    alpha_ = 0.5;
+    const double llc_units = static_cast<double>(llc.accessBits) +
+        std::pow(static_cast<double>(llc.totalBits), alpha_);
+    dynCoeff_ = llcDynamicW / llc_units;
+}
+
+PowerEstimate
+PowerModel::estimate(const SramGeometry &g) const
+{
+    PowerEstimate e;
+    e.leakageW = leakPerBit_ * static_cast<double>(g.totalBits);
+    const double capacity_units = g.embedded || g.totalBits == 0
+        ? 0.0
+        : std::pow(static_cast<double>(g.totalBits), alpha_);
+    const double units =
+        static_cast<double>(g.accessBits) + capacity_units;
+    e.peakDynamicW = dynCoeff_ * units;
+    e.effectiveDynamicW = e.peakDynamicW * g.activity;
+    return e;
+}
+
+} // namespace sdbp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Analytical SRAM storage/power model — the CACTI 5.3 substitute
+ * used to reproduce Table II (see DESIGN.md §3).
+ *
+ * Leakage is proportional to state bits.  Dynamic (peak) power per
+ * structure follows a sub-linear capacity law,
+ *
+ *     P_dyn = k_d * (bits_accessed + (total_bits)^alpha),
+ *
+ * with the two coefficients calibrated so the paper's baseline 2 MB
+ * LLC comes out at 2.75 W dynamic and 0.512 W leakage.  The model is
+ * deliberately transparent: every number in the Table II bench is a
+ * function of structure geometry plus these two calibrated
+ * constants.
+ */
+
+#ifndef SDBP_POWER_MODEL_HH
+#define SDBP_POWER_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace sdbp
+{
+
+/** Geometry of one SRAM structure. */
+struct SramGeometry
+{
+    std::string name;
+    /** Total state bits. */
+    std::uint64_t totalBits = 0;
+    /** Bits read/written per access (row activity). */
+    std::uint64_t accessBits = 0;
+    /**
+     * Fraction of LLC accesses that touch this structure (1.0 =
+     * every access).  Used for the "effective" dynamic column; peak
+     * power ignores it, as CACTI does.
+     */
+    double activity = 1.0;
+    /**
+     * True for per-block metadata embedded in the LLC data array:
+     * its rows are activated by the access anyway, so dynamic power
+     * counts only the extra bits moved, not a standalone decode.
+     */
+    bool embedded = false;
+};
+
+struct PowerEstimate
+{
+    double leakageW = 0;
+    /** Peak dynamic power (CACTI-style). */
+    double peakDynamicW = 0;
+    /** Peak scaled by the structure's activity. */
+    double effectiveDynamicW = 0;
+};
+
+class PowerModel
+{
+  public:
+    /** Calibrated against the paper's 2 MB LLC figures. */
+    PowerModel();
+
+    PowerEstimate estimate(const SramGeometry &g) const;
+
+    /** The baseline LLC the percentages of Sec. IV-D refer to. */
+    static SramGeometry baselineLlcGeometry();
+
+    /**
+     * Geometry of the extra per-block metadata a predictor adds to
+     * the LLC data array, modeled (as in the paper) as the delta
+     * between the LLC with and without the extra bits.
+     */
+    static SramGeometry metadataGeometry(const std::string &name,
+                                         std::uint64_t bits_per_block,
+                                         std::uint64_t num_blocks);
+
+    double leakagePerBit() const { return leakPerBit_; }
+    double dynamicCoefficient() const { return dynCoeff_; }
+    double capacityExponent() const { return alpha_; }
+
+  private:
+    double leakPerBit_;
+    double dynCoeff_;
+    double alpha_;
+};
+
+} // namespace sdbp
+
+#endif // SDBP_POWER_MODEL_HH

@@ -1,0 +1,55 @@
+#include "power/storage.hh"
+
+namespace sdbp
+{
+
+namespace
+{
+
+double
+bitsToKB(std::uint64_t bits)
+{
+    return static_cast<double>(bits) / 8.0 / 1024.0;
+}
+
+} // anonymous namespace
+
+double
+StorageBreakdown::totalKB() const
+{
+    return bitsToKB(totalBits());
+}
+
+double
+StorageBreakdown::predictorKB() const
+{
+    return bitsToKB(predictorBits);
+}
+
+double
+StorageBreakdown::metadataKB() const
+{
+    return bitsToKB(metadataBits());
+}
+
+double
+StorageBreakdown::fractionOfCache(std::uint64_t cache_bytes) const
+{
+    if (cache_bytes == 0)
+        return 0.0;
+    return static_cast<double>(totalBits()) / 8.0 /
+        static_cast<double>(cache_bytes);
+}
+
+StorageBreakdown
+storageOf(const DeadBlockPredictor &predictor, std::uint64_t num_blocks)
+{
+    StorageBreakdown b;
+    b.predictor = predictor.name();
+    b.predictorBits = predictor.storageBits();
+    b.metadataBitsPerBlock = predictor.metadataBitsPerBlock();
+    b.numBlocks = num_blocks;
+    return b;
+}
+
+} // namespace sdbp

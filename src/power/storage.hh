@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Predictor storage accounting (Table I).
+ */
+
+#ifndef SDBP_POWER_STORAGE_HH
+#define SDBP_POWER_STORAGE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "predictor/dead_block_predictor.hh"
+
+namespace sdbp
+{
+
+struct StorageBreakdown
+{
+    std::string predictor;
+    /** Predictor-side structure bits (tables, sampler). */
+    std::uint64_t predictorBits = 0;
+    /** Extra metadata bits per LLC block. */
+    std::uint64_t metadataBitsPerBlock = 0;
+    /** Number of LLC blocks. */
+    std::uint64_t numBlocks = 0;
+
+    std::uint64_t
+    metadataBits() const
+    {
+        return metadataBitsPerBlock * numBlocks;
+    }
+
+    std::uint64_t
+    totalBits() const
+    {
+        return predictorBits + metadataBits();
+    }
+
+    double totalKB() const;
+    double predictorKB() const;
+    double metadataKB() const;
+
+    /** Share of a cache of @p cache_bytes bytes. */
+    double fractionOfCache(std::uint64_t cache_bytes) const;
+};
+
+/** Compute the breakdown for a predictor over an LLC of
+ *  @p num_blocks blocks. */
+StorageBreakdown storageOf(const DeadBlockPredictor &predictor,
+                           std::uint64_t num_blocks);
+
+} // namespace sdbp
+
+#endif // SDBP_POWER_STORAGE_HH

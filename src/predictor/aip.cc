@@ -1,0 +1,123 @@
+#include "predictor/aip.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bitops.hh"
+#include "util/hash.hh"
+
+namespace sdbp
+{
+
+AipPredictor::AipPredictor(const AipConfig &cfg) : cfg_(cfg)
+{
+    assert(cfg_.rowBits + cfg_.colBits <= 24);
+    table_.assign(std::size_t(1) << (cfg_.rowBits + cfg_.colBits),
+                  TableEntry{});
+    setTicks_.assign(cfg_.llcSets, 0);
+}
+
+std::uint8_t
+AipPredictor::quantize(std::uint32_t interval)
+{
+    // ceil(log2(interval + 1)), saturated to 15.
+    std::uint8_t q = 0;
+    while ((1u << q) < interval + 1 && q < 15)
+        ++q;
+    return q;
+}
+
+std::uint32_t
+AipPredictor::entryIndexOf(PC pc, Addr block_addr) const
+{
+    const std::uint64_t row = makeSignature(pc, cfg_.rowBits);
+    const std::uint64_t col = mix64(block_addr) & mask(cfg_.colBits);
+    return static_cast<std::uint32_t>(row << cfg_.colBits | col);
+}
+
+bool
+AipPredictor::onAccess(std::uint32_t set, Addr block_addr, PC pc,
+                       ThreadId thread)
+{
+    (void)thread;
+    assert(set < cfg_.llcSets);
+    const std::uint32_t now = ++setTicks_[set];
+
+    auto it = meta_.find(block_addr);
+    if (it == meta_.end()) {
+        // Dead-on-arrival: confident single-touch generations (a
+        // learned max interval of zero means "never re-touched").
+        const TableEntry &e = table_[entryIndexOf(pc, block_addr)];
+        return e.confident && e.maxInterval == 0;
+    }
+
+    BlockMeta &m = it->second;
+    const std::uint32_t interval = now - m.lastTouch;
+    m.maxInterval = std::max(m.maxInterval, quantize(interval));
+    m.lastTouch = now;
+    // At touch time the elapsed interval is zero, so the block is
+    // live by definition; deadness is reported via isDeadNow().
+    return false;
+}
+
+bool
+AipPredictor::isDeadNow(std::uint32_t set, Addr block_addr) const
+{
+    auto it = meta_.find(block_addr);
+    if (it == meta_.end())
+        return false;
+    const BlockMeta &m = it->second;
+    if (!m.confident)
+        return false;
+    const std::uint32_t elapsed = setTicks_[set] - m.lastTouch;
+    // Dead once the elapsed interval can no longer be within the
+    // learned (quantized) maximum.
+    return quantize(elapsed) > m.threshold;
+}
+
+void
+AipPredictor::onFill(std::uint32_t set, Addr block_addr, PC pc)
+{
+    BlockMeta m;
+    m.entryIndex = entryIndexOf(pc, block_addr);
+    m.lastTouch = setTicks_[set];
+    m.maxInterval = 0;
+    const TableEntry &e = table_[m.entryIndex];
+    m.threshold = e.maxInterval;
+    m.confident = e.confident;
+    meta_[block_addr] = m;
+}
+
+void
+AipPredictor::onEvict(std::uint32_t set, Addr block_addr)
+{
+    (void)set;
+    auto it = meta_.find(block_addr);
+    if (it == meta_.end())
+        return;
+    const BlockMeta &m = it->second;
+    TableEntry &e = table_[m.entryIndex];
+    e.confident = (e.maxInterval == m.maxInterval);
+    e.maxInterval = m.maxInterval;
+    meta_.erase(it);
+}
+
+std::uint64_t
+AipPredictor::storageBits() const
+{
+    // intervalBits + 1 confidence bit per entry, plus one interval
+    // counter per set.
+    return static_cast<std::uint64_t>(table_.size()) *
+        (cfg_.intervalBits + 1) +
+        static_cast<std::uint64_t>(cfg_.llcSets) * cfg_.intervalBits;
+}
+
+std::uint64_t
+AipPredictor::metadataBitsPerBlock() const
+{
+    // Hashed PC (8) + last-touch interval counter + max interval +
+    // learned threshold + confidence + prediction bit.
+    return 8 + cfg_.intervalBits * 3 + 1 + 1;
+}
+
+} // namespace sdbp

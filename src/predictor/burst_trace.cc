@@ -1,0 +1,84 @@
+#include "predictor/burst_trace.hh"
+
+#include <cassert>
+
+#include "util/bitops.hh"
+
+namespace sdbp
+{
+
+BurstTracePredictor::BurstTracePredictor(const BurstTraceConfig &cfg)
+    : cfg_(cfg)
+{
+    counterMax_ = (1u << cfg_.counterBits) - 1;
+    table_.assign(std::size_t(1) << cfg_.signatureBits, 0);
+    lastBlock_.assign(cfg_.llcSets, ~Addr(0));
+}
+
+bool
+BurstTracePredictor::onAccess(std::uint32_t set, Addr block_addr,
+                              PC pc, ThreadId thread)
+{
+    (void)thread;
+    assert(set < cfg_.llcSets);
+    const std::uint64_t pc_sig = pcSignature(pc);
+
+    auto it = sig_.find(block_addr);
+    if (it == sig_.end()) {
+        lastBlock_[set] = block_addr;
+        return table_[pc_sig] >= cfg_.threshold;
+    }
+
+    if (lastBlock_[set] == block_addr) {
+        // Same burst: fold the access without touching the tables.
+        ++filtered_;
+        return table_[it->second] >= cfg_.threshold;
+    }
+
+    // Burst boundary: the previous burst's signature was not final.
+    ++bursts_;
+    lastBlock_[set] = block_addr;
+    auto &c = table_[it->second];
+    if (c > 0)
+        --c;
+    const auto new_sig = static_cast<std::uint16_t>(
+        (it->second + pc_sig) & mask(cfg_.signatureBits));
+    it->second = new_sig;
+    return table_[new_sig] >= cfg_.threshold;
+}
+
+void
+BurstTracePredictor::onFill(std::uint32_t set, Addr block_addr, PC pc)
+{
+    (void)set;
+    sig_[block_addr] = static_cast<std::uint16_t>(pcSignature(pc));
+}
+
+void
+BurstTracePredictor::onEvict(std::uint32_t set, Addr block_addr)
+{
+    auto it = sig_.find(block_addr);
+    if (it == sig_.end())
+        return;
+    auto &c = table_[it->second];
+    if (c < counterMax_)
+        ++c;
+    sig_.erase(it);
+    if (set < cfg_.llcSets && lastBlock_[set] == block_addr)
+        lastBlock_[set] = ~Addr(0);
+}
+
+std::uint64_t
+BurstTracePredictor::storageBits() const
+{
+    return static_cast<std::uint64_t>(table_.size()) *
+        cfg_.counterBits;
+}
+
+std::uint64_t
+BurstTracePredictor::metadataBitsPerBlock() const
+{
+    return cfg_.signatureBits + 1;
+}
+
+} // namespace sdbp

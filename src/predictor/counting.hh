@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Counting-based Live-time Predictor (LvP) of Kharbutli & Solihin
+ * (IEEE TC 2008), the "counting" / CDBP baseline (Sec. II-A4, IV-B).
+ *
+ * A block is predicted dead once it has been accessed as many times
+ * as in its previous generation, provided the count matched across
+ * the last two generations (one-bit confidence).  The table is a
+ * matrix indexed by hashed fill PC (rows) and hashed block address
+ * (columns).
+ */
+
+#ifndef SDBP_PREDICTOR_COUNTING_HH
+#define SDBP_PREDICTOR_COUNTING_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "predictor/dead_block_predictor.hh"
+
+namespace sdbp
+{
+
+struct CountingConfig
+{
+    /** log2 of the number of rows (hashed PC). */
+    unsigned rowBits = 8;
+    /** log2 of the number of columns (hashed block address). */
+    unsigned colBits = 8;
+    /** Width of the per-entry access counter. */
+    unsigned counterBits = 4;
+};
+
+class CountingPredictor : public DeadBlockPredictor
+{
+  public:
+    explicit CountingPredictor(const CountingConfig &cfg = {});
+
+    bool onAccess(std::uint32_t set, Addr block_addr, PC pc,
+                  ThreadId thread) override;
+    void onFill(std::uint32_t set, Addr block_addr, PC pc) override;
+    void onEvict(std::uint32_t set, Addr block_addr) override;
+
+    std::string name() const override { return "counting"; }
+    std::uint64_t storageBits() const override;
+    std::uint64_t metadataBitsPerBlock() const override;
+
+    const CountingConfig &config() const { return cfg_; }
+
+  private:
+    struct TableEntry
+    {
+        std::uint8_t count = 0;
+        bool confident = false;
+    };
+
+    /** Metadata a real implementation stores beside each block. */
+    struct BlockMeta
+    {
+        std::uint32_t entryIndex = 0;
+        std::uint8_t count = 0;
+        /** Live-time threshold captured at fill. */
+        std::uint8_t threshold = 0;
+        bool confident = false;
+    };
+
+    std::uint32_t entryIndexOf(PC pc, Addr block_addr) const;
+
+    CountingConfig cfg_;
+    unsigned counterMax_;
+    std::vector<TableEntry> table_;
+    std::unordered_map<Addr, BlockMeta> meta_;
+};
+
+} // namespace sdbp
+
+#endif // SDBP_PREDICTOR_COUNTING_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Common interface of all dead block predictors (the paper's
+ * sampling predictor plus the reftrace and counting baselines).
+ */
+
+#ifndef SDBP_PREDICTOR_DEAD_BLOCK_PREDICTOR_HH
+#define SDBP_PREDICTOR_DEAD_BLOCK_PREDICTOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace sdbp
+{
+
+/**
+ * A dead block predictor, as driven by the dead-block replacement
+ * and bypass policy (Sec. V).
+ *
+ * The LLC consults the predictor on every demand access; predictors
+ * that keep per-block metadata additionally receive fill and evict
+ * notifications.  Writebacks never reach the predictor.
+ */
+class DeadBlockPredictor
+{
+  public:
+    virtual ~DeadBlockPredictor() = default;
+
+    /**
+     * A demand access (hit or miss) to LLC set @p set.
+     *
+     * @return true if the block is predicted dead *after* this
+     *         access; on a miss this doubles as the dead-on-arrival
+     *         (bypass) prediction.
+     */
+    virtual bool onAccess(std::uint32_t set, Addr block_addr, PC pc,
+                          ThreadId thread) = 0;
+
+    /** The LLC installed the block (not called when bypassed). */
+    virtual void
+    onFill(std::uint32_t set, Addr block_addr, PC pc)
+    {
+        (void)set;
+        (void)block_addr;
+        (void)pc;
+    }
+
+    /** The LLC evicted the (previously resident) block. */
+    virtual void
+    onEvict(std::uint32_t set, Addr block_addr)
+    {
+        (void)set;
+        (void)block_addr;
+    }
+
+    /**
+     * Is the (resident) block dead *right now*?  Interval- and
+     * time-based predictors (AIP, IATAC) express deadness as "too
+     * long since the last touch", which only becomes true between
+     * accesses; the replacement policy consults this during victim
+     * selection.  PC-trace predictors leave the default.
+     */
+    virtual bool
+    isDeadNow(std::uint32_t set, Addr block_addr) const
+    {
+        (void)set;
+        (void)block_addr;
+        return false;
+    }
+
+    /**
+     * True when the predictor implements isDeadNow(); lets the
+     * replacement policy skip per-way virtual calls otherwise.
+     */
+    virtual bool hasLiveness() const { return false; }
+
+    virtual std::string name() const = 0;
+
+    /** Bits of state held in predictor-side structures (Table I). */
+    virtual std::uint64_t storageBits() const = 0;
+
+    /** Extra metadata bits required per LLC block (Table I). */
+    virtual std::uint64_t metadataBitsPerBlock() const = 0;
+};
+
+} // namespace sdbp
+
+#endif // SDBP_PREDICTOR_DEAD_BLOCK_PREDICTOR_HH

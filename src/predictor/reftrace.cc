@@ -1,0 +1,83 @@
+#include "predictor/reftrace.hh"
+
+#include <cassert>
+
+#include "util/bitops.hh"
+
+namespace sdbp
+{
+
+RefTracePredictor::RefTracePredictor(const RefTraceConfig &cfg)
+    : cfg_(cfg)
+{
+    assert(cfg_.signatureBits >= 4 && cfg_.signatureBits <= 20);
+    counterMax_ = (1u << cfg_.counterBits) - 1;
+    table_.assign(std::size_t(1) << cfg_.signatureBits, 0);
+}
+
+bool
+RefTracePredictor::onAccess(std::uint32_t set, Addr block_addr, PC pc,
+                            ThreadId thread)
+{
+    (void)set;
+    (void)thread;
+    const std::uint64_t pc_sig = pcSignature(pc);
+    auto it = sig_.find(block_addr);
+    if (it == sig_.end()) {
+        // Dead-on-arrival query: the trace so far is just this PC.
+        return table_[pc_sig] >= cfg_.threshold;
+    }
+
+    // The old signature did not end the generation: train it toward
+    // "live", then extend the trace with this access.
+    auto &c = table_[it->second];
+    if (c > 0)
+        --c;
+    const auto new_sig = static_cast<std::uint16_t>(
+        (it->second + pc_sig) & mask(cfg_.signatureBits));
+    it->second = new_sig;
+    return table_[new_sig] >= cfg_.threshold;
+}
+
+void
+RefTracePredictor::onFill(std::uint32_t set, Addr block_addr, PC pc)
+{
+    (void)set;
+    sig_[block_addr] = static_cast<std::uint16_t>(pcSignature(pc));
+}
+
+void
+RefTracePredictor::onEvict(std::uint32_t set, Addr block_addr)
+{
+    (void)set;
+    auto it = sig_.find(block_addr);
+    if (it == sig_.end())
+        return;
+    // The final signature ended a generation: train toward "dead".
+    auto &c = table_[it->second];
+    if (c < counterMax_)
+        ++c;
+    sig_.erase(it);
+}
+
+std::uint64_t
+RefTracePredictor::signatureOf(Addr block_addr) const
+{
+    auto it = sig_.find(block_addr);
+    return it == sig_.end() ? 0 : it->second;
+}
+
+std::uint64_t
+RefTracePredictor::storageBits() const
+{
+    return static_cast<std::uint64_t>(table_.size()) * cfg_.counterBits;
+}
+
+std::uint64_t
+RefTracePredictor::metadataBitsPerBlock() const
+{
+    // 15-bit signature + predicted-dead bit per block (Sec. IV-A).
+    return cfg_.signatureBits + 1;
+}
+
+} // namespace sdbp

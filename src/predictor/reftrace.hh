@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reference-trace dead block predictor (Lai et al., ISCA 2001), the
+ * "reftrace" / TDBP baseline of the paper (Sec. II-A1, IV-A).
+ *
+ * Each resident block carries a 15-bit signature: the truncated sum
+ * of the PCs of all instructions that accessed it this generation.
+ * A single table of 2-bit counters maps signatures to confidence
+ * that the trace ends a generation (the block is dead).
+ */
+
+#ifndef SDBP_PREDICTOR_REFTRACE_HH
+#define SDBP_PREDICTOR_REFTRACE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "predictor/dead_block_predictor.hh"
+#include "util/hash.hh"
+
+namespace sdbp
+{
+
+struct RefTraceConfig
+{
+    /** Signature width; the table has 2^signatureBits entries. */
+    unsigned signatureBits = 15;
+    unsigned counterBits = 2;
+    unsigned threshold = 2;
+};
+
+class RefTracePredictor : public DeadBlockPredictor
+{
+  public:
+    explicit RefTracePredictor(const RefTraceConfig &cfg = {});
+
+    bool onAccess(std::uint32_t set, Addr block_addr, PC pc,
+                  ThreadId thread) override;
+    void onFill(std::uint32_t set, Addr block_addr, PC pc) override;
+    void onEvict(std::uint32_t set, Addr block_addr) override;
+
+    std::string name() const override { return "reftrace"; }
+    std::uint64_t storageBits() const override;
+    std::uint64_t metadataBitsPerBlock() const override;
+
+    /** Current signature of a resident block (test hook). */
+    std::uint64_t signatureOf(Addr block_addr) const;
+
+    const RefTraceConfig &config() const { return cfg_; }
+
+  private:
+    std::uint64_t
+    pcSignature(PC pc) const
+    {
+        return makeSignature(pc, cfg_.signatureBits);
+    }
+
+    unsigned counterMax_;
+    RefTraceConfig cfg_;
+    std::vector<std::uint8_t> table_;
+    /**
+     * Per-resident-block signature.  In hardware this lives as
+     * metadata beside every cache block (the 64 KB of Table I); the
+     * model keys it by block address, which is equivalent.
+     */
+    std::unordered_map<Addr, std::uint16_t> sig_;
+};
+
+} // namespace sdbp
+
+#endif // SDBP_PREDICTOR_REFTRACE_HH

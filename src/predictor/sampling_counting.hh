@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Sampling counting predictor — the paper's future-work item
+ * (Sec. VIII: "we plan to investigate sampling techniques for
+ * counting predictors").
+ *
+ * Like LvP, a block is predicted dead once its access count this
+ * generation reaches the count its fill PC historically produces.
+ * Like SDBP, the count table is trained only by a small decoupled
+ * sampler tag array rather than by every cache eviction, so the
+ * predictor table is accessed rarely and per-block cache metadata
+ * shrinks to a fill-signature-free small counter.
+ */
+
+#ifndef SDBP_PREDICTOR_SAMPLING_COUNTING_HH
+#define SDBP_PREDICTOR_SAMPLING_COUNTING_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "predictor/dead_block_predictor.hh"
+#include "util/hash.hh"
+
+namespace sdbp
+{
+
+struct SamplingCountingConfig
+{
+    std::uint32_t samplerSets = 32;
+    std::uint32_t samplerAssoc = 12;
+    unsigned tagBits = 15;
+    /** log2 entries of the count table (PC-signature indexed). */
+    unsigned tableIndexBits = 12;
+    /** Width of live-time counters. */
+    unsigned counterBits = 4;
+    /** Confidence needed before predictions fire (2-bit counter). */
+    unsigned confidenceThreshold = 2;
+    std::uint32_t llcSets = 2048;
+};
+
+class SamplingCountingPredictor : public DeadBlockPredictor
+{
+  public:
+    explicit SamplingCountingPredictor(
+        const SamplingCountingConfig &cfg = {});
+
+    bool onAccess(std::uint32_t set, Addr block_addr, PC pc,
+                  ThreadId thread) override;
+    void onFill(std::uint32_t set, Addr block_addr, PC pc) override;
+    void onEvict(std::uint32_t set, Addr block_addr) override;
+
+    std::string name() const override { return "sampling-counting"; }
+    std::uint64_t storageBits() const override;
+    std::uint64_t metadataBitsPerBlock() const override;
+
+    bool isSampledSet(std::uint32_t set) const;
+    const SamplingCountingConfig &config() const { return cfg_; }
+
+  private:
+    struct TableEntry
+    {
+        std::uint8_t count = 0;
+        std::uint8_t confidence = 0; // 2-bit
+    };
+
+    struct SamplerEntry
+    {
+        std::uint16_t tag = 0;
+        std::uint16_t fillSig = 0;
+        std::uint8_t count = 0;
+        bool valid = false;
+        std::uint8_t lruPos = 0;
+    };
+
+    /** Per-resident-LLC-block state (fill signature + count). */
+    struct BlockMeta
+    {
+        std::uint16_t fillSig = 0;
+        std::uint8_t count = 0;
+    };
+
+    std::uint64_t
+    signature(PC pc) const
+    {
+        return makeSignature(pc, cfg_.tableIndexBits);
+    }
+
+    bool predictFromTable(std::uint16_t sig, unsigned count) const;
+    void samplerAccess(std::uint32_t sampler_set,
+                       std::uint16_t partial_tag, std::uint16_t sig);
+
+    SamplingCountingConfig cfg_;
+    unsigned counterMax_;
+    std::uint32_t setStride_;
+    std::vector<TableEntry> table_;
+    std::vector<SamplerEntry> sampler_;
+    std::unordered_map<Addr, BlockMeta> meta_;
+};
+
+} // namespace sdbp
+
+#endif // SDBP_PREDICTOR_SAMPLING_COUNTING_HH

@@ -1,0 +1,102 @@
+#include "predictor/time_based.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bitops.hh"
+
+namespace sdbp
+{
+
+TimeBasedPredictor::TimeBasedPredictor(const TimeBasedConfig &cfg)
+    : cfg_(cfg)
+{
+    assert(cfg_.multiplier >= 1);
+    timeMax_ = (1u << cfg_.timeBits) - 1;
+    liveTime_.assign(std::size_t(1) << cfg_.tableIndexBits, 0);
+    setTicks_.assign(cfg_.llcSets, 0);
+}
+
+bool
+TimeBasedPredictor::onAccess(std::uint32_t set, Addr block_addr, PC pc,
+                             ThreadId thread)
+{
+    (void)thread;
+    assert(set < cfg_.llcSets);
+    const std::uint32_t now = ++setTicks_[set];
+    auto it = meta_.find(block_addr);
+    if (it == meta_.end()) {
+        // Dead-on-arrival: a learned live time of zero with history
+        // means "never re-touched".  Use the table directly.
+        return liveTime_[tableIndexOf(pc)] == 1;
+    }
+    it->second.lastTouch = now;
+    return false;
+}
+
+bool
+TimeBasedPredictor::isDeadNow(std::uint32_t set, Addr block_addr) const
+{
+    auto it = meta_.find(block_addr);
+    if (it == meta_.end())
+        return false;
+    const BlockMeta &m = it->second;
+    const std::uint32_t learned = liveTime_[m.tableIndex];
+    if (learned == 0)
+        return false; // nothing learned yet
+    const std::uint32_t idle = setTicks_[set] - m.lastTouch;
+    return idle > learned * cfg_.multiplier;
+}
+
+void
+TimeBasedPredictor::onFill(std::uint32_t set, Addr block_addr, PC pc)
+{
+    BlockMeta m;
+    m.tableIndex = tableIndexOf(pc);
+    m.fillTick = setTicks_[set];
+    m.lastTouch = m.fillTick;
+    meta_[block_addr] = m;
+}
+
+void
+TimeBasedPredictor::onEvict(std::uint32_t set, Addr block_addr)
+{
+    (void)set;
+    auto it = meta_.find(block_addr);
+    if (it == meta_.end())
+        return;
+    const BlockMeta &m = it->second;
+    // Observed live time (in set accesses), clamped; store 1 for
+    // never-re-touched generations so "1" doubles as the
+    // dead-on-arrival marker.
+    const std::uint32_t live = std::min<std::uint32_t>(
+        std::max<std::uint32_t>(m.lastTouch - m.fillTick, 1),
+        timeMax_);
+    std::uint32_t &entry = liveTime_[m.tableIndex];
+    // Exponential moving average with alpha = 1/2.
+    entry = entry == 0 ? live : (entry + live + 1) / 2;
+    meta_.erase(it);
+}
+
+std::uint32_t
+TimeBasedPredictor::learnedLiveTime(PC pc) const
+{
+    return liveTime_[tableIndexOf(pc)];
+}
+
+std::uint64_t
+TimeBasedPredictor::storageBits() const
+{
+    return static_cast<std::uint64_t>(liveTime_.size()) *
+        cfg_.timeBits +
+        static_cast<std::uint64_t>(cfg_.llcSets) * cfg_.timeBits;
+}
+
+std::uint64_t
+TimeBasedPredictor::metadataBitsPerBlock() const
+{
+    // Fill tick + last touch (quantized) + prediction bit.
+    return cfg_.timeBits * 2 + 1;
+}
+
+} // namespace sdbp

@@ -1,0 +1,212 @@
+#include "sim/policy_factory.hh"
+
+#include "cache/dip.hh"
+#include "cache/lru.hh"
+#include "cache/random_repl.hh"
+#include "cache/plru.hh"
+#include "cache/rrip.hh"
+#include "predictor/counting.hh"
+#include "predictor/sampling_counting.hh"
+#include "predictor/aip.hh"
+#include "predictor/burst_trace.hh"
+#include "predictor/reftrace.hh"
+#include "predictor/time_based.hh"
+#include "util/logging.hh"
+
+namespace sdbp
+{
+
+std::string
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Lru:
+        return "LRU";
+      case PolicyKind::Random:
+        return "Random";
+      case PolicyKind::Dip:
+        return "DIP";
+      case PolicyKind::Tadip:
+        return "TADIP";
+      case PolicyKind::Rrip:
+        return "RRIP";
+      case PolicyKind::Sampler:
+        return "Sampler";
+      case PolicyKind::Tdbp:
+        return "TDBP";
+      case PolicyKind::Cdbp:
+        return "CDBP";
+      case PolicyKind::RandomSampler:
+        return "Random Sampler";
+      case PolicyKind::RandomCdbp:
+        return "Random CDBP";
+      case PolicyKind::SamplingCounting:
+        return "Sampling CDBP";
+      case PolicyKind::TreePlru:
+        return "Tree-PLRU";
+      case PolicyKind::Nru:
+        return "NRU";
+      case PolicyKind::Lip:
+        return "LIP";
+      case PolicyKind::Aip:
+        return "AIP";
+      case PolicyKind::TimeDbp:
+        return "TimeDBP";
+      case PolicyKind::BurstDbp:
+        return "BurstDBP";
+    }
+    return "?";
+}
+
+namespace
+{
+
+std::unique_ptr<DeadBlockPredictor>
+makeSdbp(std::uint32_t num_sets, const PolicyOptions &opts)
+{
+    SdbpConfig cfg = opts.sdbp ? *opts.sdbp
+                               : SdbpConfig::paperDefault(num_sets);
+    cfg.llcSets = num_sets;
+    return std::make_unique<SamplingDeadBlockPredictor>(cfg);
+}
+
+std::unique_ptr<ReplacementPolicy>
+wrapDbrb(std::unique_ptr<ReplacementPolicy> inner,
+         std::unique_ptr<DeadBlockPredictor> predictor,
+         const PolicyOptions &opts)
+{
+    return std::make_unique<DeadBlockPolicy>(std::move(inner),
+                                             std::move(predictor),
+                                             opts.dbrb);
+}
+
+} // anonymous namespace
+
+std::unique_ptr<ReplacementPolicy>
+makePolicy(PolicyKind kind, std::uint32_t num_sets, std::uint32_t assoc,
+           const PolicyOptions &opts)
+{
+    switch (kind) {
+      case PolicyKind::Lru:
+        return std::make_unique<LruPolicy>(num_sets, assoc);
+      case PolicyKind::Random:
+        return std::make_unique<RandomPolicy>(num_sets, assoc,
+                                              opts.seed);
+      case PolicyKind::Dip: {
+        DipConfig cfg;
+        cfg.seed = opts.seed;
+        return std::make_unique<DipPolicy>(num_sets, assoc, cfg);
+      }
+      case PolicyKind::Tadip: {
+        DipConfig cfg;
+        cfg.numThreads = std::max<std::uint32_t>(2, opts.numThreads);
+        cfg.seed = opts.seed;
+        return std::make_unique<DipPolicy>(num_sets, assoc, cfg);
+      }
+      case PolicyKind::Rrip: {
+        RripConfig cfg;
+        cfg.numThreads = opts.numThreads;
+        cfg.seed = opts.seed;
+        return std::make_unique<RripPolicy>(num_sets, assoc, cfg);
+      }
+      case PolicyKind::Sampler:
+        return wrapDbrb(std::make_unique<LruPolicy>(num_sets, assoc),
+                        makeSdbp(num_sets, opts), opts);
+      case PolicyKind::Tdbp:
+        return wrapDbrb(std::make_unique<LruPolicy>(num_sets, assoc),
+                        std::make_unique<RefTracePredictor>(), opts);
+      case PolicyKind::Cdbp:
+        return wrapDbrb(std::make_unique<LruPolicy>(num_sets, assoc),
+                        std::make_unique<CountingPredictor>(), opts);
+      case PolicyKind::RandomSampler:
+        return wrapDbrb(std::make_unique<RandomPolicy>(num_sets, assoc,
+                                                       opts.seed),
+                        makeSdbp(num_sets, opts), opts);
+      case PolicyKind::RandomCdbp:
+        return wrapDbrb(std::make_unique<RandomPolicy>(num_sets, assoc,
+                                                       opts.seed),
+                        std::make_unique<CountingPredictor>(), opts);
+      case PolicyKind::SamplingCounting: {
+        SamplingCountingConfig cfg;
+        cfg.llcSets = num_sets;
+        return wrapDbrb(
+            std::make_unique<LruPolicy>(num_sets, assoc),
+            std::make_unique<SamplingCountingPredictor>(cfg), opts);
+      }
+      case PolicyKind::TreePlru:
+        return std::make_unique<TreePlruPolicy>(num_sets, assoc);
+      case PolicyKind::Nru:
+        return std::make_unique<NruPolicy>(num_sets, assoc);
+      case PolicyKind::Lip: {
+        // LIP: every fill goes to the LRU position.
+        DipConfig cfg;
+        cfg.seed = opts.seed;
+        cfg.staticBip = true;
+        cfg.bipEpsilonDenom = 1u << 30; // never insert at MRU
+        return std::make_unique<DipPolicy>(num_sets, assoc, cfg);
+      }
+      case PolicyKind::Aip: {
+        AipConfig cfg;
+        cfg.llcSets = num_sets;
+        return wrapDbrb(std::make_unique<LruPolicy>(num_sets, assoc),
+                        std::make_unique<AipPredictor>(cfg), opts);
+      }
+      case PolicyKind::TimeDbp: {
+        TimeBasedConfig cfg;
+        cfg.llcSets = num_sets;
+        return wrapDbrb(
+            std::make_unique<LruPolicy>(num_sets, assoc),
+            std::make_unique<TimeBasedPredictor>(cfg), opts);
+      }
+      case PolicyKind::BurstDbp: {
+        BurstTraceConfig cfg;
+        cfg.llcSets = num_sets;
+        return wrapDbrb(
+            std::make_unique<LruPolicy>(num_sets, assoc),
+            std::make_unique<BurstTracePredictor>(cfg), opts);
+      }
+    }
+    fatal("makePolicy: unknown policy kind");
+}
+
+const std::vector<PolicyKind> &
+lruDefaultPolicies()
+{
+    static const std::vector<PolicyKind> v = {
+        PolicyKind::Tdbp, PolicyKind::Cdbp, PolicyKind::Dip,
+        PolicyKind::Rrip, PolicyKind::Sampler,
+    };
+    return v;
+}
+
+const std::vector<PolicyKind> &
+randomDefaultPolicies()
+{
+    static const std::vector<PolicyKind> v = {
+        PolicyKind::Random, PolicyKind::RandomCdbp,
+        PolicyKind::RandomSampler,
+    };
+    return v;
+}
+
+const std::vector<PolicyKind> &
+multicoreLruPolicies()
+{
+    static const std::vector<PolicyKind> v = {
+        PolicyKind::Tdbp, PolicyKind::Cdbp, PolicyKind::Tadip,
+        PolicyKind::Rrip, PolicyKind::Sampler,
+    };
+    return v;
+}
+
+const std::vector<PolicyKind> &
+multicoreRandomPolicies()
+{
+    static const std::vector<PolicyKind> v = {
+        PolicyKind::Random, PolicyKind::RandomCdbp,
+        PolicyKind::RandomSampler,
+    };
+    return v;
+}
+
+} // namespace sdbp

@@ -1,0 +1,173 @@
+#include "sim/runner.hh"
+
+#include <cstdlib>
+#include <map>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace sdbp
+{
+
+namespace
+{
+
+InstCount
+envInstCount(const char *name, InstCount fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end == value || parsed == 0) {
+        warn(std::string(name) + ": ignoring invalid value");
+        return fallback;
+    }
+    return parsed;
+}
+
+} // anonymous namespace
+
+RunConfig
+RunConfig::singleCore()
+{
+    RunConfig cfg;
+    cfg.measureInstructions =
+        envInstCount("SDBP_INSTRUCTIONS", cfg.measureInstructions);
+    cfg.warmupInstructions =
+        envInstCount("SDBP_WARMUP", cfg.warmupInstructions);
+    return cfg;
+}
+
+RunConfig
+RunConfig::quadCore()
+{
+    RunConfig cfg = singleCore();
+    cfg.hierarchy.numCores = 4;
+    cfg.hierarchy.llc.numSets = 8192; // 8 MB shared LLC
+    cfg.policy.numThreads = 4;
+    return cfg;
+}
+
+RunResult
+runSingleCore(const std::string &benchmark, PolicyKind kind,
+              RunConfig cfg)
+{
+    cfg.hierarchy.numCores = 1;
+    cfg.hierarchy.llc.trackEfficiency = cfg.trackEfficiency;
+    cfg.policy.numThreads = 1;
+
+    auto policy = makePolicy(kind, cfg.hierarchy.llc.numSets,
+                             cfg.hierarchy.llc.assoc, cfg.policy);
+    System sys(cfg.hierarchy, cfg.core, std::move(policy));
+
+    RunResult res;
+    res.benchmark = benchmark;
+    res.policy = policyName(kind);
+    if (cfg.recordLlcTrace)
+        sys.hierarchy().recordLlcTrace(&res.llcTrace);
+
+    SyntheticWorkload workload(specProfile(benchmark));
+    std::vector<AccessGenerator *> gens = {&workload};
+    const auto threads = sys.run(gens, cfg.warmupInstructions,
+                                 cfg.measureInstructions);
+
+    const Cache &llc = sys.hierarchy().llc();
+    res.instructions = threads[0].instructions;
+    res.cycles = threads[0].cycles;
+    res.ipc = threads[0].ipc;
+    res.llcAccesses = llc.stats().demandAccesses;
+    res.llcMisses = llc.stats().demandMisses;
+    res.llcBypasses = llc.stats().bypasses;
+    res.llcTraceMeasureStart = sys.hierarchy().llcTraceMark();
+    res.mpki = mpki(res.llcMisses, res.instructions);
+
+    sys.hierarchy().llc().finalizeEfficiency(sys.tick());
+    res.llcEfficiency = llc.stats().efficiency();
+    if (cfg.trackEfficiency) {
+        const auto sets = llc.config().numSets;
+        const auto assoc = llc.config().assoc;
+        res.frameEfficiency.reserve(
+            static_cast<std::size_t>(sets) * assoc);
+        for (std::uint32_t s = 0; s < sets; ++s)
+            for (std::uint32_t w = 0; w < assoc; ++w)
+                res.frameEfficiency.push_back(
+                    llc.frameEfficiency(s, w));
+    }
+
+    if (const auto *dbrb = dynamic_cast<const DeadBlockPolicy *>(
+            &llc.policy())) {
+        res.hasDbrb = true;
+        res.dbrb = dbrb->dbrbStats();
+    }
+    return res;
+}
+
+MulticoreRunResult
+runMulticore(const MixProfile &mix, PolicyKind kind, RunConfig cfg)
+{
+    const auto cores = static_cast<std::uint32_t>(
+        mix.benchmarks.size());
+    cfg.hierarchy.numCores = cores;
+    cfg.policy.numThreads = cores;
+
+    auto policy = makePolicy(kind, cfg.hierarchy.llc.numSets,
+                             cfg.hierarchy.llc.assoc, cfg.policy);
+    System sys(cfg.hierarchy, cfg.core, std::move(policy));
+
+    std::vector<SyntheticWorkload> workloads;
+    workloads.reserve(cores);
+    for (std::uint32_t c = 0; c < cores; ++c)
+        workloads.emplace_back(specProfile(mix.benchmarks[c]), c);
+    std::vector<AccessGenerator *> gens;
+    for (auto &w : workloads)
+        gens.push_back(&w);
+
+    const auto threads = sys.run(gens, cfg.warmupInstructions,
+                                 cfg.measureInstructions);
+
+    MulticoreRunResult res;
+    res.mix = mix.name;
+    res.policy = policyName(kind);
+    res.benchmarks = mix.benchmarks;
+    for (const auto &t : threads) {
+        res.ipc.push_back(t.ipc);
+        res.totalInstructions += t.instructions;
+    }
+    res.llcMisses = sys.hierarchy().llc().stats().demandMisses;
+    res.mpki = mpki(res.llcMisses, res.totalInstructions);
+    return res;
+}
+
+double
+isolatedIpc(const std::string &benchmark, RunConfig cfg)
+{
+    static std::map<std::string, double> cache;
+    const std::string key = benchmark + "/" +
+        std::to_string(cfg.hierarchy.llc.numSets) + "/" +
+        std::to_string(cfg.measureInstructions);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    RunConfig solo = cfg;
+    solo.hierarchy.numCores = 1;
+    solo.recordLlcTrace = false;
+    solo.trackEfficiency = false;
+    const RunResult run = runSingleCore(benchmark, PolicyKind::Lru,
+                                        solo);
+    cache[key] = run.ipc;
+    return run.ipc;
+}
+
+double
+weightedIpc(const MulticoreRunResult &run, const RunConfig &cfg)
+{
+    double sum = 0;
+    for (std::size_t i = 0; i < run.benchmarks.size(); ++i)
+        sum += ratio(run.ipc[i], isolatedIpc(run.benchmarks[i], cfg));
+    return sum;
+}
+
+} // namespace sdbp

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Experiment runner: one call per (benchmark, policy) simulation,
+ * returning all the metrics the paper's tables and figures report.
+ */
+
+#ifndef SDBP_SIM_RUNNER_HH
+#define SDBP_SIM_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/system.hh"
+#include "sim/policy_factory.hh"
+#include "trace/spec_profiles.hh"
+
+namespace sdbp
+{
+
+struct RunConfig
+{
+    InstCount warmupInstructions = 2'000'000;
+    InstCount measureInstructions = 8'000'000;
+    HierarchyConfig hierarchy;
+    CoreConfig core;
+    /** Record the LLC reference stream for the optimal replay. */
+    bool recordLlcTrace = false;
+    /** Track per-frame LLC efficiency (Fig. 1). */
+    bool trackEfficiency = false;
+    PolicyOptions policy;
+
+    /**
+     * Defaults for a single-core 2 MB-LLC experiment; instruction
+     * counts honor the SDBP_INSTRUCTIONS / SDBP_WARMUP environment
+     * variables so every bench can be scaled up toward the paper's
+     * 1 B-instruction runs.
+     */
+    static RunConfig singleCore();
+
+    /** Quad-core, 8 MB shared LLC (Sec. VI-A2). */
+    static RunConfig quadCore();
+};
+
+struct RunResult
+{
+    std::string benchmark;
+    std::string policy;
+    InstCount instructions = 0;
+    Cycle cycles = 0;
+    double ipc = 0;
+    double mpki = 0;
+    std::uint64_t llcAccesses = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t llcBypasses = 0;
+    /** LLC live-time ratio over the measurement phase. */
+    double llcEfficiency = 0;
+    /** Predictor accounting; meaningful for DBRB policies. */
+    bool hasDbrb = false;
+    DbrbStats dbrb;
+    /** LLC reference stream (when recordLlcTrace); includes the
+     *  warm-up portion. */
+    std::vector<LlcRef> llcTrace;
+    /** Index in llcTrace where the measurement phase starts. */
+    std::size_t llcTraceMeasureStart = 0;
+    /** Per-frame efficiency, sets*assoc (when trackEfficiency). */
+    std::vector<double> frameEfficiency;
+};
+
+/** Simulate one benchmark under one LLC policy on a single core. */
+RunResult runSingleCore(const std::string &benchmark, PolicyKind kind,
+                        RunConfig cfg = RunConfig::singleCore());
+
+struct MulticoreRunResult
+{
+    std::string mix;
+    std::string policy;
+    std::vector<std::string> benchmarks;
+    std::vector<double> ipc; ///< per thread
+    std::uint64_t llcMisses = 0;
+    InstCount totalInstructions = 0;
+    double mpki = 0; ///< misses per kilo-instruction, all threads
+};
+
+/** Simulate one quad-core mix under one shared-LLC policy. */
+MulticoreRunResult runMulticore(const MixProfile &mix, PolicyKind kind,
+                                RunConfig cfg = RunConfig::quadCore());
+
+/**
+ * IPC of @p benchmark running alone with an LRU LLC of the
+ * multi-core geometry — the SingleIPC denominator of the weighted
+ * speedup metric (Sec. VI-A2).  Results are memoized per
+ * (benchmark, config) within the process.
+ */
+double isolatedIpc(const std::string &benchmark,
+                   RunConfig cfg = RunConfig::quadCore());
+
+/** Weighted speedup of a multi-core run, normalized to nothing:
+ *  sum_i IPC_i / SingleIPC_i. */
+double weightedIpc(const MulticoreRunResult &run, const RunConfig &cfg);
+
+} // namespace sdbp
+
+#endif // SDBP_SIM_RUNNER_HH

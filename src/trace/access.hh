@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The memory access record exchanged between workload generators,
+ * the CPU timing model and the cache hierarchy.
+ */
+
+#ifndef SDBP_TRACE_ACCESS_HH
+#define SDBP_TRACE_ACCESS_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace sdbp
+{
+
+/** Cache block size used throughout the paper's configuration. */
+constexpr unsigned blockBytes = 64;
+constexpr unsigned blockOffsetBits = 6;
+
+/** One dynamic memory access. */
+struct MemAccess
+{
+    /** PC of the memory instruction. */
+    PC pc = 0;
+    /** Byte address accessed. */
+    Addr addr = 0;
+    /** True for stores. */
+    bool isWrite = false;
+    /**
+     * True when this load's address depends on the value of the
+     * previous load from the same stream (pointer chasing); the
+     * timing model serializes such loads.
+     */
+    bool dependsOnPrevLoad = false;
+
+    /** Block-aligned address. */
+    Addr blockAddr() const { return addr >> blockOffsetBits; }
+};
+
+/**
+ * One record of a trace: a memory access preceded by @c gap
+ * non-memory instructions.
+ */
+struct TraceRecord
+{
+    /** Number of non-memory instructions before the access. */
+    std::uint32_t gap = 0;
+    MemAccess access;
+};
+
+/**
+ * Abstract source of a memory reference stream.
+ *
+ * Generators are deterministic: after reset() the same sequence is
+ * produced again, which is what lets the optimal-policy replay and
+ * the multi-core restart methodology work without storing traces.
+ */
+class AccessGenerator
+{
+  public:
+    virtual ~AccessGenerator() = default;
+
+    /** Produce the next record. */
+    virtual TraceRecord next() = 0;
+
+    /** Restart the stream from the beginning. */
+    virtual void reset() = 0;
+};
+
+} // namespace sdbp
+
+#endif // SDBP_TRACE_ACCESS_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Named synthetic workload profiles standing in for the 29 SPEC CPU
+ * 2006 benchmarks of the paper (Table III) and the ten quad-core
+ * mixes (Table IV).
+ *
+ * Each profile is a mix of streams whose working-set sizes, PC/death
+ * correlation, and scan/generational/pointer-chase character mimic
+ * the published memory behaviour of the benchmark it is named after.
+ * See DESIGN.md §3 for the substitution argument.
+ */
+
+#ifndef SDBP_TRACE_SPEC_PROFILES_HH
+#define SDBP_TRACE_SPEC_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/workload.hh"
+
+namespace sdbp
+{
+
+/** @return profile for a benchmark name such as "456.hmmer". */
+WorkloadProfile specProfile(const std::string &name);
+
+/** All 29 benchmark names, in SPEC numeric order. */
+const std::vector<std::string> &allSpecBenchmarks();
+
+/**
+ * The 19-benchmark memory-intensive subset used by Figures 4-9
+ * (benchmarks whose misses drop by >= 1% under optimal replacement,
+ * Sec. VI-A1).
+ */
+const std::vector<std::string> &memoryIntensiveSubset();
+
+/** One quad-core workload mix of Table IV. */
+struct MixProfile
+{
+    std::string name;
+    std::vector<std::string> benchmarks; // exactly 4
+};
+
+/** The ten quad-core mixes of Table IV. */
+const std::vector<MixProfile> &multicoreMixes();
+
+} // namespace sdbp
+
+#endif // SDBP_TRACE_SPEC_PROFILES_HH

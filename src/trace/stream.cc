@@ -1,0 +1,192 @@
+#include "trace/stream.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace sdbp
+{
+
+Stream::Stream(const StreamConfig &cfg, Addr base_addr, PC base_pc,
+               std::uint64_t seed)
+    : cfg_(cfg), baseAddr_(base_addr), basePc_(base_pc), seed_(seed),
+      rng_(seed)
+{
+    assert(cfg_.regionBlocks > 0);
+    assert(cfg_.touchesPerBlock > 0);
+    assert(cfg_.numPcs > 0);
+    assert(cfg_.strideBlocks > 0);
+
+    // A multiplicative permutation needs a multiplier coprime to the
+    // region size.
+    permMul_ = 0x9e3779b9ULL | 1;
+    while (std::gcd(permMul_, cfg_.regionBlocks) != 1)
+        permMul_ += 2;
+    permAdd_ = seed % cfg_.regionBlocks;
+
+    reset();
+}
+
+void
+Stream::reset()
+{
+    rng_.reseed(seed_);
+    pos_ = 0;
+    touch_ = 0;
+    epoch_ = 0;
+    generation_ = 0;
+    startGeneration();
+    if (cfg_.kind == PatternKind::RandomInRegion)
+        pos_ = rng_.below(cfg_.regionBlocks);
+}
+
+void
+Stream::startGeneration()
+{
+    pos_ = 0;
+    epoch_ = 0;
+    if (cfg_.randomEpochMax > 0) {
+        generationEpochs_ =
+            1 + static_cast<unsigned>(rng_.below(cfg_.randomEpochMax));
+        // The per-epoch PC comes from a pool shared between dying
+        // and surviving epochs, so the last-touch PC is ambiguous.
+        epochPcIndex_ = static_cast<unsigned>(
+            rng_.below(std::max(1u, cfg_.randomEpochMax)));
+    } else {
+        generationEpochs_ = std::max(1u, cfg_.epochs);
+        if (cfg_.extraEpochProb > 0.0 &&
+            rng_.uniform() < cfg_.extraEpochProb) {
+            ++generationEpochs_;
+        }
+        epochPcIndex_ = 0;
+    }
+    rollEpochScans();
+}
+
+void
+Stream::rollEpochScans()
+{
+    scansLeft_ = 1;
+    if (cfg_.rescanProb > 0.0 && rng_.uniform() < cfg_.rescanProb)
+        scansLeft_ = 2;
+}
+
+std::uint64_t
+Stream::permute(std::uint64_t idx) const
+{
+    return (idx * permMul_ + permAdd_) % cfg_.regionBlocks;
+}
+
+Addr
+Stream::blockToAddr(std::uint64_t block) const
+{
+    Addr region_base = baseAddr_;
+    if (cfg_.kind == PatternKind::Generational) {
+        region_base += (generation_ % generationWindow) *
+            cfg_.regionBlocks * blockBytes;
+    }
+    return region_base + block * blockBytes;
+}
+
+std::uint64_t
+Stream::footprintBlocks() const
+{
+    if (cfg_.kind == PatternKind::Generational)
+        return cfg_.regionBlocks * generationWindow;
+    return cfg_.regionBlocks;
+}
+
+MemAccess
+Stream::next()
+{
+    std::uint64_t block = 0;
+    unsigned pc_index = touch_ % cfg_.numPcs;
+    switch (cfg_.kind) {
+      case PatternKind::Sequential:
+        block = pos_;
+        break;
+      case PatternKind::Strided:
+        block = (pos_ * cfg_.strideBlocks) % cfg_.regionBlocks;
+        break;
+      case PatternKind::RandomInRegion:
+        block = pos_;
+        break;
+      case PatternKind::PointerChase:
+        block = permute(pos_);
+        break;
+      case PatternKind::Generational:
+        block = pos_;
+        pc_index = epochPcIndex_ * cfg_.numPcs + (touch_ % cfg_.numPcs);
+        break;
+    }
+
+    MemAccess acc;
+    acc.addr = blockToAddr(block);
+    acc.pc = basePc_ + pc_index * 4;
+    acc.isWrite = rng_.uniform() < cfg_.writeFraction;
+    acc.dependsOnPrevLoad =
+        cfg_.kind == PatternKind::PointerChase && !acc.isWrite;
+
+    if (++touch_ >= cfg_.touchesPerBlock) {
+        touch_ = 0;
+        advance();
+    }
+    return acc;
+}
+
+void
+Stream::advance()
+{
+    switch (cfg_.kind) {
+      case PatternKind::Sequential:
+      case PatternKind::PointerChase:
+        if (++pos_ >= cfg_.regionBlocks)
+            pos_ = 0;
+        break;
+      case PatternKind::Strided: {
+        const std::uint64_t steps =
+            (cfg_.regionBlocks + cfg_.strideBlocks - 1) /
+            cfg_.strideBlocks;
+        if (++pos_ >= steps)
+            pos_ = 0;
+        break;
+      }
+      case PatternKind::RandomInRegion: {
+        if (cfg_.popularitySkew <= 1) {
+            pos_ = rng_.below(cfg_.regionBlocks);
+        } else {
+            double u = rng_.uniform();
+            double v = u;
+            for (unsigned k = 1; k < cfg_.popularitySkew; ++k)
+                v *= u;
+            pos_ = std::min<std::uint64_t>(
+                static_cast<std::uint64_t>(
+                    v * static_cast<double>(cfg_.regionBlocks)),
+                cfg_.regionBlocks - 1);
+        }
+        break;
+      }
+      case PatternKind::Generational:
+        if (++pos_ >= cfg_.regionBlocks) {
+            pos_ = 0;
+            if (scansLeft_ > 1) {
+                // Re-scan the region within the same epoch.
+                --scansLeft_;
+                break;
+            }
+            if (++epoch_ >= generationEpochs_) {
+                ++generation_;
+                startGeneration();
+            } else if (cfg_.randomEpochMax > 0) {
+                epochPcIndex_ = static_cast<unsigned>(
+                    rng_.below(std::max(1u, cfg_.randomEpochMax)));
+            } else {
+                epochPcIndex_ = epoch_;
+            }
+            rollEpochScans();
+        }
+        break;
+    }
+}
+
+} // namespace sdbp

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Building blocks of the synthetic workloads: a "stream" models one
+ * static group of memory instructions in a program (a loop nest, a
+ * pointer walk, a scan) with its own address region, PC set, and
+ * reuse behaviour.
+ *
+ * The properties that matter for reproducing the paper are the ones
+ * the sampling predictor keys on:
+ *
+ *  - blocks are touched by a *consistent sequence of PCs*, so the PC
+ *    of the last touch before death is learnable;
+ *  - working-set size relative to the L2 and LLC determines where
+ *    the reuse is filtered;
+ *  - generational streams produce blocks that die after a fixed
+ *    number of epochs, the behaviour dead-block replacement exploits;
+ *  - scan streams produce blocks that are dead on arrival, the
+ *    behaviour bypass exploits.
+ */
+
+#ifndef SDBP_TRACE_STREAM_HH
+#define SDBP_TRACE_STREAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/access.hh"
+#include "util/rng.hh"
+
+namespace sdbp
+{
+
+/** The reference pattern a stream follows within its region. */
+enum class PatternKind
+{
+    /** Scan the region block by block, wrapping around. */
+    Sequential,
+    /** Scan with a block stride > 1. */
+    Strided,
+    /** Touch uniformly random blocks of the region. */
+    RandomInRegion,
+    /**
+     * Walk a fixed pseudo-random permutation cycle of the region;
+     * loads are address-dependent on each other.
+     */
+    PointerChase,
+    /**
+     * Generational: allocate a fresh region, scan it once per epoch
+     * for a configured number of epochs (each epoch using its own
+     * PC), then abandon it forever and allocate the next region.
+     * This is the canonical "block dies after its k-th reuse"
+     * behaviour of dead-block prediction papers.
+     */
+    Generational,
+};
+
+/** Static configuration of one stream. */
+struct StreamConfig
+{
+    std::string name = "stream";
+    PatternKind kind = PatternKind::Sequential;
+    /** Size of the region in cache blocks. */
+    std::uint64_t regionBlocks = 1024;
+    /** Block stride for Strided. */
+    std::uint64_t strideBlocks = 1;
+    /** Consecutive touches to a block before moving on. */
+    unsigned touchesPerBlock = 1;
+    /** Number of distinct PCs rotated over the touches of a block. */
+    unsigned numPcs = 1;
+    /** Generational only: scans of a region before it dies. */
+    unsigned epochs = 2;
+    /**
+     * Generational only: if nonzero, the epoch count of each
+     * generation is drawn uniformly from [1, randomEpochMax] and the
+     * per-epoch PC is drawn from a shared pool, destroying the
+     * PC/death correlation (used by the astar-like profile).
+     */
+    unsigned randomEpochMax = 0;
+    /**
+     * Generational only: probability that a generation runs one
+     * extra epoch beyond `epochs`.  Unlike randomEpochMax the
+     * per-epoch PCs stay tied to the epoch index, so this models
+     * mild lifetime variability: the PC-based predictor keeps
+     * partial coverage while exact-count predictors lose confidence.
+     */
+    double extraEpochProb = 0.0;
+    /**
+     * Generational only: probability that an epoch scans its region
+     * twice instead of once.  The second scan repeats the epoch's
+     * PC, so the number of touches a block receives varies while
+     * the identity of its *last-touch PC* does not: cumulative
+     * reference traces (reftrace) and access counts (LvP) become
+     * noisy, but PC-based last-touch prediction stays clean.
+     */
+    double rescanProb = 0.0;
+    /** Fraction of accesses that are stores. */
+    double writeFraction = 0.2;
+    /** Relative probability of this stream being chosen. */
+    unsigned weight = 1;
+    /**
+     * RandomInRegion only: popularity skew exponent.  1 = uniform;
+     * k > 1 draws block index as u^k * region, concentrating
+     * touches on a hot "head" of the region the way real working
+     * sets concentrate reuse.
+     */
+    unsigned popularitySkew = 1;
+};
+
+/**
+ * Dynamic state of a stream; produces one access at a time.
+ *
+ * Address layout: each stream receives a disjoint base address so
+ * streams never alias.  A Generational stream lays its generations
+ * out contiguously and cycles through a window of
+ * `generationWindow` generations so the simulated footprint stays
+ * bounded while reuse across generations stays nil (the window is
+ * far larger than any cache).
+ */
+class Stream
+{
+  public:
+    /**
+     * @param cfg static configuration
+     * @param base_addr base byte address of this stream's region(s)
+     * @param base_pc base PC for this stream's instruction group
+     * @param seed per-stream RNG seed
+     */
+    Stream(const StreamConfig &cfg, Addr base_addr, PC base_pc,
+           std::uint64_t seed);
+
+    /** Produce the next access. */
+    MemAccess next();
+
+    /** Restart from the initial state. */
+    void reset();
+
+    const StreamConfig &config() const { return cfg_; }
+
+    /** Total distinct footprint in blocks (bounded for Generational). */
+    std::uint64_t footprintBlocks() const;
+
+  private:
+    Addr blockToAddr(std::uint64_t block) const;
+    std::uint64_t permute(std::uint64_t idx) const;
+    void advance();
+    void startGeneration();
+    void rollEpochScans();
+
+    StreamConfig cfg_;
+    Addr baseAddr_;
+    PC basePc_;
+    std::uint64_t seed_;
+    Rng rng_;
+
+    /** Current block index within the region. */
+    std::uint64_t pos_ = 0;
+    /** Touches already issued to the current block. */
+    unsigned touch_ = 0;
+    /** Current epoch (Generational). */
+    unsigned epoch_ = 0;
+    /** Epochs in the current generation (Generational). */
+    unsigned generationEpochs_ = 0;
+    /** PC offset selected for the current epoch (Generational). */
+    unsigned epochPcIndex_ = 0;
+    /** Scans remaining in the current epoch (Generational). */
+    unsigned scansLeft_ = 1;
+    /** Current generation number (Generational). */
+    std::uint64_t generation_ = 0;
+    /**
+     * Generations kept before the address window recycles.  Large
+     * enough that no generational/compulsory stream wraps within the
+     * default instruction budgets: a wrap would hand Belady's MIN a
+     * spurious reuse horizon that no realizable policy can exploit.
+     */
+    static constexpr std::uint64_t generationWindow = 1024;
+    /** Multiplier of the permutation for PointerChase. */
+    std::uint64_t permMul_ = 1;
+    std::uint64_t permAdd_ = 0;
+};
+
+} // namespace sdbp
+
+#endif // SDBP_TRACE_STREAM_HH

@@ -1,0 +1,145 @@
+#include "trace/trace_file.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace sdbp
+{
+
+namespace
+{
+
+constexpr std::uint64_t kMagic = 0x534442505452ull; // "SDBPTR"
+constexpr std::uint64_t kVersion = 1;
+
+struct FileHeader
+{
+    std::uint64_t magic;
+    std::uint64_t version;
+    std::uint64_t count;
+};
+static_assert(sizeof(FileHeader) == 24, "stable on-disk layout");
+
+} // anonymous namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        fatal("TraceWriter: cannot open '" + path + "'");
+    const FileHeader header{kMagic, kVersion, 0};
+    if (std::fwrite(&header, sizeof(header), 1, file_) != 1)
+        fatal("TraceWriter: header write failed");
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const TraceRecord &rec)
+{
+    if (!file_)
+        fatal("TraceWriter: append after close");
+    TraceFileRecord r;
+    r.pc = rec.access.pc;
+    r.addr = rec.access.addr;
+    r.gap = rec.gap;
+    r.isWrite = rec.access.isWrite ? 1 : 0;
+    r.dependsOnPrevLoad = rec.access.dependsOnPrevLoad ? 1 : 0;
+    r.pad = 0;
+    if (std::fwrite(&r, sizeof(r), 1, file_) != 1)
+        fatal("TraceWriter: record write failed");
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (!file_)
+        return;
+    // Patch the record count into the header.
+    const FileHeader header{kMagic, kVersion, count_};
+    std::fseek(file_, 0, SEEK_SET);
+    if (std::fwrite(&header, sizeof(header), 1, file_) != 1)
+        fatal("TraceWriter: header rewrite failed");
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+std::vector<TraceRecord>
+readTraceFile(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("readTraceFile: cannot open '" + path + "'");
+    FileHeader header{};
+    if (std::fread(&header, sizeof(header), 1, file) != 1)
+        fatal("readTraceFile: truncated header in '" + path + "'");
+    if (header.magic != kMagic)
+        fatal("readTraceFile: '" + path + "' is not an sdbp trace");
+    if (header.version != kVersion)
+        fatal("readTraceFile: unsupported trace version");
+
+    std::vector<TraceRecord> records;
+    records.reserve(header.count);
+    for (std::uint64_t i = 0; i < header.count; ++i) {
+        TraceFileRecord r{};
+        if (std::fread(&r, sizeof(r), 1, file) != 1)
+            fatal("readTraceFile: truncated record in '" + path + "'");
+        TraceRecord rec;
+        rec.gap = r.gap;
+        rec.access.pc = r.pc;
+        rec.access.addr = r.addr;
+        rec.access.isWrite = r.isWrite != 0;
+        rec.access.dependsOnPrevLoad = r.dependsOnPrevLoad != 0;
+        records.push_back(rec);
+    }
+    std::fclose(file);
+    return records;
+}
+
+void
+captureTrace(AccessGenerator &gen, std::uint64_t n,
+             const std::string &path)
+{
+    TraceWriter writer(path);
+    for (std::uint64_t i = 0; i < n; ++i)
+        writer.append(gen.next());
+    writer.close();
+}
+
+TraceReplayGenerator::TraceReplayGenerator(
+    std::vector<TraceRecord> records)
+    : records_(std::move(records))
+{
+    if (records_.empty())
+        fatal("TraceReplayGenerator: empty trace");
+}
+
+TraceReplayGenerator::TraceReplayGenerator(const std::string &path)
+    : TraceReplayGenerator(readTraceFile(path))
+{
+}
+
+TraceRecord
+TraceReplayGenerator::next()
+{
+    const TraceRecord rec = records_[pos_];
+    if (++pos_ == records_.size()) {
+        pos_ = 0;
+        ++loops_;
+    }
+    return rec;
+}
+
+void
+TraceReplayGenerator::reset()
+{
+    pos_ = 0;
+    loops_ = 0;
+}
+
+} // namespace sdbp

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Binary memory-trace files: capture a generator's reference stream
+ * to disk and replay it later, so experiments can also be driven by
+ * externally produced traces (e.g. converted ChampSim/CRC traces)
+ * instead of the synthetic generators.
+ *
+ * Format: a 24-byte header (magic, version, record count) followed
+ * by fixed-size little-endian records.
+ */
+
+#ifndef SDBP_TRACE_TRACE_FILE_HH
+#define SDBP_TRACE_TRACE_FILE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/access.hh"
+
+namespace sdbp
+{
+
+/** On-disk record: one access with its leading instruction gap. */
+struct TraceFileRecord
+{
+    std::uint64_t pc;
+    std::uint64_t addr;
+    std::uint32_t gap;
+    std::uint8_t isWrite;
+    std::uint8_t dependsOnPrevLoad;
+    std::uint16_t pad = 0;
+};
+static_assert(sizeof(TraceFileRecord) == 24, "stable on-disk layout");
+
+/** Streaming writer. */
+class TraceWriter
+{
+  public:
+    /** Opens (truncates) @p path; fatal() on failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void append(const TraceRecord &rec);
+
+    /** Finalize the header; called automatically by the destructor. */
+    void close();
+
+    std::uint64_t recordsWritten() const { return count_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t count_ = 0;
+};
+
+/** Loads a whole trace file into memory; fatal() on malformed input. */
+std::vector<TraceRecord> readTraceFile(const std::string &path);
+
+/** Capture @p n records from a generator into @p path. */
+void captureTrace(AccessGenerator &gen, std::uint64_t n,
+                  const std::string &path);
+
+/**
+ * Generator replaying a loaded trace, looping back to the start when
+ * exhausted (so the multi-core restart methodology works).
+ */
+class TraceReplayGenerator : public AccessGenerator
+{
+  public:
+    explicit TraceReplayGenerator(std::vector<TraceRecord> records);
+
+    /** Convenience: load from file. */
+    explicit TraceReplayGenerator(const std::string &path);
+
+    TraceRecord next() override;
+    void reset() override;
+
+    std::size_t size() const { return records_.size(); }
+    /** Times the trace wrapped back to the beginning. */
+    std::uint64_t loops() const { return loops_; }
+
+  private:
+    std::vector<TraceRecord> records_;
+    std::size_t pos_ = 0;
+    std::uint64_t loops_ = 0;
+};
+
+} // namespace sdbp
+
+#endif // SDBP_TRACE_TRACE_FILE_HH

@@ -1,0 +1,77 @@
+#include "trace/workload.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.hh"
+
+namespace sdbp
+{
+
+namespace
+{
+
+/** Align a byte size up to a large boundary to keep regions apart. */
+constexpr Addr
+alignUp(Addr v, Addr boundary)
+{
+    return (v + boundary - 1) / boundary * boundary;
+}
+
+} // anonymous namespace
+
+SyntheticWorkload::SyntheticWorkload(const WorkloadProfile &profile,
+                                     unsigned address_space)
+    : name_(profile.name), meanGap_(profile.meanGap),
+      seed_(profile.seed ^ (0x9e3779b9ULL * (address_space + 1))),
+      rng_(seed_)
+{
+    if (profile.streams.empty())
+        fatal("workload '" + profile.name + "' has no streams");
+
+    // 1 TB per workload instance keeps cores' data disjoint, and
+    // each instance gets its own PC region: distinct programs must
+    // not alias in PC-indexed predictor tables.
+    Addr base = (static_cast<Addr>(address_space) + 1) << 40;
+    std::uint64_t cum_weight = 0;
+    PC pc_base = 0x400000 +
+        (static_cast<PC>(address_space) << 24);
+    for (std::size_t i = 0; i < profile.streams.size(); ++i) {
+        const auto &scfg = profile.streams[i];
+        assert(scfg.weight > 0);
+        streams_.emplace_back(scfg, base, pc_base, seed_ + i * 7919);
+        const Addr bytes = streams_.back().footprintBlocks() *
+            static_cast<Addr>(blockBytes);
+        base = alignUp(base + bytes, Addr(1) << 21);
+        pc_base += 0x1000;
+        cum_weight += scfg.weight;
+        cumWeights_.push_back(cum_weight);
+    }
+}
+
+void
+SyntheticWorkload::reset()
+{
+    rng_.reseed(seed_);
+    for (auto &stream : streams_)
+        stream.reset();
+}
+
+TraceRecord
+SyntheticWorkload::next()
+{
+    TraceRecord rec;
+    rec.gap = meanGap_ == 0
+        ? 0
+        : static_cast<std::uint32_t>(rng_.below(2 * meanGap_ + 1));
+
+    const std::uint64_t pick = rng_.below(cumWeights_.back());
+    const auto it = std::upper_bound(cumWeights_.begin(),
+                                     cumWeights_.end(), pick);
+    const auto idx = static_cast<std::size_t>(
+        std::distance(cumWeights_.begin(), it));
+    rec.access = streams_[idx].next();
+    return rec;
+}
+
+} // namespace sdbp

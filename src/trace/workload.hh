@@ -1,0 +1,70 @@
+/**
+ * @file
+ * A synthetic workload: a weighted mix of streams standing in for
+ * one SPEC CPU 2006 benchmark (see DESIGN.md §3 for the rationale of
+ * this substitution).
+ */
+
+#ifndef SDBP_TRACE_WORKLOAD_HH
+#define SDBP_TRACE_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/access.hh"
+#include "trace/stream.hh"
+#include "util/rng.hh"
+
+namespace sdbp
+{
+
+/** Full static description of one synthetic benchmark. */
+struct WorkloadProfile
+{
+    std::string name = "workload";
+    std::vector<StreamConfig> streams;
+    /** Mean number of non-memory instructions between accesses. */
+    unsigned meanGap = 2;
+    /** Base RNG seed; runs are deterministic given the seed. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Generator that interleaves the profile's streams by weight.
+ *
+ * Address spaces of distinct workload instances are disjoint when
+ * constructed with distinct @p address_space values (used to give
+ * each core of a multi-core system private data, matching the
+ * multiprogrammed SPEC mixes of the paper).
+ */
+class SyntheticWorkload : public AccessGenerator
+{
+  public:
+    /**
+     * @param profile the static description
+     * @param address_space which 1 TB address slice to place data in
+     */
+    explicit SyntheticWorkload(const WorkloadProfile &profile,
+                               unsigned address_space = 0);
+
+    TraceRecord next() override;
+    void reset() override;
+
+    const std::string &name() const { return name_; }
+    std::size_t numStreams() const { return streams_.size(); }
+    const Stream &stream(std::size_t i) const { return streams_[i]; }
+
+  private:
+    std::string name_;
+    unsigned meanGap_;
+    std::uint64_t seed_;
+    std::vector<Stream> streams_;
+    /** Cumulative weights for O(log n) weighted choice. */
+    std::vector<std::uint64_t> cumWeights_;
+    Rng rng_;
+};
+
+} // namespace sdbp
+
+#endif // SDBP_TRACE_WORKLOAD_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the cache and
+ * predictor models.
+ */
+
+#ifndef SDBP_UTIL_BITOPS_HH
+#define SDBP_UTIL_BITOPS_HH
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace sdbp
+{
+
+/** @return true iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/**
+ * Integer base-2 logarithm of a power of two.
+ *
+ * @param v a power of two
+ * @return floor(log2(v))
+ */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    assert(v != 0);
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** @return a mask with the low @p bits bits set. */
+constexpr std::uint64_t
+mask(unsigned bits)
+{
+    return bits >= 64 ? ~std::uint64_t(0)
+                      : ((std::uint64_t(1) << bits) - 1);
+}
+
+/**
+ * Extract a bit field.
+ *
+ * @param v the source word
+ * @param first lowest bit index of the field
+ * @param bits width of the field
+ */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned first, unsigned nbits)
+{
+    return (v >> first) & mask(nbits);
+}
+
+/**
+ * A saturating unsigned counter of a compile-time width, the basic
+ * building block of the prediction tables.
+ */
+template <unsigned Width>
+class SatCounter
+{
+    static_assert(Width >= 1 && Width <= 16, "unreasonable counter width");
+
+  public:
+    static constexpr unsigned maxValue = (1u << Width) - 1;
+
+    constexpr SatCounter() = default;
+    explicit constexpr SatCounter(unsigned initial) : value_(initial)
+    {
+        assert(initial <= maxValue);
+    }
+
+    /** Saturating increment. */
+    void
+    increment()
+    {
+        if (value_ < maxValue)
+            ++value_;
+    }
+
+    /** Saturating decrement. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    unsigned value() const { return value_; }
+    void reset() { value_ = 0; }
+
+    bool operator==(const SatCounter &other) const = default;
+
+  private:
+    std::uint16_t value_ = 0;
+};
+
+} // namespace sdbp
+
+#endif // SDBP_UTIL_BITOPS_HH

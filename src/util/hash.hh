@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Hash functions used by the predictors.
+ *
+ * The skewed predictor of the paper (Sec. III-E) indexes three tables
+ * with three *different* hashes of the same 15-bit signature so that
+ * two signatures that conflict in one table are unlikely to conflict
+ * in the other two.  The concrete hash family below follows the
+ * standard skewed-associative construction of Seznec (H and H^-1
+ * built from a single-bit rotation / feedback shift), adapted to
+ * arbitrary power-of-two table sizes.
+ */
+
+#ifndef SDBP_UTIL_HASH_HH
+#define SDBP_UTIL_HASH_HH
+
+#include <cstdint>
+
+#include "util/bitops.hh"
+
+namespace sdbp
+{
+
+/**
+ * Finalizer of the 64-bit xxHash/murmur family; a cheap, high-quality
+ * scrambler used to fold PCs and block addresses into signatures.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/**
+ * Fold a PC into an @p bits -bit signature.  The low two bits of an
+ * x86 PC carry little information, so they are dropped before mixing.
+ */
+constexpr std::uint64_t
+makeSignature(std::uint64_t pc, unsigned bits)
+{
+    return mix64(pc >> 2) & mask(bits);
+}
+
+/**
+ * Family of hashes for skewed table indexing: table @p which
+ * (0, 1, 2, ...) gets its own permutation of the signature.
+ *
+ * @param signature the (small) input signature
+ * @param which table index selecting the hash
+ * @param index_bits log2 of the table size
+ */
+constexpr std::uint64_t
+skewHash(std::uint64_t signature, unsigned which, unsigned index_bits)
+{
+    // Distinct odd multipliers per table give independent
+    // permutations over the index space.
+    constexpr std::uint64_t multipliers[] = {
+        0x9e3779b97f4a7c15ULL, // golden-ratio
+        0xc2b2ae3d27d4eb4fULL, // xxhash prime 2
+        0x165667b19e3779f9ULL, // xxhash prime 5
+        0x27d4eb2f165667c5ULL,
+    };
+    std::uint64_t h = signature * multipliers[which & 3];
+    h ^= h >> 29;
+    h *= multipliers[(which + 1) & 3];
+    h ^= h >> 32;
+    return h & mask(index_bits);
+}
+
+} // namespace sdbp
+
+#endif // SDBP_UTIL_HASH_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 spirit:
+ *
+ *  - panic():  an internal invariant was violated (a bug); aborts.
+ *  - fatal():  the user asked for something impossible; exits cleanly.
+ *  - warn():   something is suspicious but the run can continue.
+ *  - inform(): plain status output.
+ */
+
+#ifndef SDBP_UTIL_LOGGING_HH
+#define SDBP_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace sdbp
+{
+
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace sdbp
+
+#endif // SDBP_UTIL_LOGGING_HH

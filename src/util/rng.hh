@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything in the simulator that needs randomness (the random
+ * replacement policy, the BIP/BRRIP epsilon choice, the synthetic
+ * workload generators) takes an explicit Rng so that runs are exactly
+ * reproducible given a seed.
+ */
+
+#ifndef SDBP_UTIL_RNG_HH
+#define SDBP_UTIL_RNG_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace sdbp
+{
+
+/**
+ * xoshiro256** generator: fast, high quality, tiny state.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5dbcdb0ULL) { reseed(seed); }
+
+    /** Re-initialize state from a seed via splitmix64. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        for (auto &word : state_) {
+            seed += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** @return the next 64 random bits. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** @return a uniform integer in [0, bound). */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        assert(bound != 0);
+        // Lemire's multiply-shift rejection-free-ish reduction is
+        // fine here; slight bias is irrelevant at these bounds.
+        return (static_cast<unsigned __int128>(next()) * bound) >> 64;
+    }
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        assert(lo <= hi);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** @return true with probability @p num / @p denom. */
+    bool
+    chance(std::uint64_t num, std::uint64_t denom)
+    {
+        return below(denom) < num;
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /**
+     * @return a sample from a geometric-ish distribution: number of
+     * failures before the first success with probability @p p.
+     */
+    std::uint64_t
+    geometric(double p)
+    {
+        assert(p > 0.0 && p <= 1.0);
+        std::uint64_t n = 0;
+        while (uniform() >= p && n < 1000000)
+            ++n;
+        return n;
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace sdbp
+
+#endif // SDBP_UTIL_RNG_HH

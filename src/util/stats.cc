@@ -1,0 +1,128 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace sdbp
+{
+
+double
+amean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+gmean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0;
+    for (double x : xs) {
+        assert(x > 0.0);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+mpki(std::uint64_t misses, std::uint64_t instructions)
+{
+    if (instructions == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(misses) /
+        static_cast<double>(instructions);
+}
+
+double
+ratio(double num, double denom)
+{
+    return denom == 0.0 ? 0.0 : num / denom;
+}
+
+Histogram::Histogram(unsigned num_buckets, double bucket_width)
+    : buckets_(num_buckets, 0), bucketWidth_(bucket_width)
+{
+    assert(num_buckets > 0 && bucket_width > 0);
+}
+
+void
+Histogram::add(double sample)
+{
+    auto idx = static_cast<std::size_t>(std::max(sample, 0.0) /
+                                        bucketWidth_);
+    if (idx >= buckets_.size())
+        idx = buckets_.size() - 1;
+    ++buckets_[idx];
+    sum_ += sample;
+    ++count_;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    assert(q >= 0.0 && q <= 1.0);
+    if (count_ == 0)
+        return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return (static_cast<double>(i) + 0.5) * bucketWidth_;
+    }
+    return static_cast<double>(buckets_.size()) * bucketWidth_;
+}
+
+std::string
+Histogram::toString() const
+{
+    std::ostringstream os;
+    os << "hist[n=" << count_ << " mean=" << mean() << "]:";
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        os << ' ' << buckets_[i];
+    return os.str();
+}
+
+void
+RunningStat::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace sdbp

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Lightweight statistics utilities: rate math, histograms, and the
+ * aggregate means (arithmetic / geometric) the paper reports.
+ */
+
+#ifndef SDBP_UTIL_STATS_HH
+#define SDBP_UTIL_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdbp
+{
+
+/** Arithmetic mean; 0 for an empty vector. */
+double amean(const std::vector<double> &xs);
+
+/**
+ * Geometric mean; 0 for an empty vector.  All inputs must be > 0.
+ * The paper reports geometric-mean speedups (Sec. VII-A2).
+ */
+double gmean(const std::vector<double> &xs);
+
+/** Misses per kilo-instruction. */
+double mpki(std::uint64_t misses, std::uint64_t instructions);
+
+/** Safe ratio: 0 when the denominator is 0. */
+double ratio(double num, double denom);
+
+/**
+ * A streaming histogram over a fixed number of equal-width buckets,
+ * used e.g. for dead-time distributions and reuse distances.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param num_buckets number of equal-width buckets
+     * @param bucket_width width of each bucket; samples beyond the
+     *        last bucket are clamped into it
+     */
+    Histogram(unsigned num_buckets, double bucket_width);
+
+    void add(double sample);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    std::uint64_t bucketCount(unsigned i) const { return buckets_.at(i); }
+    unsigned numBuckets() const
+    {
+        return static_cast<unsigned>(buckets_.size());
+    }
+
+    /** Quantile via linear scan of the buckets (approximate). */
+    double quantile(double q) const;
+
+    /** One-line textual rendering, for debug output. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    double bucketWidth_;
+    double sum_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Welford-style streaming mean/variance accumulator.
+ */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0;
+    double m2_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+} // namespace sdbp
+
+#endif // SDBP_UTIL_STATS_HH

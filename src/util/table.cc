@@ -1,0 +1,155 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace sdbp
+{
+
+std::string
+formatDouble(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    return formatDouble(fraction * 100.0, precision) + "%";
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+TextTable &
+TextTable::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const std::string &text)
+{
+    assert(!rows_.empty());
+    rows_.back().push_back(text);
+    return *this;
+}
+
+TextTable &
+TextTable::cell(double value, int precision)
+{
+    return cell(formatDouble(value, precision));
+}
+
+TextTable &
+TextTable::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+TextTable &
+TextTable::cell(int value)
+{
+    return cell(std::to_string(value));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c >= widths.size())
+                widths.resize(c + 1, 0);
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &text = c < cells.size() ? cells[c]
+                                                       : std::string();
+            os << (c == 0 ? "| " : " | ")
+               << text << std::string(widths[c] - text.size(), ' ');
+        }
+        os << " |\n";
+    };
+
+    emit_row(headers_);
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        os << (c == 0 ? "|" : "-|") << std::string(widths[c] + 2, '-');
+    os << "-|\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    os << render();
+}
+
+namespace
+{
+
+std::string
+csvEscape(const std::string &cell)
+{
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // anonymous namespace
+
+std::string
+TextTable::renderCsv() const
+{
+    std::ostringstream os;
+    auto emit = [&os](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << (c ? "," : "") << csvEscape(cells[c]);
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+bool
+TextTable::writeCsv(const std::string &path) const
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (!file)
+        return false;
+    const std::string csv = renderCsv();
+    const bool ok =
+        std::fwrite(csv.data(), 1, csv.size(), file) == csv.size();
+    std::fclose(file);
+    return ok;
+}
+
+} // namespace sdbp

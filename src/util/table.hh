@@ -1,0 +1,66 @@
+/**
+ * @file
+ * ASCII table formatter used by the benchmark harness to print
+ * paper-style result tables.
+ */
+
+#ifndef SDBP_UTIL_TABLE_HH
+#define SDBP_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sdbp
+{
+
+/**
+ * Builds a column-aligned plain-text table.  Cells are strings; the
+ * convenience overloads format numbers with a fixed precision.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Start a new row. */
+    TextTable &row();
+
+    /** Append one cell to the current row. */
+    TextTable &cell(const std::string &text);
+    TextTable &cell(double value, int precision = 3);
+    TextTable &cell(std::uint64_t value);
+    TextTable &cell(int value);
+
+    /** Number of data rows so far. */
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Render with single-space-padded, pipe-separated columns. */
+    std::string render() const;
+
+    /**
+     * Render as RFC-4180-style CSV (quotes doubled, cells containing
+     * separators quoted), for downstream plotting scripts.
+     */
+    std::string renderCsv() const;
+
+    /** Render straight to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Write the CSV rendering to a file; returns false on failure. */
+    bool writeCsv(const std::string &path) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Fixed-precision double formatting, e.g. formatDouble(1.2345, 2). */
+std::string formatDouble(double value, int precision);
+
+/** Percentage formatting: formatPercent(0.123) == "12.3%". */
+std::string formatPercent(double fraction, int precision = 1);
+
+} // namespace sdbp
+
+#endif // SDBP_UTIL_TABLE_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module in the library.
+ */
+
+#ifndef SDBP_UTIL_TYPES_HH
+#define SDBP_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace sdbp
+{
+
+/** A physical (or simulated-physical) byte address. */
+using Addr = std::uint64_t;
+
+/** The address of a memory access instruction (program counter). */
+using PC = std::uint64_t;
+
+/** A simulation cycle count. */
+using Cycle = std::uint64_t;
+
+/** A retired-instruction count. */
+using InstCount = std::uint64_t;
+
+/** Identifier of a hardware thread / core in a multi-core system. */
+using ThreadId = std::uint32_t;
+
+/** An invalid / "no thread" marker. */
+constexpr ThreadId invalidThread = ~ThreadId(0);
+
+} // namespace sdbp
+
+#endif // SDBP_UTIL_TYPES_HH

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Integration tests: whole-system runs exercising generator -> core
+ * -> hierarchy -> predictor paths, checking the paper's qualitative
+ * claims on scaled-down configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "opt/belady.hh"
+#include "sim/runner.hh"
+#include "util/stats.hh"
+
+namespace sdbp
+{
+namespace
+{
+
+RunConfig
+fastConfig(InstCount measure = 1500000)
+{
+    RunConfig cfg; // deliberately ignores env overrides: tests are
+                   // deterministic and fast
+    cfg.warmupInstructions = 800000;
+    cfg.measureInstructions = measure;
+    return cfg;
+}
+
+TEST(Integration, LruRunProducesSaneMetrics)
+{
+    const RunResult r =
+        runSingleCore("462.libquantum", PolicyKind::Lru, fastConfig());
+    EXPECT_GE(r.instructions, 400000u);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_LE(r.ipc, 4.0);
+    EXPECT_GT(r.mpki, 1.0);  // libquantum streams through the LLC
+    EXPECT_GT(r.llcAccesses, r.llcMisses / 2);
+    EXPECT_FALSE(r.hasDbrb);
+}
+
+TEST(Integration, SamplerBeatsLruOnStreamingWorkload)
+{
+    const auto lru =
+        runSingleCore("462.libquantum", PolicyKind::Lru, fastConfig());
+    const auto sampler = runSingleCore("462.libquantum",
+                                       PolicyKind::Sampler,
+                                       fastConfig());
+    // Bypass freezes a resident fraction of the scan: misses drop.
+    EXPECT_LT(sampler.llcMisses, lru.llcMisses);
+    EXPECT_TRUE(sampler.hasDbrb);
+    EXPECT_GT(sampler.dbrb.bypasses, 0u);
+}
+
+TEST(Integration, SamplerBeatsLruOnGenerationalWorkload)
+{
+    const auto lru =
+        runSingleCore("456.hmmer", PolicyKind::Lru, fastConfig());
+    const auto sampler =
+        runSingleCore("456.hmmer", PolicyKind::Sampler, fastConfig());
+    EXPECT_LT(sampler.llcMisses, lru.llcMisses);
+    EXPECT_GT(sampler.ipc, lru.ipc);
+}
+
+TEST(Integration, DeadBlockReplacementImprovesEfficiency)
+{
+    RunConfig cfg = fastConfig();
+    cfg.trackEfficiency = true;
+    const auto lru = runSingleCore("456.hmmer", PolicyKind::Lru, cfg);
+    const auto sampler =
+        runSingleCore("456.hmmer", PolicyKind::Sampler, cfg);
+    // Fig. 1: the dead-block cache is substantially more alive.
+    EXPECT_GT(sampler.llcEfficiency, lru.llcEfficiency);
+    EXPECT_EQ(lru.frameEfficiency.size(), 2048u * 16);
+}
+
+TEST(Integration, OptimalLowerBoundsEveryPolicy)
+{
+    RunConfig cfg = fastConfig(200000);
+    cfg.recordLlcTrace = true;
+    const auto lru = runSingleCore("450.soplex", PolicyKind::Lru, cfg);
+    const auto opt = optimalMisses(lru.llcTrace, 2048, 16, true,
+                                   lru.llcTraceMeasureStart);
+    EXPECT_LE(opt.misses, lru.llcMisses);
+    for (PolicyKind kind : {PolicyKind::Sampler, PolicyKind::Dip,
+                            PolicyKind::Rrip}) {
+        const auto r = runSingleCore("450.soplex", kind, cfg);
+        EXPECT_LE(opt.misses, r.llcMisses)
+            << "policy " << policyName(kind);
+    }
+}
+
+TEST(Integration, RandomSamplerRecoversRandomLoss)
+{
+    // Sec. VII-B: sampler + random default beats plain random.
+    const auto rnd =
+        runSingleCore("456.hmmer", PolicyKind::Random, fastConfig());
+    const auto rs = runSingleCore("456.hmmer", PolicyKind::RandomSampler,
+                                  fastConfig());
+    EXPECT_LT(rs.llcMisses, rnd.llcMisses);
+}
+
+TEST(Integration, SamplerCoverageIsModerateAndFpLow)
+{
+    const auto r = runSingleCore("462.libquantum", PolicyKind::Sampler,
+                                 fastConfig());
+    ASSERT_TRUE(r.hasDbrb);
+    EXPECT_GT(r.dbrb.coverage(), 0.1);
+    // False positives must stay far below coverage (Fig. 9).
+    EXPECT_LT(r.dbrb.falsePositiveRate(),
+              r.dbrb.coverage() * 0.5 + 0.05);
+}
+
+TEST(Integration, AstarResistsPrediction)
+{
+    const auto astar =
+        runSingleCore("473.astar", PolicyKind::Sampler, fastConfig());
+    const auto hmmer =
+        runSingleCore("456.hmmer", PolicyKind::Sampler, fastConfig());
+    ASSERT_TRUE(astar.hasDbrb);
+    // The predictor keeps its head down on astar: lower coverage
+    // than on a predictable benchmark.
+    EXPECT_LT(astar.dbrb.coverage(), hmmer.dbrb.coverage());
+}
+
+TEST(Integration, DeterministicAcrossRuns)
+{
+    const auto a =
+        runSingleCore("403.gcc", PolicyKind::Sampler, fastConfig());
+    const auto b =
+        runSingleCore("403.gcc", PolicyKind::Sampler, fastConfig());
+    EXPECT_EQ(a.llcMisses, b.llcMisses);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.dbrb.positives, b.dbrb.positives);
+}
+
+TEST(Integration, MulticoreRunProducesPerThreadIpc)
+{
+    RunConfig cfg = RunConfig::quadCore();
+    cfg.warmupInstructions = 50000;
+    cfg.measureInstructions = 150000;
+    const MixProfile &mix = multicoreMixes()[0];
+    const auto r = runMulticore(mix, PolicyKind::Lru, cfg);
+    ASSERT_EQ(r.ipc.size(), 4u);
+    for (double ipc : r.ipc) {
+        EXPECT_GT(ipc, 0.0);
+        EXPECT_LE(ipc, 4.0);
+    }
+    EXPECT_GT(r.llcMisses, 0u);
+}
+
+TEST(Integration, WeightedSpeedupNormalizesToOneForLru)
+{
+    // A mix of four copies of the same benchmark with ample cache:
+    // each thread's IPC is close to its isolated IPC, so the
+    // weighted IPC is close to 4 (normalized weighted speedup ~1 for
+    // LRU against itself by construction).
+    RunConfig cfg = RunConfig::quadCore();
+    cfg.warmupInstructions = 50000;
+    cfg.measureInstructions = 150000;
+    MixProfile mix{"self",
+                   {"416.gamess", "416.gamess", "416.gamess",
+                    "416.gamess"}};
+    const auto r = runMulticore(mix, PolicyKind::Lru, cfg);
+    const double w = weightedIpc(r, cfg);
+    EXPECT_NEAR(w, 4.0, 0.6);
+}
+
+TEST(Integration, SamplerImprovesSharedCacheMix)
+{
+    RunConfig cfg = RunConfig::quadCore();
+    cfg.warmupInstructions = 500000;
+    cfg.measureInstructions = 1000000;
+    const MixProfile &mix = multicoreMixes()[0]; // mcf/hmmer/libq/omnetpp
+    const auto lru = runMulticore(mix, PolicyKind::Lru, cfg);
+    const auto sampler = runMulticore(mix, PolicyKind::Sampler, cfg);
+    EXPECT_LT(sampler.llcMisses, lru.llcMisses);
+}
+
+TEST(Integration, BiggerL2FiltersMoreLlcTraffic)
+{
+    // The LLC reference stream is the L2 miss stream: growing the
+    // mid-level cache must shrink it (the effect that breaks
+    // trace-based predictors in the paper, Sec. VII-A3).
+    std::uint64_t prev = ~0ull;
+    for (std::uint32_t l2_sets : {128u, 512u, 2048u}) {
+        RunConfig cfg = fastConfig(400000);
+        cfg.hierarchy.l2.numSets = l2_sets;
+        const auto r =
+            runSingleCore("456.hmmer", PolicyKind::Lru, cfg);
+        EXPECT_LT(r.llcAccesses, prev);
+        prev = r.llcAccesses;
+    }
+}
+
+TEST(Integration, BypassFreezesResidentsOnPureScans)
+{
+    // On a cyclic scan larger than the LLC, dead-on-arrival bypass
+    // stops evictions almost entirely: the resident snapshot keeps
+    // hitting every lap (the libquantum mechanism).
+    const auto lru = runSingleCore("462.libquantum", PolicyKind::Lru,
+                                   fastConfig());
+    const auto smp = runSingleCore("462.libquantum",
+                                   PolicyKind::Sampler, fastConfig());
+    ASSERT_TRUE(smp.hasDbrb);
+    // Most sampler misses are bypasses rather than evictions.
+    EXPECT_GT(smp.llcBypasses * 2, smp.llcMisses);
+    EXPECT_LT(smp.llcMisses, lru.llcMisses);
+}
+
+TEST(Integration, IsolatedIpcIsMemoized)
+{
+    RunConfig cfg = RunConfig::quadCore();
+    cfg.warmupInstructions = 20000;
+    cfg.measureInstructions = 50000;
+    const double a = isolatedIpc("445.gobmk", cfg);
+    const double b = isolatedIpc("445.gobmk", cfg);
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a, 0.0);
+}
+
+} // anonymous namespace
+} // namespace sdbp

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit and property tests for the optimal (MIN + bypass) policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/lru.hh"
+#include "cache/random_repl.hh"
+#include "opt/belady.hh"
+#include "util/rng.hh"
+
+namespace sdbp
+{
+namespace
+{
+
+std::vector<LlcRef>
+refs(const std::vector<Addr> &blocks)
+{
+    std::vector<LlcRef> out;
+    for (Addr b : blocks)
+        out.push_back({b, 0x400000, 0, false});
+    return out;
+}
+
+TEST(Belady, EmptyTrace)
+{
+    const OptimalResult r = optimalMisses({}, 4, 2);
+    EXPECT_EQ(r.accesses, 0u);
+    EXPECT_EQ(r.misses, 0u);
+}
+
+TEST(Belady, ColdMissesOnly)
+{
+    // Distinct blocks, never reused: every access misses regardless
+    // of policy.
+    const auto r = optimalMisses(refs({0, 4, 8, 12, 16}), 4, 2);
+    EXPECT_EQ(r.misses, 5u);
+}
+
+TEST(Belady, PerfectReuseAfterFill)
+{
+    const auto r = optimalMisses(refs({0, 4, 0, 4, 0, 4}), 4, 2);
+    EXPECT_EQ(r.misses, 2u);
+}
+
+TEST(Belady, ClassicMinExample)
+{
+    // Single set, 2 ways, the textbook sequence where LRU fails:
+    // cyclic a,b,c. MIN keeps one of them resident.
+    // Blocks 0,4,8 all map to set 0 of a 4-set cache.
+    const auto seq = refs({0, 4, 8, 0, 4, 8, 0, 4, 8});
+    const auto min = optimalMisses(seq, 4, 2, false);
+    // MIN on cyclic 3-block access with 2 frames: miss rate 1/2
+    // after the cold start: a,b miss; c misses (evict b keeping a);
+    // a hits; b misses; c hits... -> 3 cold + hits alternating.
+    EXPECT_LE(min.misses, 6u);
+    // LRU misses everything.
+    CacheConfig cfg;
+    cfg.numSets = 4;
+    cfg.assoc = 2;
+    Cache lru(cfg, std::make_unique<LruPolicy>(4, 2));
+    std::uint64_t lru_misses = 0;
+    for (const auto &r : seq) {
+        AccessInfo info;
+        info.blockAddr = r.blockAddr;
+        if (!lru.access(info, 0)) {
+            ++lru_misses;
+            lru.fill(info, 0);
+        }
+    }
+    EXPECT_EQ(lru_misses, 9u);
+    EXPECT_LT(min.misses, lru_misses);
+}
+
+TEST(Belady, BypassHelpsOnScans)
+{
+    // A hot block re-referenced every step interleaved with a scan:
+    // 1-way cache. With bypass the hot block stays resident; without
+    // bypass MIN must still keep the hot block (it evicts/declines
+    // by replacing), so here bypass and MIN coincide; check sanity.
+    std::vector<Addr> seq;
+    for (int i = 0; i < 20; ++i) {
+        seq.push_back(0);               // hot (set 0)
+        seq.push_back(4 * (i + 1));     // scan block, set 0
+    }
+    const auto with_bypass = optimalMisses(refs(seq), 4, 1, true);
+    const auto without = optimalMisses(refs(seq), 4, 1, false);
+    EXPECT_LE(with_bypass.misses, without.misses);
+    EXPECT_GT(with_bypass.bypasses, 0u);
+    // Hot block hits every time after the first access.
+    EXPECT_EQ(with_bypass.misses, 1u + 20u);
+}
+
+TEST(Belady, NeverWorseThanWithoutBypass)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<Addr> seq;
+        for (int i = 0; i < 400; ++i)
+            seq.push_back(rng.below(64));
+        const auto with_bypass = optimalMisses(refs(seq), 4, 4, true);
+        const auto without = optimalMisses(refs(seq), 4, 4, false);
+        EXPECT_LE(with_bypass.misses, without.misses);
+    }
+}
+
+/** Property: MIN misses lower-bound every real policy. */
+class BeladyBoundTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BeladyBoundTest, MinIsALowerBoundForLruAndRandom)
+{
+    Rng rng(GetParam());
+    // Mixture of a hot set and a scan to get interesting reuse.
+    std::vector<Addr> seq;
+    Addr scan = 1000;
+    for (int i = 0; i < 3000; ++i) {
+        if (rng.chance(1, 2))
+            seq.push_back(rng.below(96));
+        else
+            seq.push_back(scan++);
+    }
+    const auto trace = refs(seq);
+    const auto min = optimalMisses(trace, 8, 4);
+
+    for (int policy = 0; policy < 2; ++policy) {
+        CacheConfig cfg;
+        cfg.numSets = 8;
+        cfg.assoc = 4;
+        std::unique_ptr<ReplacementPolicy> repl;
+        if (policy == 0)
+            repl = std::make_unique<LruPolicy>(8, 4);
+        else
+            repl = std::make_unique<RandomPolicy>(8, 4, GetParam());
+        Cache cache(cfg, std::move(repl));
+        std::uint64_t misses = 0;
+        for (const auto &r : trace) {
+            AccessInfo info;
+            info.blockAddr = r.blockAddr;
+            if (!cache.access(info, 0)) {
+                ++misses;
+                cache.fill(info, 0);
+            }
+        }
+        EXPECT_LE(min.misses, misses);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BeladyBoundTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Belady, MeasureFromCountsOnlyTheTail)
+{
+    // Simulate from the start but count only the second half: the
+    // repeated suffix must be all hits.
+    const auto seq = refs({0, 4, 8, 0, 4, 8});
+    const auto all = optimalMisses(seq, 4, 4, true, 0);
+    const auto tail = optimalMisses(seq, 4, 4, true, 3);
+    EXPECT_EQ(all.misses, 3u);
+    EXPECT_EQ(tail.misses, 0u);
+    EXPECT_EQ(tail.accesses, 3u);
+    // A measure_from beyond the trace counts nothing.
+    const auto none = optimalMisses(seq, 4, 4, true, 100);
+    EXPECT_EQ(none.accesses, 0u);
+    EXPECT_EQ(none.misses, 0u);
+}
+
+TEST(Belady, SetsAreIndependent)
+{
+    // Interleaving accesses of two sets must not change per-set
+    // outcomes: compare against running each set alone.
+    std::vector<Addr> set0 = {0, 8, 16, 0, 8, 16, 0};
+    std::vector<Addr> set1 = {1, 9, 17, 1, 9, 17, 1};
+    std::vector<Addr> interleaved;
+    for (std::size_t i = 0; i < set0.size(); ++i) {
+        interleaved.push_back(set0[i]);
+        interleaved.push_back(set1[i]);
+    }
+    const auto a = optimalMisses(refs(set0), 8, 2);
+    const auto b = optimalMisses(refs(set1), 8, 2);
+    const auto both = optimalMisses(refs(interleaved), 8, 2);
+    EXPECT_EQ(both.misses, a.misses + b.misses);
+}
+
+} // anonymous namespace
+} // namespace sdbp

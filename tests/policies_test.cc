@@ -1,0 +1,506 @@
+/**
+ * @file
+ * Unit tests for the replacement policies: LRU, random, DIP/TADIP,
+ * RRIP, and the dead-block replacement/bypass wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "cache/cache.hh"
+#include "cache/dead_block_policy.hh"
+#include "cache/dip.hh"
+#include "cache/lru.hh"
+#include "cache/random_repl.hh"
+#include "cache/rrip.hh"
+
+namespace sdbp
+{
+namespace
+{
+
+AccessInfo
+demand(Addr block_addr, PC pc = 0x400000, ThreadId thread = 0)
+{
+    AccessInfo info;
+    info.pc = pc;
+    info.blockAddr = block_addr;
+    info.thread = thread;
+    return info;
+}
+
+std::vector<CacheBlock>
+validBlocks(std::uint32_t assoc)
+{
+    std::vector<CacheBlock> blocks(assoc);
+    for (std::uint32_t w = 0; w < assoc; ++w) {
+        blocks[w].valid = true;
+        blocks[w].blockAddr = w;
+    }
+    return blocks;
+}
+
+// ---- LRU ----
+
+TEST(LruPolicyTest, StackPositionsStayAPermutation)
+{
+    LruPolicy lru(2, 4);
+    const AccessInfo info = demand(0);
+    lru.onAccess(0, 2, nullptr, info);
+    lru.onAccess(0, 3, nullptr, info);
+    lru.onAccess(0, 2, nullptr, info);
+    std::set<std::uint32_t> positions;
+    for (std::uint32_t w = 0; w < 4; ++w)
+        positions.insert(lru.stackPosition(0, w));
+    EXPECT_EQ(positions.size(), 4u);
+    EXPECT_EQ(lru.stackPosition(0, 2), 0u);
+    EXPECT_EQ(lru.stackPosition(0, 3), 1u);
+}
+
+TEST(LruPolicyTest, VictimIsLeastRecentlyUsed)
+{
+    LruPolicy lru(1, 4);
+    const auto blocks = validBlocks(4);
+    const AccessInfo info = demand(0);
+    for (int w : {0, 1, 2, 3})
+        lru.onAccess(0, w, nullptr, info);
+    EXPECT_EQ(lru.victim(0, {blocks.data(), 4}, info), 0u);
+    lru.onAccess(0, 0, nullptr, info);
+    EXPECT_EQ(lru.victim(0, {blocks.data(), 4}, info), 1u);
+}
+
+TEST(LruPolicyTest, MoveToLruPosition)
+{
+    LruPolicy lru(1, 4);
+    lru.moveTo(0, 0, 3);
+    EXPECT_EQ(lru.stackPosition(0, 0), 3u);
+    // Others shifted up consistently.
+    std::set<std::uint32_t> positions;
+    for (std::uint32_t w = 0; w < 4; ++w)
+        positions.insert(lru.stackPosition(0, w));
+    EXPECT_EQ(positions.size(), 4u);
+}
+
+TEST(LruPolicyTest, RankMatchesStackPosition)
+{
+    LruPolicy lru(1, 4);
+    const AccessInfo info = demand(0);
+    lru.onAccess(0, 1, nullptr, info);
+    EXPECT_EQ(lru.rank(0, 1), 0u);
+    EXPECT_GT(lru.rank(0, 0), 0u);
+}
+
+TEST(LruPolicyTest, SetsAreIndependent)
+{
+    LruPolicy lru(2, 2);
+    const AccessInfo info = demand(0);
+    lru.onAccess(0, 1, nullptr, info);
+    EXPECT_EQ(lru.stackPosition(1, 0), 0u);
+    EXPECT_EQ(lru.stackPosition(1, 1), 1u);
+}
+
+// ---- Random ----
+
+TEST(RandomPolicyTest, VictimsCoverAllWaysDeterministically)
+{
+    RandomPolicy a(1, 4, 42), b(1, 4, 42);
+    const auto blocks = validBlocks(4);
+    const AccessInfo info = demand(0);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 100; ++i) {
+        const std::uint32_t va = a.victim(0, {blocks.data(), 4}, info);
+        EXPECT_EQ(va, b.victim(0, {blocks.data(), 4}, info));
+        EXPECT_LT(va, 4u);
+        seen.insert(va);
+    }
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+// ---- DIP ----
+
+TEST(DipPolicyTest, LeaderSetsAreDisjointAndCounted)
+{
+    DipPolicy dip(2048, 16);
+    unsigned lru_leaders = 0, bip_leaders = 0;
+    for (std::uint32_t s = 0; s < 2048; ++s) {
+        const bool l = dip.isLruLeader(s, 0);
+        const bool b = dip.isBipLeader(s, 0);
+        EXPECT_FALSE(l && b);
+        lru_leaders += l;
+        bip_leaders += b;
+    }
+    EXPECT_EQ(lru_leaders, 32u);
+    EXPECT_EQ(bip_leaders, 32u);
+}
+
+TEST(DipPolicyTest, MissesInLeadersMovePsel)
+{
+    DipPolicy dip(2048, 16);
+    const std::uint32_t initial = dip.psel(0);
+    // Find an LRU leader set and miss in it repeatedly.
+    std::uint32_t lru_leader = 0;
+    while (!dip.isLruLeader(lru_leader, 0))
+        ++lru_leader;
+    for (int i = 0; i < 10; ++i)
+        dip.onAccess(lru_leader, -1, nullptr, demand(0));
+    EXPECT_EQ(dip.psel(0), initial + 10);
+
+    std::uint32_t bip_leader = 0;
+    while (!dip.isBipLeader(bip_leader, 0))
+        ++bip_leader;
+    for (int i = 0; i < 20; ++i)
+        dip.onAccess(bip_leader, -1, nullptr, demand(0));
+    EXPECT_EQ(dip.psel(0), initial - 10);
+}
+
+TEST(DipPolicyTest, WritebackMissesDoNotTrainPsel)
+{
+    DipPolicy dip(2048, 16);
+    const std::uint32_t initial = dip.psel(0);
+    AccessInfo wb = demand(0);
+    wb.isWriteback = true;
+    std::uint32_t lru_leader = 0;
+    while (!dip.isLruLeader(lru_leader, 0))
+        ++lru_leader;
+    dip.onAccess(lru_leader, -1, nullptr, wb);
+    EXPECT_EQ(dip.psel(0), initial);
+}
+
+TEST(DipPolicyTest, BipLeaderInsertsAtLruMostly)
+{
+    DipPolicy dip(2048, 16);
+    std::uint32_t bip_leader = 0;
+    while (!dip.isBipLeader(bip_leader, 0))
+        ++bip_leader;
+    CacheBlock blk;
+    unsigned lru_inserts = 0;
+    for (int i = 0; i < 320; ++i) {
+        dip.onFill(bip_leader, 3, blk, demand(0));
+        lru_inserts += dip.rank(bip_leader, 3) == 15;
+    }
+    // All but ~1/32 of fills land at the LRU position.
+    EXPECT_GT(lru_inserts, 280u);
+    EXPECT_LT(lru_inserts, 320u); // epsilon occasionally promotes
+}
+
+TEST(DipPolicyTest, LruLeaderInsertsAtMru)
+{
+    DipPolicy dip(2048, 16);
+    std::uint32_t lru_leader = 0;
+    while (!dip.isLruLeader(lru_leader, 0))
+        ++lru_leader;
+    CacheBlock blk;
+    dip.onFill(lru_leader, 5, blk, demand(0));
+    EXPECT_EQ(dip.rank(lru_leader, 5), 0u);
+}
+
+TEST(DipPolicyTest, TadipKeepsPerThreadPsel)
+{
+    DipConfig cfg;
+    cfg.numThreads = 4;
+    DipPolicy dip(2048, 16, cfg);
+    std::uint32_t t2_leader = 0;
+    while (!dip.isLruLeader(t2_leader, 2))
+        ++t2_leader;
+    const std::uint32_t initial = dip.psel(2);
+    dip.onAccess(t2_leader, -1, nullptr, demand(0, 0x400000, 2));
+    EXPECT_EQ(dip.psel(2), initial + 1);
+    EXPECT_EQ(dip.psel(0), initial); // other threads untouched
+    // Thread 0 accessing thread 2's leader set is a follower there.
+    dip.onAccess(t2_leader, -1, nullptr, demand(0, 0x400000, 0));
+    EXPECT_EQ(dip.psel(0), initial);
+    EXPECT_EQ(dip.name(), "tadip");
+}
+
+TEST(DipPolicyTest, ThreadLeaderSetsAreDistinct)
+{
+    DipConfig cfg;
+    cfg.numThreads = 4;
+    DipPolicy dip(2048, 16, cfg);
+    for (std::uint32_t s = 0; s < 2048; ++s)
+        for (ThreadId a = 0; a < 4; ++a)
+            for (ThreadId b = a + 1; b < 4; ++b) {
+                EXPECT_FALSE(dip.isLruLeader(s, a) &&
+                             dip.isLruLeader(s, b));
+                EXPECT_FALSE(dip.isBipLeader(s, a) &&
+                             dip.isBipLeader(s, b));
+            }
+}
+
+// ---- RRIP ----
+
+TEST(RripPolicyTest, SrripInsertsLongAndPromotesOnHit)
+{
+    RripConfig cfg;
+    cfg.mode = RripMode::SRrip;
+    RripPolicy rrip(16, 4, cfg);
+    CacheBlock blk;
+    rrip.onFill(0, 0, blk, demand(0));
+    EXPECT_EQ(rrip.rrpv(0, 0), 2u); // rrpvMax - 1
+    rrip.onAccess(0, 0, &blk, demand(0));
+    EXPECT_EQ(rrip.rrpv(0, 0), 0u);
+}
+
+TEST(RripPolicyTest, VictimIsDistantBlockAndAgesSet)
+{
+    RripConfig cfg;
+    cfg.mode = RripMode::SRrip;
+    RripPolicy rrip(1, 4, cfg);
+    const auto blocks = validBlocks(4);
+    CacheBlock blk;
+    for (std::uint32_t w = 0; w < 4; ++w)
+        rrip.onFill(0, w, blk, demand(w));
+    // All RRPVs are 2: victim search must age everyone to 3 and
+    // return way 0.
+    EXPECT_EQ(rrip.victim(0, {blocks.data(), 4}, demand(9)), 0u);
+    for (std::uint32_t w = 1; w < 4; ++w)
+        EXPECT_EQ(rrip.rrpv(0, w), 3u);
+}
+
+TEST(RripPolicyTest, HitProtectsFromEviction)
+{
+    RripConfig cfg;
+    cfg.mode = RripMode::SRrip;
+    RripPolicy rrip(1, 2, cfg);
+    const auto blocks = validBlocks(2);
+    CacheBlock blk;
+    rrip.onFill(0, 0, blk, demand(0));
+    rrip.onFill(0, 1, blk, demand(1));
+    rrip.onAccess(0, 0, &blk, demand(0));
+    EXPECT_EQ(rrip.victim(0, {blocks.data(), 2}, demand(2)), 1u);
+}
+
+TEST(RripPolicyTest, BrripMostlyInsertsDistant)
+{
+    RripConfig cfg;
+    cfg.mode = RripMode::BRrip;
+    RripPolicy rrip(16, 4, cfg);
+    CacheBlock blk;
+    unsigned distant = 0;
+    for (int i = 0; i < 320; ++i) {
+        rrip.onFill(0, 0, blk, demand(0));
+        distant += rrip.rrpv(0, 0) == 3;
+    }
+    EXPECT_GT(distant, 280u);
+    EXPECT_LT(distant, 320u);
+}
+
+TEST(RripPolicyTest, DrripDuelsViaPsel)
+{
+    RripPolicy rrip(2048, 16); // DRRIP default
+    std::uint32_t srrip_leader = 0;
+    while (!rrip.isSrripLeader(srrip_leader, 0))
+        ++srrip_leader;
+    const bool before = rrip.followerUsesBrrip(0);
+    for (int i = 0; i < 600; ++i)
+        rrip.onAccess(srrip_leader, -1, nullptr, demand(0));
+    EXPECT_TRUE(rrip.followerUsesBrrip(0));
+    (void)before;
+    EXPECT_EQ(rrip.name(), "drrip");
+}
+
+// ---- Dead-block wrapper ----
+
+/** Scripted predictor: predicts "dead" iff the PC is in a set. */
+class ScriptedPredictor : public DeadBlockPredictor
+{
+  public:
+    std::set<PC> deadPcs;
+    std::uint64_t evicts = 0;
+    std::uint64_t fills = 0;
+
+    bool
+    onAccess(std::uint32_t, Addr, PC pc, ThreadId) override
+    {
+        return deadPcs.count(pc) > 0;
+    }
+    void
+    onFill(std::uint32_t, Addr, PC) override
+    {
+        ++fills;
+    }
+    void
+    onEvict(std::uint32_t, Addr) override
+    {
+        ++evicts;
+    }
+    std::string name() const override { return "scripted"; }
+    std::uint64_t storageBits() const override { return 0; }
+    std::uint64_t metadataBitsPerBlock() const override { return 1; }
+};
+
+std::unique_ptr<Cache>
+makeDbrbCache(ScriptedPredictor *&predictor_out,
+              const DeadBlockPolicyConfig &cfg = {},
+              std::uint32_t assoc = 2)
+{
+    auto predictor = std::make_unique<ScriptedPredictor>();
+    predictor_out = predictor.get();
+    auto policy = std::make_unique<DeadBlockPolicy>(
+        std::make_unique<LruPolicy>(4, assoc), std::move(predictor),
+        cfg);
+    CacheConfig ccfg;
+    ccfg.numSets = 4;
+    ccfg.assoc = assoc;
+    return std::make_unique<Cache>(ccfg, std::move(policy));
+}
+
+TEST(DeadBlockPolicyTest, DeadOnArrivalBypasses)
+{
+    ScriptedPredictor *pred = nullptr;
+    auto cache = makeDbrbCache(pred);
+    pred->deadPcs.insert(0x400000);
+    cache->access(demand(0x10, 0x400000), 0);
+    cache->fill(demand(0x10, 0x400000), 0);
+    EXPECT_FALSE(cache->probe(0x10));
+    EXPECT_EQ(cache->stats().bypasses, 1u);
+    const auto &policy =
+        dynamic_cast<const DeadBlockPolicy &>(cache->policy());
+    EXPECT_EQ(policy.dbrbStats().bypasses, 1u);
+    EXPECT_EQ(policy.dbrbStats().positives, 1u);
+}
+
+TEST(DeadBlockPolicyTest, LiveBlocksFillNormally)
+{
+    ScriptedPredictor *pred = nullptr;
+    auto cache = makeDbrbCache(pred);
+    cache->access(demand(0x10), 0);
+    cache->fill(demand(0x10), 0);
+    EXPECT_TRUE(cache->probe(0x10));
+    EXPECT_EQ(pred->fills, 1u);
+}
+
+TEST(DeadBlockPolicyTest, PredictedDeadBlockEvictedBeforeLru)
+{
+    ScriptedPredictor *pred = nullptr;
+    auto cache = makeDbrbCache(pred, {}, 4);
+    // Fill all four ways of set 0 with live blocks.
+    for (Addr a : {0x00, 0x04, 0x08, 0x0c}) {
+        cache->access(demand(a, 0x400000), 0);
+        cache->fill(demand(a, 0x400000), 0);
+    }
+    // Re-touch 0x04 with a PC now predicted dead (marks it dead and
+    // MRU), then age it into the cold half of the stack.
+    pred->deadPcs.insert(0x400abc);
+    cache->access(demand(0x04, 0x400abc), 1);
+    pred->deadPcs.clear();
+    cache->access(demand(0x08, 0x400000), 2);
+    cache->access(demand(0x0c, 0x400000), 3);
+    // New block: victim must be the predicted-dead block 0x04 (now
+    // past the recency grace), not the true-LRU block 0x00.
+    cache->access(demand(0x10, 0x400000), 4);
+    cache->fill(demand(0x10, 0x400000), 4);
+    EXPECT_FALSE(cache->probe(0x04));
+    EXPECT_TRUE(cache->probe(0x00));
+    const auto &policy =
+        dynamic_cast<const DeadBlockPolicy &>(cache->policy());
+    EXPECT_EQ(policy.dbrbStats().deadEvictions, 1u);
+    EXPECT_EQ(policy.dbrbStats().falsePositiveHits, 0u);
+}
+
+TEST(DeadBlockPolicyTest, FreshDeadMarksGetARecencyGrace)
+{
+    // A dead-marked block still in the warm half of the stack is
+    // not preferred over the default victim.
+    ScriptedPredictor *pred = nullptr;
+    auto cache = makeDbrbCache(pred, {}, 4);
+    for (Addr a : {0x00, 0x04, 0x08, 0x0c}) {
+        cache->access(demand(a, 0x400000), 0);
+        cache->fill(demand(a, 0x400000), 0);
+    }
+    pred->deadPcs.insert(0x400abc);
+    cache->access(demand(0x0c, 0x400abc), 1); // dead + MRU
+    pred->deadPcs.clear();
+    cache->access(demand(0x10, 0x400000), 2);
+    cache->fill(demand(0x10, 0x400000), 2);
+    // The fresh dead mark survived; the true LRU (0x00) went.
+    EXPECT_TRUE(cache->probe(0x0c));
+    EXPECT_FALSE(cache->probe(0x00));
+}
+
+TEST(DeadBlockPolicyTest, HitOnDeadBlockCountsFalsePositive)
+{
+    ScriptedPredictor *pred = nullptr;
+    auto cache = makeDbrbCache(pred);
+    cache->access(demand(0x00, 0x400000), 0);
+    cache->fill(demand(0x00, 0x400000), 0);
+    pred->deadPcs.insert(0x400abc);
+    cache->access(demand(0x00, 0x400abc), 1); // marks dead
+    pred->deadPcs.clear();
+    cache->access(demand(0x00, 0x400000), 2); // hit on "dead" block
+    const auto &policy =
+        dynamic_cast<const DeadBlockPolicy &>(cache->policy());
+    EXPECT_EQ(policy.dbrbStats().falsePositiveHits, 1u);
+}
+
+TEST(DeadBlockPolicyTest, BypassReuseCountsFalsePositive)
+{
+    ScriptedPredictor *pred = nullptr;
+    auto cache = makeDbrbCache(pred);
+    pred->deadPcs.insert(0x400000);
+    cache->access(demand(0x10, 0x400000), 0);
+    cache->fill(demand(0x10, 0x400000), 0); // bypassed
+    pred->deadPcs.clear();
+    cache->access(demand(0x10, 0x400000), 1); // re-miss soon after
+    const auto &policy =
+        dynamic_cast<const DeadBlockPolicy &>(cache->policy());
+    EXPECT_EQ(policy.dbrbStats().bypassReuses, 1u);
+}
+
+TEST(DeadBlockPolicyTest, BypassDisabledStillMarksBlocks)
+{
+    ScriptedPredictor *pred = nullptr;
+    DeadBlockPolicyConfig cfg;
+    cfg.enableBypass = false;
+    auto cache = makeDbrbCache(pred, cfg);
+    pred->deadPcs.insert(0x400000);
+    cache->access(demand(0x10, 0x400000), 0);
+    cache->fill(demand(0x10, 0x400000), 0);
+    EXPECT_TRUE(cache->probe(0x10)); // installed despite prediction
+    EXPECT_EQ(cache->stats().bypasses, 0u);
+}
+
+TEST(DeadBlockPolicyTest, WritebacksSkipThePredictor)
+{
+    ScriptedPredictor *pred = nullptr;
+    auto cache = makeDbrbCache(pred);
+    pred->deadPcs.insert(0); // writebacks carry pc 0
+    AccessInfo wb;
+    wb.blockAddr = 0x20;
+    wb.isWrite = true;
+    wb.isWriteback = true;
+    cache->access(wb, 0);
+    cache->fill(wb, 0);
+    EXPECT_TRUE(cache->probe(0x20)); // not bypassed
+    const auto &policy =
+        dynamic_cast<const DeadBlockPolicy &>(cache->policy());
+    EXPECT_EQ(policy.dbrbStats().predictions, 0u);
+    EXPECT_EQ(pred->fills, 0u);
+}
+
+TEST(DeadBlockPolicyTest, EvictNotifiesPredictor)
+{
+    ScriptedPredictor *pred = nullptr;
+    auto cache = makeDbrbCache(pred);
+    for (Addr a : {0x00, 0x04, 0x08}) { // 3 blocks into 2-way set 0
+        cache->access(demand(a), a);
+        cache->fill(demand(a), a);
+    }
+    EXPECT_EQ(pred->evicts, 1u);
+}
+
+TEST(DeadBlockPolicyTest, CoverageAndFalsePositiveMath)
+{
+    DbrbStats s;
+    s.predictions = 200;
+    s.positives = 118;
+    s.falsePositiveHits = 5;
+    s.bypassReuses = 1;
+    EXPECT_NEAR(s.coverage(), 0.59, 1e-12);
+    EXPECT_NEAR(s.falsePositiveRate(), 0.03, 1e-12);
+}
+
+} // anonymous namespace
+} // namespace sdbp

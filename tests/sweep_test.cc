@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Broad parameterized sweeps: every benchmark profile and every
+ * policy kind must behave sanely under simulation, independent of
+ * the calibrated result shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cpu/system.hh"
+#include "sim/runner.hh"
+#include "trace/spec_profiles.hh"
+#include "util/table.hh"
+
+namespace sdbp
+{
+namespace
+{
+
+/** Every profile constructs, is deterministic, and stays bounded. */
+class BenchmarkSweep
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(BenchmarkSweep, ProfileIsWellFormed)
+{
+    const WorkloadProfile p = specProfile(GetParam());
+    EXPECT_FALSE(p.streams.empty());
+    for (const auto &s : p.streams) {
+        EXPECT_GT(s.regionBlocks, 0u);
+        EXPECT_GT(s.weight, 0u);
+        EXPECT_GT(s.touchesPerBlock, 0u);
+        EXPECT_GE(s.writeFraction, 0.0);
+        EXPECT_LE(s.writeFraction, 1.0);
+    }
+}
+
+TEST_P(BenchmarkSweep, GeneratorIsDeterministicAndAligned)
+{
+    SyntheticWorkload a(specProfile(GetParam()));
+    SyntheticWorkload b(specProfile(GetParam()));
+    for (int i = 0; i < 500; ++i) {
+        const TraceRecord ra = a.next();
+        const TraceRecord rb = b.next();
+        EXPECT_EQ(ra.access.addr, rb.access.addr);
+        EXPECT_EQ(ra.access.pc, rb.access.pc);
+        // PCs look like instruction addresses (4-byte aligned).
+        EXPECT_EQ(ra.access.pc % 4, 0u);
+    }
+}
+
+TEST_P(BenchmarkSweep, ShortSimulationProducesSaneMetrics)
+{
+    RunConfig cfg = RunConfig::singleCore();
+    cfg.warmupInstructions = 20000;
+    cfg.measureInstructions = 40000;
+    const RunResult r = runSingleCore(GetParam(), PolicyKind::Lru,
+                                      cfg);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_LE(r.ipc, 4.0);
+    EXPECT_GE(r.mpki, 0.0);
+    EXPECT_LT(r.mpki, 1000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkSweep,
+    ::testing::ValuesIn(allSpecBenchmarks()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '.')
+                c = '_';
+        return name;
+    });
+
+/** Every policy kind simulates cleanly and deterministically. */
+class PolicySweep : public ::testing::TestWithParam<PolicyKind>
+{
+};
+
+TEST_P(PolicySweep, SimulatesWithoutSurprises)
+{
+    RunConfig cfg = RunConfig::singleCore();
+    cfg.warmupInstructions = 30000;
+    cfg.measureInstructions = 60000;
+    const RunResult a =
+        runSingleCore("450.soplex", GetParam(), cfg);
+    const RunResult b =
+        runSingleCore("450.soplex", GetParam(), cfg);
+    EXPECT_EQ(a.llcMisses, b.llcMisses);
+    EXPECT_GT(a.ipc, 0.0);
+    EXPECT_LE(a.ipc, 4.0);
+    // Misses never exceed accesses.
+    EXPECT_LE(a.llcMisses, a.llcAccesses);
+}
+
+TEST_P(PolicySweep, WorksAtOtherCacheSizes)
+{
+    for (std::uint32_t sets : {512u, 4096u}) {
+        RunConfig cfg = RunConfig::singleCore();
+        cfg.warmupInstructions = 20000;
+        cfg.measureInstructions = 40000;
+        cfg.hierarchy.llc.numSets = sets;
+        const RunResult r =
+            runSingleCore("434.zeusmp", GetParam(), cfg);
+        EXPECT_GT(r.ipc, 0.0) << sets;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicySweep,
+    ::testing::Values(PolicyKind::Lru, PolicyKind::Random,
+                      PolicyKind::Dip, PolicyKind::Tadip,
+                      PolicyKind::Rrip, PolicyKind::Sampler,
+                      PolicyKind::Tdbp, PolicyKind::Cdbp,
+                      PolicyKind::RandomSampler,
+                      PolicyKind::RandomCdbp,
+                      PolicyKind::SamplingCounting,
+                      PolicyKind::TreePlru, PolicyKind::Nru,
+                      PolicyKind::Lip, PolicyKind::Aip,
+                      PolicyKind::TimeDbp, PolicyKind::BurstDbp),
+    [](const ::testing::TestParamInfo<PolicyKind> &info) {
+        std::string name = policyName(info.param);
+        std::string out;
+        for (char c : name)
+            if (c != ' ' && c != '-')
+                out += c;
+        return out;
+    });
+
+/** Cache-size monotonicity: larger LLCs never miss more under LRU. */
+class CacheSizeSweep
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CacheSizeSweep, LruMissesFallWithCapacity)
+{
+    std::uint64_t prev = ~0ull;
+    for (std::uint32_t sets : {512u, 1024u, 2048u, 4096u}) {
+        RunConfig cfg = RunConfig::singleCore();
+        cfg.warmupInstructions = 200000;
+        cfg.measureInstructions = 400000;
+        cfg.hierarchy.llc.numSets = sets;
+        const RunResult r =
+            runSingleCore(GetParam(), PolicyKind::Lru, cfg);
+        // Allow a little noise: LRU is not strictly inclusive
+        // across SET counts (only across associativity), but the
+        // trend must be strongly downward.
+        EXPECT_LE(r.llcMisses, prev + prev / 20 + 100)
+            << sets << " sets";
+        prev = r.llcMisses;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, CacheSizeSweep,
+                         ::testing::Values("456.hmmer", "450.soplex",
+                                           "403.gcc"));
+
+TEST(TableCsv, EscapesAndRoundTrips)
+{
+    TextTable t({"name", "note"});
+    t.row().cell("plain").cell("with,comma");
+    t.row().cell("quoted \"x\"").cell("multi\nline");
+    const std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("name,note"), std::string::npos);
+    EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"quoted \"\"x\"\"\""), std::string::npos);
+}
+
+TEST(TableCsv, WritesFile)
+{
+    TextTable t({"a", "b"});
+    t.row().cell(std::uint64_t(1)).cell(std::uint64_t(2));
+    const std::string path =
+        std::string(::testing::TempDir()) + "sdbp_table.csv";
+    ASSERT_TRUE(t.writeCsv(path));
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[64] = {};
+    (void)std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    EXPECT_NE(std::string(buf).find("a,b"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // anonymous namespace
+} // namespace sdbp

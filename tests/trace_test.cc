@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Unit tests for the synthetic workload substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "trace/spec_profiles.hh"
+#include "trace/stream.hh"
+#include "trace/workload.hh"
+
+namespace sdbp
+{
+namespace
+{
+
+StreamConfig
+seqConfig(std::uint64_t blocks)
+{
+    StreamConfig cfg;
+    cfg.kind = PatternKind::Sequential;
+    cfg.regionBlocks = blocks;
+    cfg.touchesPerBlock = 1;
+    cfg.numPcs = 1;
+    cfg.writeFraction = 0.0;
+    return cfg;
+}
+
+TEST(Stream, SequentialScansInOrderAndWraps)
+{
+    Stream s(seqConfig(4), 0x1000, 0x400000, 1);
+    std::vector<Addr> blocks;
+    for (int i = 0; i < 8; ++i)
+        blocks.push_back(s.next().blockAddr());
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(blocks[i + 1] - blocks[i == 3 ? 0 : i],
+                  i == 3 ? 0u : 1u);
+        EXPECT_EQ(blocks[i], blocks[i + 4]); // second pass repeats
+    }
+}
+
+TEST(Stream, TouchesPerBlockRepeatsTheSameBlock)
+{
+    StreamConfig cfg = seqConfig(8);
+    cfg.touchesPerBlock = 3;
+    Stream s(cfg, 0x1000, 0x400000, 1);
+    const Addr a0 = s.next().blockAddr();
+    EXPECT_EQ(s.next().blockAddr(), a0);
+    EXPECT_EQ(s.next().blockAddr(), a0);
+    EXPECT_NE(s.next().blockAddr(), a0);
+}
+
+TEST(Stream, PcRotationWithinBurst)
+{
+    StreamConfig cfg = seqConfig(8);
+    cfg.touchesPerBlock = 2;
+    cfg.numPcs = 2;
+    Stream s(cfg, 0x1000, 0x400000, 1);
+    const PC p0 = s.next().pc;
+    const PC p1 = s.next().pc;
+    EXPECT_NE(p0, p1);
+    EXPECT_EQ(s.next().pc, p0); // next block restarts the rotation
+}
+
+TEST(Stream, ResetReproducesSequence)
+{
+    StreamConfig cfg = seqConfig(16);
+    cfg.writeFraction = 0.5;
+    Stream s(cfg, 0x1000, 0x400000, 99);
+    std::vector<MemAccess> first;
+    for (int i = 0; i < 50; ++i)
+        first.push_back(s.next());
+    s.reset();
+    for (int i = 0; i < 50; ++i) {
+        const MemAccess a = s.next();
+        EXPECT_EQ(a.addr, first[i].addr);
+        EXPECT_EQ(a.pc, first[i].pc);
+        EXPECT_EQ(a.isWrite, first[i].isWrite);
+    }
+}
+
+TEST(Stream, StridedCoversRegion)
+{
+    StreamConfig cfg = seqConfig(16);
+    cfg.kind = PatternKind::Strided;
+    cfg.strideBlocks = 4;
+    Stream s(cfg, 0, 0x400000, 1);
+    std::set<Addr> blocks;
+    for (int i = 0; i < 4; ++i)
+        blocks.insert(s.next().blockAddr());
+    EXPECT_EQ(blocks.size(), 4u); // 16/4 distinct strided positions
+}
+
+TEST(Stream, PointerChaseIsAPermutationCycle)
+{
+    StreamConfig cfg = seqConfig(64);
+    cfg.kind = PatternKind::PointerChase;
+    Stream s(cfg, 0, 0x400000, 7);
+    std::set<Addr> blocks;
+    for (int i = 0; i < 64; ++i)
+        blocks.insert(s.next().blockAddr());
+    EXPECT_EQ(blocks.size(), 64u); // visits every block exactly once
+    // Second lap repeats the first.
+    Stream s2(cfg, 0, 0x400000, 7);
+    std::vector<Addr> lap1, lap2;
+    for (int i = 0; i < 64; ++i)
+        lap1.push_back(s2.next().blockAddr());
+    for (int i = 0; i < 64; ++i)
+        lap2.push_back(s2.next().blockAddr());
+    EXPECT_EQ(lap1, lap2);
+}
+
+TEST(Stream, PointerChaseLoadsAreDependent)
+{
+    StreamConfig cfg = seqConfig(32);
+    cfg.kind = PatternKind::PointerChase;
+    cfg.writeFraction = 0.0;
+    Stream s(cfg, 0, 0x400000, 1);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(s.next().dependsOnPrevLoad);
+}
+
+TEST(Stream, GenerationalRegionsDoNotRecycleWithinWindow)
+{
+    StreamConfig cfg = seqConfig(4);
+    cfg.kind = PatternKind::Generational;
+    cfg.epochs = 1;
+    Stream s(cfg, 0, 0x400000, 1);
+    std::set<Addr> blocks;
+    // 16 generations x 4 blocks, all within the 64-generation window.
+    for (int i = 0; i < 64; ++i)
+        blocks.insert(s.next().blockAddr());
+    EXPECT_EQ(blocks.size(), 64u);
+}
+
+TEST(Stream, GenerationalEpochsRescanTheRegion)
+{
+    StreamConfig cfg = seqConfig(4);
+    cfg.kind = PatternKind::Generational;
+    cfg.epochs = 3;
+    Stream s(cfg, 0, 0x400000, 1);
+    std::vector<Addr> accesses;
+    std::vector<PC> pcs;
+    for (int i = 0; i < 12; ++i) { // one full generation
+        const MemAccess a = s.next();
+        accesses.push_back(a.blockAddr());
+        pcs.push_back(a.pc);
+    }
+    // Each epoch scans the same 4 blocks.
+    for (int e = 1; e < 3; ++e)
+        for (int b = 0; b < 4; ++b)
+            EXPECT_EQ(accesses[e * 4 + b], accesses[b]);
+    // Each epoch uses its own PC.
+    EXPECT_NE(pcs[0], pcs[4]);
+    EXPECT_NE(pcs[4], pcs[8]);
+    // The next access starts a new region.
+    EXPECT_EQ(std::count(accesses.begin(), accesses.end(),
+                         s.next().blockAddr()),
+              0);
+}
+
+TEST(Stream, GenerationalLastEpochPcIsConsistentAcrossGenerations)
+{
+    StreamConfig cfg = seqConfig(2);
+    cfg.kind = PatternKind::Generational;
+    cfg.epochs = 2;
+    Stream s(cfg, 0, 0x400000, 1);
+    std::vector<PC> last_epoch_pcs;
+    for (int gen = 0; gen < 5; ++gen) {
+        s.next();
+        s.next(); // epoch 0
+        last_epoch_pcs.push_back(s.next().pc);
+        s.next(); // epoch 1
+    }
+    for (PC pc : last_epoch_pcs)
+        EXPECT_EQ(pc, last_epoch_pcs[0]);
+}
+
+TEST(Stream, RandomEpochsVaryGenerationLength)
+{
+    StreamConfig cfg = seqConfig(2);
+    cfg.kind = PatternKind::Generational;
+    cfg.randomEpochMax = 4;
+    Stream s(cfg, 0, 0x400000, 123);
+    // Count how many times each region address is touched; with
+    // random epoch counts in [1,4] the counts must vary.
+    std::map<Addr, int> touches;
+    for (int i = 0; i < 400; ++i)
+        ++touches[s.next().blockAddr()];
+    std::set<int> distinct;
+    for (const auto &[addr, count] : touches)
+        distinct.insert(count);
+    EXPECT_GE(distinct.size(), 2u);
+}
+
+TEST(Stream, ExtraEpochProbabilityJittersLifetimes)
+{
+    StreamConfig cfg = seqConfig(2);
+    cfg.kind = PatternKind::Generational;
+    cfg.epochs = 2;
+    cfg.extraEpochProb = 0.5;
+    Stream s(cfg, 0, 0x400000, 321);
+    // Count touches per region address: generations of 2 or 3
+    // epochs produce per-block touch counts of 2 or 3.
+    std::map<Addr, int> touches;
+    for (int i = 0; i < 600; ++i)
+        ++touches[s.next().blockAddr()];
+    std::set<int> distinct;
+    for (const auto &[addr, count] : touches)
+        if (count == 2 || count == 3)
+            distinct.insert(count);
+    EXPECT_EQ(distinct.size(), 2u);
+    // The per-epoch PCs stay tied to the epoch index: only 3 PCs.
+    s.reset();
+    std::set<PC> pcs;
+    for (int i = 0; i < 600; ++i)
+        pcs.insert(s.next().pc);
+    EXPECT_EQ(pcs.size(), 3u);
+}
+
+TEST(Stream, RescanDoublesEpochTouchesSometimes)
+{
+    StreamConfig cfg = seqConfig(4);
+    cfg.kind = PatternKind::Generational;
+    cfg.epochs = 1;
+    cfg.rescanProb = 0.5;
+    Stream s(cfg, 0, 0x400000, 99);
+    // With single-epoch generations and 50% re-scans, per-block
+    // touch counts are 1 or 2 but the PC never changes.
+    std::map<Addr, int> touches;
+    std::set<PC> pcs;
+    for (int i = 0; i < 400; ++i) {
+        const MemAccess a = s.next();
+        ++touches[a.blockAddr()];
+        pcs.insert(a.pc);
+    }
+    std::set<int> distinct;
+    for (const auto &[addr, count] : touches)
+        distinct.insert(count);
+    EXPECT_TRUE(distinct.count(1) == 1 || distinct.count(2) == 1);
+    EXPECT_GE(distinct.size(), 2u);
+    EXPECT_EQ(pcs.size(), 1u);
+}
+
+TEST(Stream, PopularitySkewConcentratesTouches)
+{
+    StreamConfig uniform = seqConfig(1024);
+    uniform.kind = PatternKind::RandomInRegion;
+    uniform.popularitySkew = 1;
+    StreamConfig skewed = uniform;
+    skewed.popularitySkew = 3;
+
+    auto head_share = [](const StreamConfig &cfg) {
+        Stream s(cfg, 0, 0x400000, 11);
+        int head = 0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i)
+            head += s.next().blockAddr() < 1024 / 5;
+        return static_cast<double>(head) / n;
+    };
+    EXPECT_NEAR(head_share(uniform), 0.2, 0.02);
+    // u^3 draw: P(block < 0.2 R) = 0.2^(1/3) ~ 0.58.
+    EXPECT_GT(head_share(skewed), 0.5);
+}
+
+TEST(Stream, FootprintBounded)
+{
+    StreamConfig cfg = seqConfig(128);
+    EXPECT_EQ(Stream(cfg, 0, 0, 1).footprintBlocks(), 128u);
+    cfg.kind = PatternKind::Generational;
+    EXPECT_EQ(Stream(cfg, 0, 0, 1).footprintBlocks(), 128u * 1024);
+}
+
+TEST(Workload, StreamsGetDisjointAddressRegions)
+{
+    WorkloadProfile p;
+    p.name = "t";
+    p.meanGap = 0;
+    p.streams = {seqConfig(1024), seqConfig(1024), seqConfig(1024)};
+    SyntheticWorkload w(p);
+    std::set<Addr> seen[3];
+    // Identify stream by PC base (streams are 0x1000 apart).
+    for (int i = 0; i < 3000; ++i) {
+        const TraceRecord r = w.next();
+        const std::size_t idx = (r.access.pc - 0x400000) / 0x1000;
+        ASSERT_LT(idx, 3u);
+        seen[idx].insert(r.access.blockAddr());
+    }
+    for (int a = 0; a < 3; ++a) {
+        for (int b = a + 1; b < 3; ++b) {
+            std::vector<Addr> overlap;
+            std::set_intersection(seen[a].begin(), seen[a].end(),
+                                  seen[b].begin(), seen[b].end(),
+                                  std::back_inserter(overlap));
+            EXPECT_TRUE(overlap.empty());
+        }
+    }
+}
+
+TEST(Workload, WeightsControlMixRatio)
+{
+    WorkloadProfile p;
+    p.name = "t";
+    p.meanGap = 0;
+    StreamConfig heavy = seqConfig(64);
+    heavy.weight = 9;
+    StreamConfig light = seqConfig(64);
+    light.weight = 1;
+    p.streams = {heavy, light};
+    SyntheticWorkload w(p);
+    int heavy_count = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        heavy_count += w.next().access.pc < 0x401000;
+    EXPECT_NEAR(static_cast<double>(heavy_count) / n, 0.9, 0.02);
+}
+
+TEST(Workload, GapMeanMatchesConfig)
+{
+    WorkloadProfile p;
+    p.name = "t";
+    p.meanGap = 5;
+    p.streams = {seqConfig(64)};
+    SyntheticWorkload w(p);
+    double total = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        total += w.next().gap;
+    EXPECT_NEAR(total / n, 5.0, 0.25);
+}
+
+TEST(Workload, ResetReproducesExactly)
+{
+    SyntheticWorkload w(specProfile("456.hmmer"));
+    std::vector<TraceRecord> first;
+    for (int i = 0; i < 200; ++i)
+        first.push_back(w.next());
+    w.reset();
+    for (int i = 0; i < 200; ++i) {
+        const TraceRecord r = w.next();
+        EXPECT_EQ(r.gap, first[i].gap);
+        EXPECT_EQ(r.access.addr, first[i].access.addr);
+        EXPECT_EQ(r.access.pc, first[i].access.pc);
+    }
+}
+
+TEST(Workload, AddressSpacesAreDisjointAcrossInstances)
+{
+    SyntheticWorkload a(specProfile("429.mcf"), 0);
+    SyntheticWorkload b(specProfile("429.mcf"), 1);
+    std::set<Addr> aa, bb;
+    for (int i = 0; i < 2000; ++i) {
+        aa.insert(a.next().access.blockAddr());
+        bb.insert(b.next().access.blockAddr());
+    }
+    std::vector<Addr> overlap;
+    std::set_intersection(aa.begin(), aa.end(), bb.begin(), bb.end(),
+                          std::back_inserter(overlap));
+    EXPECT_TRUE(overlap.empty());
+}
+
+TEST(SpecProfiles, AllBenchmarksExist)
+{
+    const auto &names = allSpecBenchmarks();
+    EXPECT_EQ(names.size(), 29u);
+    for (const auto &name : names) {
+        const WorkloadProfile p = specProfile(name);
+        EXPECT_EQ(p.name, name);
+        EXPECT_FALSE(p.streams.empty());
+    }
+}
+
+TEST(SpecProfiles, SubsetIsNineteenAndContained)
+{
+    const auto &subset = memoryIntensiveSubset();
+    EXPECT_EQ(subset.size(), 19u);
+    const auto &all = allSpecBenchmarks();
+    for (const auto &name : subset)
+        EXPECT_NE(std::find(all.begin(), all.end(), name), all.end());
+}
+
+TEST(SpecProfiles, MixesAreTenQuads)
+{
+    const auto &mixes = multicoreMixes();
+    EXPECT_EQ(mixes.size(), 10u);
+    for (const auto &mix : mixes) {
+        EXPECT_EQ(mix.benchmarks.size(), 4u);
+        for (const auto &b : mix.benchmarks)
+            EXPECT_NO_FATAL_FAILURE(specProfile(b));
+    }
+}
+
+TEST(Workload, DistinctInstancesUseDistinctPcSpaces)
+{
+    // Regression test: in multi-core runs each core models a
+    // different program, so PC-indexed predictor state must not
+    // alias across cores.
+    SyntheticWorkload a(specProfile("462.libquantum"), 0);
+    SyntheticWorkload b(specProfile("445.gobmk"), 1);
+    std::set<PC> pcs_a, pcs_b;
+    for (int i = 0; i < 3000; ++i) {
+        pcs_a.insert(a.next().access.pc);
+        pcs_b.insert(b.next().access.pc);
+    }
+    std::vector<PC> overlap;
+    std::set_intersection(pcs_a.begin(), pcs_a.end(), pcs_b.begin(),
+                          pcs_b.end(), std::back_inserter(overlap));
+    EXPECT_TRUE(overlap.empty());
+}
+
+TEST(SpecProfiles, ProfilesAreDeterministicPerName)
+{
+    const WorkloadProfile a = specProfile("470.lbm");
+    const WorkloadProfile b = specProfile("470.lbm");
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.streams.size(), b.streams.size());
+    // Distinct benchmarks get distinct seeds.
+    EXPECT_NE(a.seed, specProfile("429.mcf").seed);
+}
+
+} // anonymous namespace
+} // namespace sdbp

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Unit tests for the util substrate: bit ops, saturating counters,
+ * hashing, RNG, statistics and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/bitops.hh"
+#include "util/hash.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/types.hh"
+
+namespace sdbp
+{
+namespace
+{
+
+TEST(BitOps, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(BitOps, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(2048), 11u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1ull << 63), 63u);
+}
+
+TEST(BitOps, Mask)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(15), 0x7fffu);
+    EXPECT_EQ(mask(64), ~std::uint64_t(0));
+}
+
+TEST(BitOps, BitsExtract)
+{
+    EXPECT_EQ(bits(0xabcd, 4, 8), 0xbcu);
+    EXPECT_EQ(bits(0xff00, 8, 8), 0xffu);
+    EXPECT_EQ(bits(0xff00, 0, 8), 0x00u);
+}
+
+TEST(SatCounterTest, SaturatesHigh)
+{
+    SatCounter<2> c;
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(SatCounterTest, SaturatesLow)
+{
+    SatCounter<2> c(3);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounterTest, InitialAndReset)
+{
+    SatCounter<4> c(9);
+    EXPECT_EQ(c.value(), 9u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Hash, SignatureIsBounded)
+{
+    for (PC pc : {0x400000ull, 0x400004ull, 0xdeadbeefull})
+        EXPECT_LE(makeSignature(pc, 15), mask(15));
+}
+
+TEST(Hash, NearbyPcsGetDistinctSignatures)
+{
+    // The low bits of the PC must still influence the signature.
+    std::set<std::uint64_t> sigs;
+    for (PC pc = 0x400000; pc < 0x400000 + 64 * 4; pc += 4)
+        sigs.insert(makeSignature(pc, 15));
+    EXPECT_GE(sigs.size(), 60u); // near-collision-free for 64 PCs
+}
+
+TEST(Hash, SkewHashesAreIndependent)
+{
+    // Two signatures that collide in one table should generally not
+    // collide in the others.
+    unsigned joint_collisions = 0;
+    unsigned single_collisions = 0;
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t a = rng.below(1 << 15);
+        const std::uint64_t b = rng.below(1 << 15);
+        if (a == b)
+            continue;
+        const bool c0 = skewHash(a, 0, 12) == skewHash(b, 0, 12);
+        const bool c1 = skewHash(a, 1, 12) == skewHash(b, 1, 12);
+        const bool c2 = skewHash(a, 2, 12) == skewHash(b, 2, 12);
+        single_collisions += c0;
+        joint_collisions += (c0 && c1) || (c0 && c2) || (c1 && c2);
+    }
+    // With 4096-entry tables, pairwise collisions happen but joint
+    // collisions should be rare.
+    EXPECT_LT(joint_collisions, single_collisions / 4 + 2);
+}
+
+TEST(Hash, SkewHashRespectsIndexBits)
+{
+    for (unsigned t = 0; t < 3; ++t)
+        for (std::uint64_t s = 0; s < 100; ++s)
+            EXPECT_LE(skewHash(s, t, 12), mask(12));
+}
+
+TEST(RngTest, DeterministicGivenSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, ReseedRestartsSequence)
+{
+    Rng a(42);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 10; ++i)
+        first.push_back(a.next());
+    a.reseed(42);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(RngTest, BelowIsInRange)
+{
+    Rng r(1);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(RngTest, BelowIsRoughlyUniform)
+{
+    Rng r(3);
+    std::vector<int> buckets(8, 0);
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[r.below(8)];
+    for (int count : buckets) {
+        EXPECT_GT(count, n / 8 - n / 80);
+        EXPECT_LT(count, n / 8 + n / 80);
+    }
+}
+
+TEST(RngTest, ChanceProbability)
+{
+    Rng r(5);
+    int hits = 0;
+    const int n = 64000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(1, 32);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 1.0 / 32, 0.005);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Stats, AmeanAndGmean)
+{
+    EXPECT_DOUBLE_EQ(amean({1, 2, 3}), 2.0);
+    EXPECT_DOUBLE_EQ(amean({}), 0.0);
+    EXPECT_NEAR(gmean({1, 4}), 2.0, 1e-12);
+    EXPECT_NEAR(gmean({2, 2, 2}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(gmean({}), 0.0);
+}
+
+TEST(Stats, Mpki)
+{
+    EXPECT_DOUBLE_EQ(mpki(5, 1000), 5.0);
+    EXPECT_DOUBLE_EQ(mpki(1, 1000000), 0.001);
+    EXPECT_DOUBLE_EQ(mpki(7, 0), 0.0);
+}
+
+TEST(Stats, HistogramBucketsAndMean)
+{
+    Histogram h(4, 10.0);
+    h.add(5);   // bucket 0
+    h.add(15);  // bucket 1
+    h.add(100); // clamped to bucket 3
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_NEAR(h.mean(), 40.0, 1e-12);
+}
+
+TEST(Stats, HistogramQuantile)
+{
+    Histogram h(10, 1.0);
+    for (int i = 0; i < 100; ++i)
+        h.add(i < 50 ? 0.5 : 5.5);
+    EXPECT_LT(h.quantile(0.25), 1.0);
+    EXPECT_GT(h.quantile(0.9), 5.0);
+}
+
+TEST(Stats, RunningStat)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable t({"name", "value"});
+    t.row().cell("a").cell(1.5, 1);
+    t.row().cell("long-name").cell(std::uint64_t(42));
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("1.5"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatPercent(0.1234), "12.3%");
+    EXPECT_EQ(formatPercent(1.0, 0), "100%");
+}
+
+} // anonymous namespace
+} // namespace sdbp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_multicore.dir/fig10_multicore.cc.o"
+  "CMakeFiles/fig10_multicore.dir/fig10_multicore.cc.o.d"
+  "fig10_multicore"
+  "fig10_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_efficiency.dir/fig1_efficiency.cc.o"
+  "CMakeFiles/fig1_efficiency.dir/fig1_efficiency.cc.o.d"
+  "fig1_efficiency"
+  "fig1_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_mpki.dir/fig4_mpki.cc.o"
+  "CMakeFiles/fig4_mpki.dir/fig4_mpki.cc.o.d"
+  "fig4_mpki"
+  "fig4_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

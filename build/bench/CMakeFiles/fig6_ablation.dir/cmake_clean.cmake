@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_ablation.dir/fig6_ablation.cc.o"
+  "CMakeFiles/fig6_ablation.dir/fig6_ablation.cc.o.d"
+  "fig6_ablation"
+  "fig6_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_random_mpki.dir/fig7_random_mpki.cc.o"
+  "CMakeFiles/fig7_random_mpki.dir/fig7_random_mpki.cc.o.d"
+  "fig7_random_mpki"
+  "fig7_random_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_random_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_random_mpki.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_random_speedup.dir/fig8_random_speedup.cc.o"
+  "CMakeFiles/fig8_random_speedup.dir/fig8_random_speedup.cc.o.d"
+  "fig8_random_speedup"
+  "fig8_random_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_random_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

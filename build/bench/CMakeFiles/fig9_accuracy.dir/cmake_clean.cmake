@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_accuracy.dir/fig9_accuracy.cc.o"
+  "CMakeFiles/fig9_accuracy.dir/fig9_accuracy.cc.o.d"
+  "fig9_accuracy"
+  "fig9_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_storage.dir/table1_storage.cc.o"
+  "CMakeFiles/table1_storage.dir/table1_storage.cc.o.d"
+  "table1_storage"
+  "table1_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_power.dir/table2_power.cc.o"
+  "CMakeFiles/table2_power.dir/table2_power.cc.o.d"
+  "table2_power"
+  "table2_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

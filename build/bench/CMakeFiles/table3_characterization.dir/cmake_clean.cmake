@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_characterization.dir/table3_characterization.cc.o"
+  "CMakeFiles/table3_characterization.dir/table3_characterization.cc.o.d"
+  "table3_characterization"
+  "table3_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

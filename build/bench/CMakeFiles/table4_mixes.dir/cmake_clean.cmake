@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_mixes.dir/table4_mixes.cc.o"
+  "CMakeFiles/table4_mixes.dir/table4_mixes.cc.o.d"
+  "table4_mixes"
+  "table4_mixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_mixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

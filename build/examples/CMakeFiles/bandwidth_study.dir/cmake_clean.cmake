@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_study.dir/bandwidth_study.cpp.o"
+  "CMakeFiles/bandwidth_study.dir/bandwidth_study.cpp.o.d"
+  "bandwidth_study"
+  "bandwidth_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

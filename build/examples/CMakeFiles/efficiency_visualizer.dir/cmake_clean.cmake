@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efficiency_visualizer.dir/efficiency_visualizer.cpp.o"
+  "CMakeFiles/efficiency_visualizer.dir/efficiency_visualizer.cpp.o.d"
+  "efficiency_visualizer"
+  "efficiency_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efficiency_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for efficiency_visualizer.
+# This may be replaced when dependencies are built.

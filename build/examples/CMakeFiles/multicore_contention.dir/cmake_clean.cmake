@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_contention.dir/multicore_contention.cpp.o"
+  "CMakeFiles/multicore_contention.dir/multicore_contention.cpp.o.d"
+  "multicore_contention"
+  "multicore_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/policy_explorer.cpp" "examples/CMakeFiles/policy_explorer.dir/policy_explorer.cpp.o" "gcc" "examples/CMakeFiles/policy_explorer.dir/policy_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sdbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sdbp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/sdbp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/sdbp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/sdbp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sdbp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/sdbp_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/sdbp_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdbp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

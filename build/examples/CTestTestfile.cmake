@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_smoke_quickstart "/root/repo/build/examples/quickstart" "445.gobmk")
+set_tests_properties(example_smoke_quickstart PROPERTIES  ENVIRONMENT "SDBP_INSTRUCTIONS=60000;SDBP_WARMUP=30000" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;21;sdbp_example_smoke;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_policy_explorer "/root/repo/build/examples/policy_explorer" "416.gamess")
+set_tests_properties(example_smoke_policy_explorer PROPERTIES  ENVIRONMENT "SDBP_INSTRUCTIONS=60000;SDBP_WARMUP=30000" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;22;sdbp_example_smoke;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_multicore_contention "/root/repo/build/examples/multicore_contention" "mix9")
+set_tests_properties(example_smoke_multicore_contention PROPERTIES  ENVIRONMENT "SDBP_INSTRUCTIONS=60000;SDBP_WARMUP=30000" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;23;sdbp_example_smoke;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_efficiency_visualizer "/root/repo/build/examples/efficiency_visualizer" "445.gobmk" "/root/repo/build/examples/smoke_eff")
+set_tests_properties(example_smoke_efficiency_visualizer PROPERTIES  ENVIRONMENT "SDBP_INSTRUCTIONS=60000;SDBP_WARMUP=30000" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;24;sdbp_example_smoke;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_bandwidth_study "/root/repo/build/examples/bandwidth_study" "mix9")
+set_tests_properties(example_smoke_bandwidth_study PROPERTIES  ENVIRONMENT "SDBP_INSTRUCTIONS=60000;SDBP_WARMUP=30000" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;26;sdbp_example_smoke;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_trace_tool "sh" "-c" "\"/root/repo/build/examples/trace_tool\" capture 416.gamess 5000 smoke.sdbptrace && \"/root/repo/build/examples/trace_tool\" info smoke.sdbptrace && \"/root/repo/build/examples/trace_tool\" replay smoke.sdbptrace LRU")
+set_tests_properties(example_smoke_trace_tool PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/cache/CMakeFiles/sdbp_cache.dir/cache.cc.o" "gcc" "src/cache/CMakeFiles/sdbp_cache.dir/cache.cc.o.d"
+  "/root/repo/src/cache/dead_block_policy.cc" "src/cache/CMakeFiles/sdbp_cache.dir/dead_block_policy.cc.o" "gcc" "src/cache/CMakeFiles/sdbp_cache.dir/dead_block_policy.cc.o.d"
+  "/root/repo/src/cache/dip.cc" "src/cache/CMakeFiles/sdbp_cache.dir/dip.cc.o" "gcc" "src/cache/CMakeFiles/sdbp_cache.dir/dip.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/cache/CMakeFiles/sdbp_cache.dir/hierarchy.cc.o" "gcc" "src/cache/CMakeFiles/sdbp_cache.dir/hierarchy.cc.o.d"
+  "/root/repo/src/cache/lru.cc" "src/cache/CMakeFiles/sdbp_cache.dir/lru.cc.o" "gcc" "src/cache/CMakeFiles/sdbp_cache.dir/lru.cc.o.d"
+  "/root/repo/src/cache/plru.cc" "src/cache/CMakeFiles/sdbp_cache.dir/plru.cc.o" "gcc" "src/cache/CMakeFiles/sdbp_cache.dir/plru.cc.o.d"
+  "/root/repo/src/cache/prefetcher.cc" "src/cache/CMakeFiles/sdbp_cache.dir/prefetcher.cc.o" "gcc" "src/cache/CMakeFiles/sdbp_cache.dir/prefetcher.cc.o.d"
+  "/root/repo/src/cache/random_repl.cc" "src/cache/CMakeFiles/sdbp_cache.dir/random_repl.cc.o" "gcc" "src/cache/CMakeFiles/sdbp_cache.dir/random_repl.cc.o.d"
+  "/root/repo/src/cache/rrip.cc" "src/cache/CMakeFiles/sdbp_cache.dir/rrip.cc.o" "gcc" "src/cache/CMakeFiles/sdbp_cache.dir/rrip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sdbp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sdbp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

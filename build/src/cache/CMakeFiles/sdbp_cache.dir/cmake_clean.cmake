@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdbp_cache.dir/cache.cc.o"
+  "CMakeFiles/sdbp_cache.dir/cache.cc.o.d"
+  "CMakeFiles/sdbp_cache.dir/dead_block_policy.cc.o"
+  "CMakeFiles/sdbp_cache.dir/dead_block_policy.cc.o.d"
+  "CMakeFiles/sdbp_cache.dir/dip.cc.o"
+  "CMakeFiles/sdbp_cache.dir/dip.cc.o.d"
+  "CMakeFiles/sdbp_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/sdbp_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/sdbp_cache.dir/lru.cc.o"
+  "CMakeFiles/sdbp_cache.dir/lru.cc.o.d"
+  "CMakeFiles/sdbp_cache.dir/plru.cc.o"
+  "CMakeFiles/sdbp_cache.dir/plru.cc.o.d"
+  "CMakeFiles/sdbp_cache.dir/prefetcher.cc.o"
+  "CMakeFiles/sdbp_cache.dir/prefetcher.cc.o.d"
+  "CMakeFiles/sdbp_cache.dir/random_repl.cc.o"
+  "CMakeFiles/sdbp_cache.dir/random_repl.cc.o.d"
+  "CMakeFiles/sdbp_cache.dir/rrip.cc.o"
+  "CMakeFiles/sdbp_cache.dir/rrip.cc.o.d"
+  "libsdbp_cache.a"
+  "libsdbp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdbp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

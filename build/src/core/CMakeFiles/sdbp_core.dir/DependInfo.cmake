@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/sampler.cc" "src/core/CMakeFiles/sdbp_core.dir/sampler.cc.o" "gcc" "src/core/CMakeFiles/sdbp_core.dir/sampler.cc.o.d"
+  "/root/repo/src/core/sdbp.cc" "src/core/CMakeFiles/sdbp_core.dir/sdbp.cc.o" "gcc" "src/core/CMakeFiles/sdbp_core.dir/sdbp.cc.o.d"
+  "/root/repo/src/core/skewed_table.cc" "src/core/CMakeFiles/sdbp_core.dir/skewed_table.cc.o" "gcc" "src/core/CMakeFiles/sdbp_core.dir/skewed_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sdbp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

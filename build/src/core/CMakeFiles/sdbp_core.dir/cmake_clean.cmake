@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdbp_core.dir/sampler.cc.o"
+  "CMakeFiles/sdbp_core.dir/sampler.cc.o.d"
+  "CMakeFiles/sdbp_core.dir/sdbp.cc.o"
+  "CMakeFiles/sdbp_core.dir/sdbp.cc.o.d"
+  "CMakeFiles/sdbp_core.dir/skewed_table.cc.o"
+  "CMakeFiles/sdbp_core.dir/skewed_table.cc.o.d"
+  "libsdbp_core.a"
+  "libsdbp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdbp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

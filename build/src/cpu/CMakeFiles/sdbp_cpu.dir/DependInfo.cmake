@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/core_model.cc" "src/cpu/CMakeFiles/sdbp_cpu.dir/core_model.cc.o" "gcc" "src/cpu/CMakeFiles/sdbp_cpu.dir/core_model.cc.o.d"
+  "/root/repo/src/cpu/system.cc" "src/cpu/CMakeFiles/sdbp_cpu.dir/system.cc.o" "gcc" "src/cpu/CMakeFiles/sdbp_cpu.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sdbp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/sdbp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sdbp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdbp_cpu.dir/core_model.cc.o"
+  "CMakeFiles/sdbp_cpu.dir/core_model.cc.o.d"
+  "CMakeFiles/sdbp_cpu.dir/system.cc.o"
+  "CMakeFiles/sdbp_cpu.dir/system.cc.o.d"
+  "libsdbp_cpu.a"
+  "libsdbp_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdbp_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdbp_opt.dir/belady.cc.o"
+  "CMakeFiles/sdbp_opt.dir/belady.cc.o.d"
+  "libsdbp_opt.a"
+  "libsdbp_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdbp_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/model.cc" "src/power/CMakeFiles/sdbp_power.dir/model.cc.o" "gcc" "src/power/CMakeFiles/sdbp_power.dir/model.cc.o.d"
+  "/root/repo/src/power/storage.cc" "src/power/CMakeFiles/sdbp_power.dir/storage.cc.o" "gcc" "src/power/CMakeFiles/sdbp_power.dir/storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sdbp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/sdbp_predictor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

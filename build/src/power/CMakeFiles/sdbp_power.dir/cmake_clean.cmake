@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdbp_power.dir/model.cc.o"
+  "CMakeFiles/sdbp_power.dir/model.cc.o.d"
+  "CMakeFiles/sdbp_power.dir/storage.cc.o"
+  "CMakeFiles/sdbp_power.dir/storage.cc.o.d"
+  "libsdbp_power.a"
+  "libsdbp_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdbp_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

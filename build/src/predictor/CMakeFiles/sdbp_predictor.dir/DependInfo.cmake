@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predictor/aip.cc" "src/predictor/CMakeFiles/sdbp_predictor.dir/aip.cc.o" "gcc" "src/predictor/CMakeFiles/sdbp_predictor.dir/aip.cc.o.d"
+  "/root/repo/src/predictor/burst_trace.cc" "src/predictor/CMakeFiles/sdbp_predictor.dir/burst_trace.cc.o" "gcc" "src/predictor/CMakeFiles/sdbp_predictor.dir/burst_trace.cc.o.d"
+  "/root/repo/src/predictor/counting.cc" "src/predictor/CMakeFiles/sdbp_predictor.dir/counting.cc.o" "gcc" "src/predictor/CMakeFiles/sdbp_predictor.dir/counting.cc.o.d"
+  "/root/repo/src/predictor/reftrace.cc" "src/predictor/CMakeFiles/sdbp_predictor.dir/reftrace.cc.o" "gcc" "src/predictor/CMakeFiles/sdbp_predictor.dir/reftrace.cc.o.d"
+  "/root/repo/src/predictor/sampling_counting.cc" "src/predictor/CMakeFiles/sdbp_predictor.dir/sampling_counting.cc.o" "gcc" "src/predictor/CMakeFiles/sdbp_predictor.dir/sampling_counting.cc.o.d"
+  "/root/repo/src/predictor/time_based.cc" "src/predictor/CMakeFiles/sdbp_predictor.dir/time_based.cc.o" "gcc" "src/predictor/CMakeFiles/sdbp_predictor.dir/time_based.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sdbp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdbp_predictor.dir/aip.cc.o"
+  "CMakeFiles/sdbp_predictor.dir/aip.cc.o.d"
+  "CMakeFiles/sdbp_predictor.dir/burst_trace.cc.o"
+  "CMakeFiles/sdbp_predictor.dir/burst_trace.cc.o.d"
+  "CMakeFiles/sdbp_predictor.dir/counting.cc.o"
+  "CMakeFiles/sdbp_predictor.dir/counting.cc.o.d"
+  "CMakeFiles/sdbp_predictor.dir/reftrace.cc.o"
+  "CMakeFiles/sdbp_predictor.dir/reftrace.cc.o.d"
+  "CMakeFiles/sdbp_predictor.dir/sampling_counting.cc.o"
+  "CMakeFiles/sdbp_predictor.dir/sampling_counting.cc.o.d"
+  "CMakeFiles/sdbp_predictor.dir/time_based.cc.o"
+  "CMakeFiles/sdbp_predictor.dir/time_based.cc.o.d"
+  "libsdbp_predictor.a"
+  "libsdbp_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdbp_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdbp_sim.dir/policy_factory.cc.o"
+  "CMakeFiles/sdbp_sim.dir/policy_factory.cc.o.d"
+  "CMakeFiles/sdbp_sim.dir/runner.cc.o"
+  "CMakeFiles/sdbp_sim.dir/runner.cc.o.d"
+  "libsdbp_sim.a"
+  "libsdbp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdbp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

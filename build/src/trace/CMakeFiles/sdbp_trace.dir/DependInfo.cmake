@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/spec_profiles.cc" "src/trace/CMakeFiles/sdbp_trace.dir/spec_profiles.cc.o" "gcc" "src/trace/CMakeFiles/sdbp_trace.dir/spec_profiles.cc.o.d"
+  "/root/repo/src/trace/stream.cc" "src/trace/CMakeFiles/sdbp_trace.dir/stream.cc.o" "gcc" "src/trace/CMakeFiles/sdbp_trace.dir/stream.cc.o.d"
+  "/root/repo/src/trace/trace_file.cc" "src/trace/CMakeFiles/sdbp_trace.dir/trace_file.cc.o" "gcc" "src/trace/CMakeFiles/sdbp_trace.dir/trace_file.cc.o.d"
+  "/root/repo/src/trace/workload.cc" "src/trace/CMakeFiles/sdbp_trace.dir/workload.cc.o" "gcc" "src/trace/CMakeFiles/sdbp_trace.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sdbp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdbp_trace.dir/spec_profiles.cc.o"
+  "CMakeFiles/sdbp_trace.dir/spec_profiles.cc.o.d"
+  "CMakeFiles/sdbp_trace.dir/stream.cc.o"
+  "CMakeFiles/sdbp_trace.dir/stream.cc.o.d"
+  "CMakeFiles/sdbp_trace.dir/trace_file.cc.o"
+  "CMakeFiles/sdbp_trace.dir/trace_file.cc.o.d"
+  "CMakeFiles/sdbp_trace.dir/workload.cc.o"
+  "CMakeFiles/sdbp_trace.dir/workload.cc.o.d"
+  "libsdbp_trace.a"
+  "libsdbp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdbp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdbp_util.dir/stats.cc.o"
+  "CMakeFiles/sdbp_util.dir/stats.cc.o.d"
+  "CMakeFiles/sdbp_util.dir/table.cc.o"
+  "CMakeFiles/sdbp_util.dir/table.cc.o.d"
+  "libsdbp_util.a"
+  "libsdbp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdbp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

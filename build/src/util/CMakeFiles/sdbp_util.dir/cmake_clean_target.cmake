@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdbp_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predictors.dir/predictors_test.cc.o"
+  "CMakeFiles/test_predictors.dir/predictors_test.cc.o.d"
+  "test_predictors"
+  "test_predictors.pdb"
+  "test_predictors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracefile.dir/tracefile_test.cc.o"
+  "CMakeFiles/test_tracefile.dir/tracefile_test.cc.o.d"
+  "test_tracefile"
+  "test_tracefile.pdb"
+  "test_tracefile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracefile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -180,6 +180,12 @@ Cache::fill(const AccessInfo &info, std::uint64_t now)
     blk.lastTouchTick = now;
     ++stats_.fills;
     policy_->onFill(set, way, blk, info);
+
+#if SDBP_DCHECK_ENABLED
+    // Periodic full audit in debug builds (amortized over 64K fills).
+    if ((stats_.fills & 0xFFFFu) == 0)
+        auditInvariants();
+#endif
     return evicted;
 }
 
@@ -210,6 +216,30 @@ Cache::frameEfficiency(std::uint32_t set, std::uint32_t way) const
         way;
     return frameTotal_[idx] > 0 ? frameLive_[idx] / frameTotal_[idx]
                                 : 0.0;
+}
+
+void
+Cache::auditInvariants() const
+{
+#if SDBP_DCHECK_ENABLED
+    for (std::uint32_t s = 0; s < cfg_.numSets; ++s) {
+        const auto *base =
+            &blocks_[static_cast<std::size_t>(s) * cfg_.assoc];
+        for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+            const CacheBlock &blk = base[w];
+            if (!blk.valid)
+                continue;
+            SDBP_DCHECK_EQ(setIndex(blk.blockAddr), s,
+                           "resident block maps to a different set");
+            SDBP_DCHECK_LE(blk.fillTick, blk.lastTouchTick,
+                           "block generation timestamps inverted");
+            for (std::uint32_t o = w + 1; o < cfg_.assoc; ++o)
+                SDBP_DCHECK(!base[o].valid ||
+                                base[o].blockAddr != blk.blockAddr,
+                            "duplicate resident block in one set");
+        }
+    }
+#endif // SDBP_DCHECK_ENABLED
 }
 
 void

@@ -125,6 +125,13 @@ class Cache
     /** Reset all content and statistics (policy state persists). */
     void clearStats();
 
+    /**
+     * Panic (via SDBP_DCHECK) unless every valid block maps to the
+     * set that holds it, no set holds the same block twice, and no
+     * block's generation timestamps are inverted.
+     */
+    void auditInvariants() const;
+
   private:
     int findWay(std::uint32_t set, Addr block_addr) const;
     void retireGeneration(std::uint32_t set, std::uint32_t way,

@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
 namespace sdbp
 {
 
@@ -129,15 +132,48 @@ Sampler::access(std::uint32_t set, std::uint16_t partial_tag,
     e.pc = pc_sig;
     e.predictedDead = table.predict(pc_sig);
     moveToMru(set, victim);
+
+#if SDBP_DCHECK_ENABLED
+    // Periodic full audit in debug builds: cheap relative to the
+    // 64K accesses it amortizes over, catches drift close to where
+    // it was introduced.
+    if ((replacements_ & 0xFFFFu) == 0) {
+        auditInvariants();
+        table.auditInvariants();
+    }
+#endif
 }
 
 std::uint64_t
 Sampler::storageBits() const
 {
-    // tag + pc + prediction bit + valid bit + 4 LRU bits per entry.
-    const std::uint64_t per_entry = cfg_.tagBits + cfg_.pcBits + 1 + 1 +
-        4;
-    return per_entry * cfg_.numSets * cfg_.assoc;
+    return cfg_.storageBits();
+}
+
+void
+Sampler::auditInvariants() const
+{
+#if SDBP_DCHECK_ENABLED
+    SDBP_DCHECK_EQ(entries_.size(),
+                   cfg_.storageSpec().entries,
+                   "sampler tag array geometry drifted from config");
+    std::vector<bool> seen(cfg_.assoc);
+    for (std::uint32_t s = 0; s < cfg_.numSets; ++s) {
+        seen.assign(cfg_.assoc, false);
+        for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+            const SamplerEntry &e = entries_[s * cfg_.assoc + w];
+            SDBP_DCHECK_LT(std::uint32_t{e.lruPos}, cfg_.assoc,
+                           "sampler LRU position out of range");
+            SDBP_DCHECK(!seen[e.lruPos],
+                        "sampler LRU stack is not a permutation");
+            seen[e.lruPos] = true;
+            SDBP_DCHECK_LE(std::uint64_t{e.tag}, mask(cfg_.tagBits),
+                           "sampler partial tag exceeds tagBits");
+            SDBP_DCHECK_LE(std::uint64_t{e.pc}, mask(cfg_.pcBits),
+                           "sampler partial PC exceeds pcBits");
+        }
+    }
+#endif // SDBP_DCHECK_ENABLED
 }
 
 } // namespace sdbp

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/skewed_table.hh"
+#include "util/budget.hh"
 #include "util/types.hh"
 
 namespace sdbp
@@ -32,6 +33,30 @@ struct SamplerConfig
      * entries, feeding the predictor its own evictions (Sec. V-B).
      */
     bool learnFromOwnEvictions = true;
+
+    /** LRU stack position width (4 bits for the paper's 12 ways). */
+    constexpr unsigned
+    lruBits() const
+    {
+        return budget::widthForValues(assoc);
+    }
+
+    /**
+     * The whole tag array as one uniform table: tag + PC + predicted
+     * bit + valid bit + LRU position per entry (Sec. IV-C).
+     */
+    constexpr budget::TableSpec
+    storageSpec() const
+    {
+        return {std::uint64_t(numSets) * assoc,
+                tagBits + pcBits + 1 + 1 + lruBits()};
+    }
+
+    constexpr std::uint64_t
+    storageBits() const
+    {
+        return storageSpec().total().count();
+    }
 };
 
 /** One sampler entry (Sec. IV-C: tag, PC, prediction, valid, LRU). */
@@ -76,8 +101,23 @@ class Sampler
         return entries_[set * cfg_.assoc + way];
     }
 
-    /** Total sampler state in bits (Table I accounting). */
+    /** Mutable entry access (test hook: corruption injection). */
+    SamplerEntry &
+    mutableEntry(std::uint32_t set, std::uint32_t way)
+    {
+        return entries_[set * cfg_.assoc + way];
+    }
+
+    /** Total sampler state in bits (Table I accounting; delegates to
+     *  the config's constexpr spec). */
     std::uint64_t storageBits() const;
+
+    /**
+     * Panic (via SDBP_DCHECK) unless every set's LRU positions form
+     * a permutation of 0..assoc-1 and every stored tag/PC fits its
+     * configured width.
+     */
+    void auditInvariants() const;
 
     /** Training event counts (power accounting / tests). */
     std::uint64_t hits() const { return hits_; }

@@ -3,28 +3,10 @@
 #include <cassert>
 
 #include "util/bitops.hh"
+#include "util/logging.hh"
 
 namespace sdbp
 {
-
-SdbpConfig
-SdbpConfig::paperDefault(std::uint32_t llc_sets)
-{
-    SdbpConfig cfg;
-    cfg.llcSets = llc_sets;
-    return cfg;
-}
-
-SdbpConfig
-SdbpConfig::singleTable(std::uint32_t llc_sets)
-{
-    SdbpConfig cfg;
-    cfg.llcSets = llc_sets;
-    cfg.table.numTables = 1;
-    cfg.table.indexBits = 14; // 16384 entries = 4 x 4096
-    cfg.table.threshold = 2;
-    return cfg;
-}
 
 SamplingDeadBlockPredictor::SamplingDeadBlockPredictor(
     const SdbpConfig &cfg)
@@ -101,18 +83,32 @@ SamplingDeadBlockPredictor::onEvict(std::uint32_t set, Addr block_addr)
 std::uint64_t
 SamplingDeadBlockPredictor::storageBits() const
 {
-    std::uint64_t bits = table_.storageBits();
-    if (cfg_.useSampler)
-        bits += sampler_.storageBits();
-    return bits;
+    return cfg_.storageBits();
 }
 
 std::uint64_t
 SamplingDeadBlockPredictor::metadataBitsPerBlock() const
 {
-    // One predicted-dead bit per cache block (Sec. III-C); the
-    // no-sampler ablation instead needs a 15-bit signature per block.
-    return cfg_.useSampler ? 1 : 1 + cfg_.signatureBits;
+    return cfg_.metadataBitsPerBlock();
+}
+
+void
+SamplingDeadBlockPredictor::auditInvariants() const
+{
+#if SDBP_DCHECK_ENABLED
+    SDBP_DCHECK_EQ(setStride_, cfg_.llcSets / cfg_.sampler.numSets,
+                   "sampler set stride drifted from config");
+    SDBP_DCHECK(setStride_ > 0, "sampler set stride must be positive");
+    // The set map is stable: exactly numSets LLC sets are shadowed,
+    // each by a distinct sampler set.
+    std::uint32_t sampled = 0;
+    for (std::uint32_t s = 0; s < cfg_.llcSets; ++s)
+        sampled += isSampledSet(s) ? 1 : 0;
+    SDBP_DCHECK_EQ(sampled, cfg_.sampler.numSets,
+                   "sampled-set count drifted from sampler config");
+    sampler_.auditInvariants();
+    table_.auditInvariants();
+#endif // SDBP_DCHECK_ENABLED
 }
 
 } // namespace sdbp

@@ -42,16 +42,50 @@ struct SdbpConfig
 
     /**
      * The paper's default configuration: 32-set 12-way sampler,
-     * three 4096-entry 2-bit banks, threshold 8.
+     * three 4096-entry 2-bit banks, threshold 8.  (constexpr so the
+     * compile-time budget audit can evaluate shipped configs.)
      */
-    static SdbpConfig paperDefault(std::uint32_t llc_sets = 2048);
+    static constexpr SdbpConfig
+    paperDefault(std::uint32_t llc_sets = 2048)
+    {
+        SdbpConfig cfg;
+        cfg.llcSets = llc_sets;
+        return cfg;
+    }
 
     /**
      * The single-table configuration used by the Fig. 6 ablation:
      * one 16384-entry bank (the skewed banks are "each one-fourth
      * the size of the single-table predictor"), threshold 2.
      */
-    static SdbpConfig singleTable(std::uint32_t llc_sets = 2048);
+    static constexpr SdbpConfig
+    singleTable(std::uint32_t llc_sets = 2048)
+    {
+        SdbpConfig cfg;
+        cfg.llcSets = llc_sets;
+        cfg.table.numTables = 1;
+        cfg.table.indexBits = 14; // 16384 entries = 4 x 4096
+        cfg.table.threshold = 2;
+        return cfg;
+    }
+
+    /** Predictor-side storage: tables plus (if enabled) sampler. */
+    constexpr std::uint64_t
+    storageBits() const
+    {
+        return table.storageBits() +
+            (useSampler ? sampler.storageBits() : 0);
+    }
+
+    /**
+     * One predicted-dead bit per cache block (Sec. III-C); the
+     * no-sampler ablation instead needs a per-block signature too.
+     */
+    constexpr std::uint64_t
+    metadataBitsPerBlock() const
+    {
+        return useSampler ? 1 : 1 + signatureBits;
+    }
 };
 
 class SamplingDeadBlockPredictor : public DeadBlockPredictor
@@ -81,6 +115,13 @@ class SamplingDeadBlockPredictor : public DeadBlockPredictor
 
     /** True when LLC set @p set is shadowed by a sampler set. */
     bool isSampledSet(std::uint32_t set) const;
+
+    /**
+     * Panic (via SDBP_DCHECK) unless the sampler-set map is stable
+     * (stride divides the LLC evenly and every sampler set shadows
+     * exactly one LLC set) and the sampler/table invariants hold.
+     */
+    void auditInvariants() const;
 
     /** 15-bit signature of a PC. */
     std::uint64_t

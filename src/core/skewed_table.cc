@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/logging.hh"
+
 namespace sdbp
 {
 
@@ -10,7 +12,7 @@ SkewedTable::SkewedTable(const SkewedTableConfig &cfg) : cfg_(cfg)
     assert(cfg_.numTables >= 1 && cfg_.numTables <= 4);
     assert(cfg_.indexBits >= 1 && cfg_.indexBits <= 24);
     assert(cfg_.counterBits >= 1 && cfg_.counterBits <= 8);
-    counterMax_ = (1u << cfg_.counterBits) - 1;
+    counterMax_ = cfg_.counterMax();
     assert(cfg_.threshold <= cfg_.numTables * counterMax_);
     counters_.assign(static_cast<std::size_t>(cfg_.numTables)
                          << cfg_.indexBits,
@@ -61,8 +63,20 @@ SkewedTable::maxConfidence() const
 std::uint64_t
 SkewedTable::storageBits() const
 {
-    return static_cast<std::uint64_t>(counters_.size()) *
-        cfg_.counterBits;
+    return cfg_.storageBits();
+}
+
+void
+SkewedTable::auditInvariants() const
+{
+#if SDBP_DCHECK_ENABLED
+    SDBP_DCHECK_EQ(counters_.size(),
+                   cfg_.storageSpec().entries,
+                   "skewed table bank geometry drifted from config");
+    for (std::size_t i = 0; i < counters_.size(); ++i)
+        SDBP_DCHECK_LE(unsigned{counters_[i]}, counterMax_,
+                       "saturating counter overflowed its width");
+#endif // SDBP_DCHECK_ENABLED
 }
 
 } // namespace sdbp

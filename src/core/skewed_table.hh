@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/bitops.hh"
+#include "util/budget.hh"
 #include "util/hash.hh"
 
 namespace sdbp
@@ -27,6 +28,26 @@ struct SkewedTableConfig
     unsigned counterBits = 2;
     /** Sum-of-counters confidence threshold (8 in the paper). */
     unsigned threshold = 8;
+
+    /** Largest value one counter can hold. */
+    constexpr unsigned
+    counterMax() const
+    {
+        return budget::SaturatingCounterSpec{counterBits}.maxValue();
+    }
+
+    /** All banks as one uniform table of saturating counters. */
+    constexpr budget::TableSpec
+    storageSpec() const
+    {
+        return {std::uint64_t(numTables) << indexBits, counterBits};
+    }
+
+    constexpr std::uint64_t
+    storageBits() const
+    {
+        return storageSpec().total().count();
+    }
 };
 
 /**
@@ -58,13 +79,20 @@ class SkewedTable
     /** Highest reachable confidence (numTables * counterMax). */
     unsigned maxConfidence() const;
 
-    /** Total state in bits. */
+    /** Total state in bits (delegates to the config's constexpr
+     *  spec, so runtime and compile-time accounting agree). */
     std::uint64_t storageBits() const;
 
     const SkewedTableConfig &config() const { return cfg_; }
 
     /** Reset all counters to zero. */
     void reset();
+
+    /**
+     * Panic (via SDBP_DCHECK) if any counter exceeds its saturation
+     * maximum or the bank geometry drifted from the config.
+     */
+    void auditInvariants() const;
 
   private:
     std::size_t

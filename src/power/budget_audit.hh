@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The static, `static_assert`-driven hardware-budget audit.
+ *
+ * Every predictor config exposes constexpr storage accounting built
+ * from the spec types of `util/budget.hh`; this header evaluates the
+ * shipped configurations at compile time and pins them to the
+ * paper's budgets (Table I, Sec. IV).  Because the runtime
+ * `storageBits()` of each predictor delegates to the very same
+ * constexpr config functions, `power::storageOf()` can never drift
+ * from the numbers asserted here: an off-by-one in index width or a
+ * widened counter fails the build, not a benchmark three PRs later.
+ */
+
+#ifndef SDBP_POWER_BUDGET_AUDIT_HH
+#define SDBP_POWER_BUDGET_AUDIT_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/sdbp.hh"
+#include "predictor/aip.hh"
+#include "predictor/burst_trace.hh"
+#include "predictor/counting.hh"
+#include "predictor/reftrace.hh"
+#include "predictor/sampling_counting.hh"
+#include "predictor/time_based.hh"
+
+namespace sdbp
+{
+namespace budget_audit
+{
+
+/** The evaluation LLC: 2 MB of 64 B blocks (Sec. VI-A). */
+constexpr std::uint64_t llcBlocks2MB = 32768;
+constexpr std::uint64_t llcBytes2MB = 2ull * 1024 * 1024;
+
+/** One predictor configuration's compile-time storage accounting. */
+struct Row
+{
+    const char *label;
+    std::uint64_t predictorBits;
+    std::uint64_t metadataBitsPerBlock;
+
+    constexpr std::uint64_t
+    totalBits(std::uint64_t num_blocks) const
+    {
+        return predictorBits + metadataBitsPerBlock * num_blocks;
+    }
+};
+
+/**
+ * Every shipped predictor configuration, in the fixed order
+ * `power::StorageModel::shipped()` instantiates the live predictors
+ * (the pairing is positional — keep the two lists in sync).
+ */
+constexpr std::array<Row, 8>
+shippedRows()
+{
+    return {{
+        {"sampler (paper default)",
+         SdbpConfig::paperDefault().storageBits(),
+         SdbpConfig::paperDefault().metadataBitsPerBlock()},
+        {"sampler (single table)",
+         SdbpConfig::singleTable().storageBits(),
+         SdbpConfig::singleTable().metadataBitsPerBlock()},
+        {"reftrace", RefTraceConfig{}.storageBits(),
+         RefTraceConfig{}.metadataBitsPerBlock()},
+        {"counting", CountingConfig{}.storageBits(),
+         CountingConfig{}.metadataBitsPerBlock()},
+        {"sampling-counting", SamplingCountingConfig{}.storageBits(),
+         SamplingCountingConfig{}.metadataBitsPerBlock()},
+        {"aip", AipConfig{}.storageBits(),
+         AipConfig{}.metadataBitsPerBlock()},
+        {"time-based", TimeBasedConfig{}.storageBits(),
+         TimeBasedConfig{}.metadataBitsPerBlock()},
+        {"burst-trace", BurstTraceConfig{}.storageBits(),
+         BurstTraceConfig{}.metadataBitsPerBlock()},
+    }};
+}
+
+// ====================================================================
+// The paper's budgets, bit-exact.  A change to any config default or
+// storage formula that silently alters a modeled structure fails
+// right here.
+// ====================================================================
+
+// Skewed tables: three 4096-entry banks of 2-bit counters = 3 KB.
+static_assert(SkewedTableConfig{}.storageBits() == 3 * 4096 * 2,
+              "skewed table budget drifted from 3x4096x2 bits");
+static_assert(SkewedTableConfig{}.counterMax() == 3,
+              "2-bit saturating counters saturate at 3");
+
+// Sampler: 32 sets x 12 ways x (15 tag + 15 PC + valid + predicted
+// + 4 LRU) = 13824 bits = 1.6875 KB.
+static_assert(SamplerConfig{}.lruBits() == 4,
+              "12-way sampler needs 4 LRU bits");
+static_assert(SamplerConfig{}.storageBits() == 32 * 12 * 36,
+              "sampler tag array budget drifted from 32x12x36 bits");
+
+// SDBP: tables + sampler = 38400 bits (4.6875 KB), one metadata bit
+// per LLC block.
+static_assert(SdbpConfig::paperDefault().storageBits() == 38400,
+              "SDBP predictor budget drifted");
+static_assert(SdbpConfig::paperDefault().metadataBitsPerBlock() == 1,
+              "SDBP stores exactly one predicted-dead bit per block");
+// Single-table ablation: one 16384-entry bank (4x one skewed bank).
+static_assert(SdbpConfig::singleTable().table.storageBits() ==
+                  4 * SkewedTableConfig{}.storageBits() / 3,
+              "single-table bank is 4x one skewed bank");
+
+// Reftrace: 8 KB table + 16 metadata bits/block = 72 KB at 2 MB
+// (Table I).
+static_assert(RefTraceConfig{}.storageBits() == 8 * 8 * 1024,
+              "reftrace table budget drifted from 8 KB");
+static_assert(RefTraceConfig{}.metadataBitsPerBlock() == 16,
+              "reftrace per-block metadata drifted from 16 bits");
+
+// Counting (LvP): 40 KB table + 17 metadata bits/block = 108 KB at
+// 2 MB (Table I).
+static_assert(CountingConfig{}.storageBits() == 40 * 8 * 1024,
+              "counting table budget drifted from 40 KB");
+static_assert(CountingConfig{}.metadataBitsPerBlock() == 17,
+              "counting per-block metadata drifted from 17 bits");
+
+// Table I totals for the 2 MB LLC.
+static_assert(shippedRows()[2].totalBits(llcBlocks2MB) ==
+                  72 * 8 * 1024,
+              "reftrace Table I total drifted from 72 KB");
+static_assert(shippedRows()[3].totalBits(llcBlocks2MB) ==
+                  108 * 8 * 1024,
+              "counting Table I total drifted from 108 KB");
+// The headline claim: SDBP costs ~8.7 KB, well under 1% of the LLC,
+// >5x less than reftrace and >8x less than counting.
+static_assert(shippedRows()[0].totalBits(llcBlocks2MB) ==
+                  38400 + llcBlocks2MB,
+              "SDBP Table I total drifted");
+static_assert(shippedRows()[0].totalBits(llcBlocks2MB) * 100 <
+                  llcBytes2MB * 8,
+              "SDBP must stay under 1% of LLC capacity");
+static_assert(shippedRows()[0].totalBits(llcBlocks2MB) * 5 <
+                  shippedRows()[2].totalBits(llcBlocks2MB),
+              "SDBP must stay >5x smaller than reftrace");
+static_assert(shippedRows()[0].totalBits(llcBlocks2MB) * 8 <
+                  shippedRows()[3].totalBits(llcBlocks2MB),
+              "SDBP must stay >8x smaller than counting");
+
+} // namespace budget_audit
+} // namespace sdbp
+
+#endif // SDBP_POWER_BUDGET_AUDIT_HH

@@ -1,5 +1,16 @@
 #include "power/storage.hh"
 
+#include <memory>
+
+#include "core/sdbp.hh"
+#include "power/budget_audit.hh"
+#include "predictor/aip.hh"
+#include "predictor/burst_trace.hh"
+#include "predictor/counting.hh"
+#include "predictor/reftrace.hh"
+#include "predictor/sampling_counting.hh"
+#include "predictor/time_based.hh"
+
 namespace sdbp
 {
 
@@ -50,6 +61,40 @@ storageOf(const DeadBlockPredictor &predictor, std::uint64_t num_blocks)
     b.metadataBitsPerBlock = predictor.metadataBitsPerBlock();
     b.numBlocks = num_blocks;
     return b;
+}
+
+std::vector<StorageModel::Entry>
+StorageModel::shipped(std::uint64_t num_blocks)
+{
+    // Same order as budget_audit::shippedRows() — the pairing below
+    // is positional.
+    std::vector<std::unique_ptr<DeadBlockPredictor>> predictors;
+    predictors.push_back(std::make_unique<SamplingDeadBlockPredictor>(
+        SdbpConfig::paperDefault()));
+    predictors.push_back(std::make_unique<SamplingDeadBlockPredictor>(
+        SdbpConfig::singleTable()));
+    predictors.push_back(std::make_unique<RefTracePredictor>());
+    predictors.push_back(std::make_unique<CountingPredictor>());
+    predictors.push_back(std::make_unique<SamplingCountingPredictor>());
+    predictors.push_back(std::make_unique<AipPredictor>());
+    predictors.push_back(std::make_unique<TimeBasedPredictor>());
+    predictors.push_back(std::make_unique<BurstTracePredictor>());
+
+    constexpr auto rows = budget_audit::shippedRows();
+    static_assert(rows.size() == 8,
+                  "audit rows and predictor list must stay in sync");
+
+    std::vector<Entry> entries;
+    entries.reserve(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        Entry e;
+        e.label = rows[i].label;
+        e.breakdown = storageOf(*predictors[i], num_blocks);
+        e.auditPredictorBits = rows[i].predictorBits;
+        e.auditMetadataBitsPerBlock = rows[i].metadataBitsPerBlock;
+        entries.push_back(std::move(e));
+    }
+    return entries;
 }
 
 } // namespace sdbp

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "predictor/dead_block_predictor.hh"
 
@@ -48,6 +49,43 @@ struct StorageBreakdown
  *  @p num_blocks blocks. */
 StorageBreakdown storageOf(const DeadBlockPredictor &predictor,
                            std::uint64_t num_blocks);
+
+/**
+ * Runtime view of every shipped predictor configuration, paired
+ * with the compile-time budget audit of `power/budget_audit.hh`.
+ * `tools/check_budgets` prints it; `budget_test.cc` asserts that the
+ * live predictors and the constexpr accounting agree entry by entry.
+ */
+class StorageModel
+{
+  public:
+    struct Entry
+    {
+        /** Label from the compile-time audit row. */
+        std::string label;
+        /** Breakdown measured from a live predictor instance. */
+        StorageBreakdown breakdown;
+        /** The constexpr audit's numbers for the same config. */
+        std::uint64_t auditPredictorBits = 0;
+        std::uint64_t auditMetadataBitsPerBlock = 0;
+
+        /** Live predictor and compile-time audit agree. */
+        bool
+        consistent() const
+        {
+            return breakdown.predictorBits == auditPredictorBits &&
+                breakdown.metadataBitsPerBlock ==
+                auditMetadataBitsPerBlock;
+        }
+    };
+
+    /**
+     * Instantiate every shipped predictor config (same order as
+     * `budget_audit::shippedRows()`) over an LLC of @p num_blocks
+     * blocks.
+     */
+    static std::vector<Entry> shipped(std::uint64_t num_blocks);
+};
 
 } // namespace sdbp
 

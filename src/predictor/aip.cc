@@ -105,19 +105,13 @@ AipPredictor::onEvict(std::uint32_t set, Addr block_addr)
 std::uint64_t
 AipPredictor::storageBits() const
 {
-    // intervalBits + 1 confidence bit per entry, plus one interval
-    // counter per set.
-    return static_cast<std::uint64_t>(table_.size()) *
-        (cfg_.intervalBits + 1) +
-        static_cast<std::uint64_t>(cfg_.llcSets) * cfg_.intervalBits;
+    return cfg_.storageBits();
 }
 
 std::uint64_t
 AipPredictor::metadataBitsPerBlock() const
 {
-    // Hashed PC (8) + last-touch interval counter + max interval +
-    // learned threshold + confidence + prediction bit.
-    return 8 + cfg_.intervalBits * 3 + 1 + 1;
+    return cfg_.metadataBitsPerBlock();
 }
 
 } // namespace sdbp

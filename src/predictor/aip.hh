@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "predictor/dead_block_predictor.hh"
+#include "util/budget.hh"
 
 namespace sdbp
 {
@@ -31,6 +32,26 @@ struct AipConfig
     /** Intervals are quantized to ceil(log2) in this many bits. */
     unsigned intervalBits = 4;
     std::uint32_t llcSets = 2048;
+
+    /** Interval + confidence bit per entry, plus one per-set
+     *  interval counter. */
+    constexpr std::uint64_t
+    storageBits() const
+    {
+        const budget::TableSpec table{
+            std::uint64_t(1) << (rowBits + colBits),
+            intervalBits + 1};
+        const budget::TableSpec set_counters{llcSets, intervalBits};
+        return (table.total() + set_counters.total()).count();
+    }
+
+    /** Hashed PC (8) + last-touch interval + max interval + learned
+     *  threshold + confidence + prediction bit. */
+    constexpr std::uint64_t
+    metadataBitsPerBlock() const
+    {
+        return 8 + intervalBits * 3 + 1 + 1;
+    }
 };
 
 class AipPredictor : public DeadBlockPredictor

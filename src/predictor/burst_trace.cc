@@ -71,14 +71,13 @@ BurstTracePredictor::onEvict(std::uint32_t set, Addr block_addr)
 std::uint64_t
 BurstTracePredictor::storageBits() const
 {
-    return static_cast<std::uint64_t>(table_.size()) *
-        cfg_.counterBits;
+    return cfg_.storageBits();
 }
 
 std::uint64_t
 BurstTracePredictor::metadataBitsPerBlock() const
 {
-    return cfg_.signatureBits + 1;
+    return cfg_.metadataBitsPerBlock();
 }
 
 } // namespace sdbp

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "predictor/dead_block_predictor.hh"
+#include "util/budget.hh"
 #include "util/hash.hh"
 
 namespace sdbp
@@ -30,6 +31,26 @@ struct BurstTraceConfig
     unsigned counterBits = 2;
     unsigned threshold = 2;
     std::uint32_t llcSets = 2048;
+
+    /** The burst-history table of saturating counters. */
+    constexpr budget::TableSpec
+    storageSpec() const
+    {
+        return {std::uint64_t(1) << signatureBits, counterBits};
+    }
+
+    constexpr std::uint64_t
+    storageBits() const
+    {
+        return storageSpec().total().count();
+    }
+
+    /** Per-block signature + predicted-dead bit. */
+    constexpr std::uint64_t
+    metadataBitsPerBlock() const
+    {
+        return signatureBits + 1;
+    }
 };
 
 class BurstTracePredictor : public DeadBlockPredictor

@@ -77,17 +77,13 @@ CountingPredictor::onEvict(std::uint32_t set, Addr block_addr)
 std::uint64_t
 CountingPredictor::storageBits() const
 {
-    // counterBits + 1 confidence bit per entry.
-    return static_cast<std::uint64_t>(table_.size()) *
-        (cfg_.counterBits + 1);
+    return cfg_.storageBits();
 }
 
 std::uint64_t
 CountingPredictor::metadataBitsPerBlock() const
 {
-    // 8-bit hashed PC + two 4-bit counters + confidence bit
-    // (Sec. IV-B).
-    return 8 + cfg_.counterBits + cfg_.counterBits + 1;
+    return cfg_.metadataBitsPerBlock();
 }
 
 } // namespace sdbp

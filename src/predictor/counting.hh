@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "predictor/dead_block_predictor.hh"
+#include "util/budget.hh"
 
 namespace sdbp
 {
@@ -29,6 +30,27 @@ struct CountingConfig
     unsigned colBits = 8;
     /** Width of the per-entry access counter. */
     unsigned counterBits = 4;
+
+    /** PC x addr matrix of count + confidence-bit entries. */
+    constexpr budget::TableSpec
+    storageSpec() const
+    {
+        return {std::uint64_t(1) << (rowBits + colBits),
+                counterBits + 1};
+    }
+
+    constexpr std::uint64_t
+    storageBits() const
+    {
+        return storageSpec().total().count();
+    }
+
+    /** 8-bit hashed PC + two counters + confidence bit (Sec. IV-B). */
+    constexpr std::uint64_t
+    metadataBitsPerBlock() const
+    {
+        return 8 + counterBits + counterBits + 1;
+    }
 };
 
 class CountingPredictor : public DeadBlockPredictor

@@ -70,14 +70,13 @@ RefTracePredictor::signatureOf(Addr block_addr) const
 std::uint64_t
 RefTracePredictor::storageBits() const
 {
-    return static_cast<std::uint64_t>(table_.size()) * cfg_.counterBits;
+    return cfg_.storageBits();
 }
 
 std::uint64_t
 RefTracePredictor::metadataBitsPerBlock() const
 {
-    // 15-bit signature + predicted-dead bit per block (Sec. IV-A).
-    return cfg_.signatureBits + 1;
+    return cfg_.metadataBitsPerBlock();
 }
 
 } // namespace sdbp

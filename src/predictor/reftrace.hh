@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "predictor/dead_block_predictor.hh"
+#include "util/budget.hh"
 #include "util/hash.hh"
 
 namespace sdbp
@@ -27,6 +28,26 @@ struct RefTraceConfig
     unsigned signatureBits = 15;
     unsigned counterBits = 2;
     unsigned threshold = 2;
+
+    /** The history table: 2^signatureBits saturating counters. */
+    constexpr budget::TableSpec
+    storageSpec() const
+    {
+        return {std::uint64_t(1) << signatureBits, counterBits};
+    }
+
+    constexpr std::uint64_t
+    storageBits() const
+    {
+        return storageSpec().total().count();
+    }
+
+    /** Per-block signature + predicted-dead bit (Sec. IV-A). */
+    constexpr std::uint64_t
+    metadataBitsPerBlock() const
+    {
+        return signatureBits + 1;
+    }
 };
 
 class RefTracePredictor : public DeadBlockPredictor

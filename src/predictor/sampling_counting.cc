@@ -141,20 +141,13 @@ SamplingCountingPredictor::onEvict(std::uint32_t set, Addr block_addr)
 std::uint64_t
 SamplingCountingPredictor::storageBits() const
 {
-    const std::uint64_t table_bits =
-        (std::uint64_t(1) << cfg_.tableIndexBits) *
-        (cfg_.counterBits + 2);
-    const std::uint64_t entry_bits = cfg_.tagBits +
-        cfg_.tableIndexBits + cfg_.counterBits + 1 + 4;
-    return table_bits +
-        entry_bits * cfg_.samplerSets * cfg_.samplerAssoc;
+    return cfg_.storageBits();
 }
 
 std::uint64_t
 SamplingCountingPredictor::metadataBitsPerBlock() const
 {
-    // Fill signature + count + prediction bit per block.
-    return cfg_.tableIndexBits + cfg_.counterBits + 1;
+    return cfg_.metadataBitsPerBlock();
 }
 
 } // namespace sdbp

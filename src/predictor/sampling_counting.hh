@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "predictor/dead_block_predictor.hh"
+#include "util/budget.hh"
 #include "util/hash.hh"
 
 namespace sdbp
@@ -36,6 +37,34 @@ struct SamplingCountingConfig
     /** Confidence needed before predictions fire (2-bit counter). */
     unsigned confidenceThreshold = 2;
     std::uint32_t llcSets = 2048;
+
+    /** Count table: count + 2-bit confidence per entry. */
+    constexpr budget::TableSpec
+    tableSpec() const
+    {
+        return {std::uint64_t(1) << tableIndexBits, counterBits + 2};
+    }
+
+    /** Sampler: tag + fill signature + count + valid + 4 LRU bits. */
+    constexpr budget::TableSpec
+    samplerSpec() const
+    {
+        return {std::uint64_t(samplerSets) * samplerAssoc,
+                tagBits + tableIndexBits + counterBits + 1 + 4};
+    }
+
+    constexpr std::uint64_t
+    storageBits() const
+    {
+        return (tableSpec().total() + samplerSpec().total()).count();
+    }
+
+    /** Fill signature + count + prediction bit per block. */
+    constexpr std::uint64_t
+    metadataBitsPerBlock() const
+    {
+        return tableIndexBits + counterBits + 1;
+    }
 };
 
 class SamplingCountingPredictor : public DeadBlockPredictor

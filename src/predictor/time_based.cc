@@ -87,16 +87,13 @@ TimeBasedPredictor::learnedLiveTime(PC pc) const
 std::uint64_t
 TimeBasedPredictor::storageBits() const
 {
-    return static_cast<std::uint64_t>(liveTime_.size()) *
-        cfg_.timeBits +
-        static_cast<std::uint64_t>(cfg_.llcSets) * cfg_.timeBits;
+    return cfg_.storageBits();
 }
 
 std::uint64_t
 TimeBasedPredictor::metadataBitsPerBlock() const
 {
-    // Fill tick + last touch (quantized) + prediction bit.
-    return cfg_.timeBits * 2 + 1;
+    return cfg_.metadataBitsPerBlock();
 }
 
 } // namespace sdbp

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "predictor/dead_block_predictor.hh"
+#include "util/budget.hh"
 #include "util/hash.hh"
 
 namespace sdbp
@@ -31,6 +32,23 @@ struct TimeBasedConfig
     /** Idle threshold = liveTime * multiplier (2 in the paper). */
     unsigned multiplier = 2;
     std::uint32_t llcSets = 2048;
+
+    /** Live-time table plus one per-set coarse-tick counter. */
+    constexpr std::uint64_t
+    storageBits() const
+    {
+        const budget::TableSpec table{
+            std::uint64_t(1) << tableIndexBits, timeBits};
+        const budget::TableSpec set_counters{llcSets, timeBits};
+        return (table.total() + set_counters.total()).count();
+    }
+
+    /** Fill tick + last touch (quantized) + prediction bit. */
+    constexpr std::uint64_t
+    metadataBitsPerBlock() const
+    {
+        return timeBits * 2 + 1;
+    }
 };
 
 class TimeBasedPredictor : public DeadBlockPredictor

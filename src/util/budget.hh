@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Compile-time hardware-budget accounting.
+ *
+ * The paper's claims rest on exact structure sizes (Table I is pure
+ * bit arithmetic), so every predictor config in this repo describes
+ * its storage with the `constexpr` spec types below.  The runtime
+ * `storageBits()` of each structure delegates to the same spec its
+ * config exposes, and `power/budget_audit.hh` `static_assert`s the
+ * results against the paper's budgets — the power model and the
+ * simulated structures can therefore never disagree silently.
+ */
+
+#ifndef SDBP_UTIL_BUDGET_HH
+#define SDBP_UTIL_BUDGET_HH
+
+#include <cstdint>
+
+namespace sdbp
+{
+namespace budget
+{
+
+/**
+ * A count of state bits.  A distinct type (rather than a bare
+ * integer) so storage arithmetic cannot be accidentally mixed with
+ * entry counts or byte sizes; conversion to KB is explicit.
+ */
+class Bits
+{
+  public:
+    constexpr Bits() = default;
+    explicit constexpr Bits(std::uint64_t n) : count_(n) {}
+
+    constexpr std::uint64_t count() const { return count_; }
+    constexpr double
+    kilobytes() const
+    {
+        return static_cast<double>(count_) / 8.0 / 1024.0;
+    }
+
+    constexpr Bits
+    operator+(Bits other) const
+    {
+        return Bits{count_ + other.count_};
+    }
+
+    constexpr Bits
+    operator*(std::uint64_t n) const
+    {
+        return Bits{count_ * n};
+    }
+
+    constexpr bool operator==(const Bits &) const = default;
+    constexpr auto operator<=>(const Bits &) const = default;
+
+  private:
+    std::uint64_t count_ = 0;
+};
+
+/** Smallest @c n with 2^n >= @p v (field width holding 0..v-1). */
+constexpr unsigned
+widthForValues(std::uint64_t v)
+{
+    unsigned bits_needed = 0;
+    for (std::uint64_t reach = 1; reach < v; reach *= 2)
+        ++bits_needed;
+    return bits_needed;
+}
+
+/**
+ * A saturating counter field of a given width — the basic unit of
+ * every prediction table in the paper.
+ */
+struct SaturatingCounterSpec
+{
+    unsigned width = 2;
+
+    constexpr unsigned
+    maxValue() const
+    {
+        return (1u << width) - 1;
+    }
+
+    constexpr Bits bits() const { return Bits{width}; }
+};
+
+/**
+ * A table of uniform entries: @p entries rows of @p bitsPerEntry
+ * bits.  Describes counter banks, tag arrays and per-block metadata
+ * alike.
+ */
+struct TableSpec
+{
+    std::uint64_t entries = 0;
+    std::uint64_t bitsPerEntry = 0;
+
+    constexpr Bits
+    total() const
+    {
+        return Bits{entries * bitsPerEntry};
+    }
+};
+
+} // namespace budget
+} // namespace sdbp
+
+#endif // SDBP_UTIL_BUDGET_HH

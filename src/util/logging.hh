@@ -46,4 +46,59 @@ inform(const std::string &msg)
 
 } // namespace sdbp
 
+/*
+ * Debug-check macros in the DCHECK spirit: internal invariants that
+ * are cheap enough for debug and default (RelWithDebInfo) builds but
+ * compile to nothing in Release builds.  The build system defines
+ * SDBP_DCHECK_ENABLED (see the SDBP_DCHECK CMake option); standalone
+ * inclusion falls back on NDEBUG.
+ */
+#ifndef SDBP_DCHECK_ENABLED
+#ifdef NDEBUG
+#define SDBP_DCHECK_ENABLED 0
+#else
+#define SDBP_DCHECK_ENABLED 1
+#endif
+#endif
+
+#if SDBP_DCHECK_ENABLED
+
+/** Abort with @p msg unless @p cond holds. */
+#define SDBP_DCHECK(cond, msg)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::sdbp::panic(std::string("SDBP_DCHECK failed: ") + #cond + \
+                          " — " + (msg));                               \
+        }                                                               \
+    } while (0)
+
+#define SDBP_DCHECK_BINOP_(a, b, op, msg)                             \
+    do {                                                              \
+        const auto sdbp_dcheck_a_ = (a);                              \
+        const auto sdbp_dcheck_b_ = (b);                              \
+        if (!(sdbp_dcheck_a_ op sdbp_dcheck_b_)) {                    \
+            ::sdbp::panic(std::string("SDBP_DCHECK failed: ") + #a    \
+                          " " #op " " #b + " (" +                     \
+                          std::to_string(sdbp_dcheck_a_) + " vs " +   \
+                          std::to_string(sdbp_dcheck_b_) + ") — " +   \
+                          (msg));                                     \
+        }                                                             \
+    } while (0)
+
+/** Abort unless a < b, printing both values. */
+#define SDBP_DCHECK_LT(a, b, msg) SDBP_DCHECK_BINOP_(a, b, <, msg)
+/** Abort unless a <= b, printing both values. */
+#define SDBP_DCHECK_LE(a, b, msg) SDBP_DCHECK_BINOP_(a, b, <=, msg)
+/** Abort unless a == b, printing both values. */
+#define SDBP_DCHECK_EQ(a, b, msg) SDBP_DCHECK_BINOP_(a, b, ==, msg)
+
+#else
+
+#define SDBP_DCHECK(cond, msg) ((void)0)
+#define SDBP_DCHECK_LT(a, b, msg) ((void)0)
+#define SDBP_DCHECK_LE(a, b, msg) ((void)0)
+#define SDBP_DCHECK_EQ(a, b, msg) ((void)0)
+
+#endif // SDBP_DCHECK_ENABLED
+
 #endif // SDBP_UTIL_LOGGING_HH

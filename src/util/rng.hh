@@ -60,7 +60,8 @@ class Rng
         assert(bound != 0);
         // Lemire's multiply-shift rejection-free-ish reduction is
         // fine here; slight bias is irrelevant at these bounds.
-        return (static_cast<unsigned __int128>(next()) * bound) >> 64;
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
     }
 
     /** @return a uniform integer in [lo, hi] inclusive. */

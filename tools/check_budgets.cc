@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Hardware-budget audit tool.
+ *
+ * Prints, for every shipped predictor configuration, the storage the
+ * live structures report at runtime next to the compile-time numbers
+ * of `power/budget_audit.hh`, and fails (exit 1) on any mismatch.
+ * The interesting work already happened at compile time — the
+ * `static_assert` audit pins the configs to the paper's budgets —
+ * so this tool is the human-readable rendering of that proof plus a
+ * belt-and-braces runtime cross-check.
+ *
+ * Usage: check_budgets [llc_blocks]   (default 32768 = 2 MB of 64 B)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "power/budget_audit.hh"
+#include "power/storage.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace sdbp;
+
+    std::uint64_t llc_blocks = budget_audit::llcBlocks2MB;
+    if (argc > 1)
+        llc_blocks = std::strtoull(argv[1], nullptr, 10);
+    if (llc_blocks == 0) {
+        std::cerr << "usage: check_budgets [llc_blocks>0]\n";
+        return 2;
+    }
+    const std::uint64_t llc_bytes = llc_blocks * 64;
+
+    std::cout << "Hardware-budget audit: " << llc_blocks
+              << " LLC blocks (" << llc_bytes / 1024 << " KB)\n\n";
+
+    TextTable t({"Config", "Structures (KB)", "Audit (KB)",
+                 "Metadata bits/blk", "Audit bits/blk", "Total (KB)",
+                 "% of LLC", "Status"});
+
+    bool all_ok = true;
+    for (const auto &e : StorageModel::shipped(llc_blocks)) {
+        const bool ok = e.consistent();
+        all_ok = all_ok && ok;
+        t.row()
+            .cell(e.label)
+            .cell(e.breakdown.predictorKB(), 4)
+            .cell(static_cast<double>(e.auditPredictorBits) / 8.0 /
+                      1024.0,
+                  4)
+            .cell(e.breakdown.metadataBitsPerBlock)
+            .cell(e.auditMetadataBitsPerBlock)
+            .cell(e.breakdown.totalKB(), 4)
+            .cell(formatPercent(e.breakdown.fractionOfCache(llc_bytes),
+                                2))
+            .cell(ok ? "ok" : "MISMATCH");
+    }
+    t.print(std::cout);
+
+    if (!all_ok) {
+        std::cerr << "\nbudget audit FAILED: a live structure "
+                     "disagrees with the constexpr accounting\n";
+        return 1;
+    }
+    std::cout << "\nAll structures match the compile-time audit "
+                 "(which static_asserts the paper's Table I "
+                 "budgets).\n";
+    return 0;
+}

@@ -11,12 +11,14 @@
 #ifndef SDBP_BENCH_COMMON_HH
 #define SDBP_BENCH_COMMON_HH
 
+#include <cctype>
 #include <cstdio>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "obs/json.hh"
 #include "sim/runner.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -24,11 +26,19 @@
 namespace sdbp::bench
 {
 
-/** Strip the numeric SPEC prefix for compact rows ("456.hmmer"). */
+/** Strip the numeric SPEC prefix for compact rows:
+ *  "456.hmmer" -> "hmmer".  Names without the prefix pass through. */
 inline std::string
 shortName(const std::string &benchmark)
 {
-    return benchmark;
+    const auto dot = benchmark.find('.');
+    if (dot == std::string::npos || dot == 0 ||
+        dot + 1 >= benchmark.size())
+        return benchmark;
+    for (std::size_t i = 0; i < dot; ++i)
+        if (!std::isdigit(static_cast<unsigned char>(benchmark[i])))
+            return benchmark;
+    return benchmark.substr(dot + 1);
 }
 
 inline void
@@ -58,6 +68,101 @@ runSubset(PolicyKind kind, const RunConfig &cfg)
         out[bench] = runSingleCore(bench, kind, cfg);
     return out;
 }
+
+/**
+ * Machine-readable companion of a bench binary's printed tables.
+ * Each binary collects its TextTables here and calls write(), which
+ * produces BENCH_<name>.json in the working directory — the same
+ * numbers the terminal shows, parseable by tools/plots/CI.
+ */
+class JsonReport
+{
+  public:
+    JsonReport(std::string name, std::string paper_ref,
+               const RunConfig &cfg)
+        : name_(std::move(name)), paperRef_(std::move(paper_ref)),
+          warmup_(cfg.warmupInstructions),
+          measure_(cfg.measureInstructions)
+    {
+    }
+
+    /** For binaries that run no simulation (storage/power tables). */
+    JsonReport(std::string name, std::string paper_ref)
+        : name_(std::move(name)), paperRef_(std::move(paper_ref)),
+          warmup_(0), measure_(0)
+    {
+    }
+
+    /** Record one printed table under @p title. */
+    void
+    addTable(const std::string &title, const TextTable &t)
+    {
+        tables_.emplace_back(title, &t);
+    }
+
+    /** Free-form note (paper reference values etc.). */
+    void note(const std::string &text) { notes_.push_back(text); }
+
+    /** Write BENCH_<name>.json; reports failure on stderr. */
+    bool
+    write() const
+    {
+        obs::JsonValue root = obs::JsonValue::object();
+        root.set("schema", obs::JsonValue("sdbp.bench_report/1"));
+        root.set("bench", obs::JsonValue(name_));
+        root.set("paper_ref", obs::JsonValue(paperRef_));
+        obs::JsonValue config = obs::JsonValue::object();
+        config.set("warmup_instructions", obs::JsonValue(warmup_));
+        config.set("measure_instructions", obs::JsonValue(measure_));
+        root.set("config", std::move(config));
+
+        obs::JsonValue tables = obs::JsonValue::array();
+        for (const auto &[title, table] : tables_) {
+            obs::JsonValue jt = obs::JsonValue::object();
+            jt.set("title", obs::JsonValue(title));
+            obs::JsonValue headers = obs::JsonValue::array();
+            for (const auto &h : table->headers())
+                headers.push(obs::JsonValue(h));
+            jt.set("headers", std::move(headers));
+            obs::JsonValue rows = obs::JsonValue::array();
+            for (const auto &row : table->rows()) {
+                obs::JsonValue jr = obs::JsonValue::array();
+                for (const auto &cell : row)
+                    jr.push(obs::JsonValue(cell));
+                rows.push(std::move(jr));
+            }
+            jt.set("rows", std::move(rows));
+            tables.push(std::move(jt));
+        }
+        root.set("tables", std::move(tables));
+
+        obs::JsonValue notes = obs::JsonValue::array();
+        for (const auto &n : notes_)
+            notes.push(obs::JsonValue(n));
+        root.set("notes", std::move(notes));
+
+        const std::string path = "BENCH_" + name_ + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::cerr << "cannot write " << path << "\n";
+            return false;
+        }
+        const std::string text = root.dump() + "\n";
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+        std::cout << "[wrote " << path << "]\n";
+        return true;
+    }
+
+  private:
+    std::string name_;
+    std::string paperRef_;
+    InstCount warmup_;
+    InstCount measure_;
+    /** (title, table); tables must outlive the report. */
+    std::vector<std::pair<std::string, const TextTable *>> tables_;
+    std::vector<std::string> notes_;
+};
 
 } // namespace sdbp::bench
 

@@ -13,7 +13,8 @@ using namespace sdbp;
 namespace
 {
 
-void
+/** @return the rendered table so main can add it to the report. */
+TextTable
 runPart(const char *title, const std::vector<PolicyKind> &policies,
         const RunConfig &cfg)
 {
@@ -59,6 +60,7 @@ runPart(const char *title, const std::vector<PolicyKind> &policies,
                   << formatDouble(amean(norm_mpki[policyName(kind)]),
                                   2);
     std::cout << "\n";
+    return t;
 }
 
 } // anonymous namespace
@@ -77,19 +79,29 @@ main()
     cfg.measureInstructions =
         std::max<InstCount>(cfg.measureInstructions / 2, 500000);
 
-    runPart("(a) default LRU cache", multicoreLruPolicies(), cfg);
+    const TextTable ta =
+        runPart("(a) default LRU cache", multicoreLruPolicies(), cfg);
     std::cout <<
         "Paper reference (gmean): Sampler 1.125, CDBP 1.10, TADIP "
         "1.076, TDBP 1.056, RRIP 1.045.\n";
 
-    runPart("(b) default random cache", multicoreRandomPolicies(),
-            cfg);
+    const TextTable tb = runPart("(b) default random cache",
+                                 multicoreRandomPolicies(), cfg);
     std::cout <<
         "Paper reference (gmean): Random Sampler 1.07, Random CDBP "
         "1.06, Random ~1.00.\n"
         "Paper normalized MPKIs: Sampler 0.77, CDBP 0.79, TADIP 0.85, "
         "TDBP 0.95, Random Sampler 0.82,\nRRIP 0.93 (multi-core), "
         "Random CDBP 0.84.\n";
+
+    bench::JsonReport report("fig10_multicore",
+                             "Fig. 10(a)/(b), Sec. VII-D", cfg);
+    report.addTable("(a) default LRU cache", ta);
+    report.addTable("(b) default random cache", tb);
+    report.note("Paper gmean: Sampler 1.125, CDBP 1.10, TADIP 1.076, "
+                "TDBP 1.056, RRIP 1.045; Random Sampler 1.07, Random "
+                "CDBP 1.06");
+    report.write();
     bench::footer();
     return 0;
 }

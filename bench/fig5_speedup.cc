@@ -23,7 +23,7 @@ main()
 
     for (const auto &bench : memoryIntensiveSubset()) {
         const RunResult lru = runSingleCore(bench, PolicyKind::Lru, cfg);
-        auto &row = t.row().cell(bench);
+        auto &row = t.row().cell(sdbp::bench::shortName(bench));
         for (const auto kind : policies) {
             const RunResult r = runSingleCore(bench, kind, cfg);
             const double speedup =
@@ -42,6 +42,13 @@ main()
         "\nPaper reference (gmean speedup): TDBP ~1.00, CDBP 1.023, "
         "DIP 1.031, RRIP 1.041,\nSampler 1.059.  The sampler should "
         "deliver the best geometric mean here.\n";
+
+    bench::JsonReport report("fig5_speedup", "Fig. 5, Sec. VII-A2",
+                             cfg);
+    report.addTable("speedup over LRU (LRU default)", t);
+    report.note("Paper gmean speedup: TDBP ~1.00, CDBP 1.023, "
+                "DIP 1.031, RRIP 1.041, Sampler 1.059");
+    report.write();
     bench::footer();
     return 0;
 }

@@ -125,6 +125,14 @@ main()
         "\nPaper reference: DBRB alone 1.034, +3 tables 1.023, "
         "+sampler 1.038,\n+sampler+3 tables 1.040, +sampler+12-way "
         "1.056, full 1.059.\n";
+
+    bench::JsonReport report("fig6_ablation",
+                             "Fig. 6, Sec. VII-A4", cfg);
+    report.addTable("component contribution ablation", t);
+    report.note("Paper: DBRB alone 1.034, +3 tables 1.023, +sampler "
+                "1.038, +sampler+3 tables 1.040, +sampler+12-way "
+                "1.056, full 1.059");
+    report.write();
     bench::footer();
     return 0;
 }

@@ -23,7 +23,7 @@ main()
 
     for (const auto &bench : memoryIntensiveSubset()) {
         const RunResult lru = runSingleCore(bench, PolicyKind::Lru, cfg);
-        auto &row = t.row().cell(bench);
+        auto &row = t.row().cell(sdbp::bench::shortName(bench));
         for (const auto kind : policies) {
             const RunResult r = runSingleCore(bench, kind, cfg);
             const double speedup =
@@ -41,6 +41,13 @@ main()
     std::cout <<
         "\nPaper reference (gmean): Random 0.989, Random CDBP 1.001, "
         "Random Sampler 1.034.\n";
+
+    bench::JsonReport report("fig8_random_speedup",
+                             "Fig. 8, Sec. VII-B2", cfg);
+    report.addTable("speedup over LRU (random default)", t);
+    report.note("Paper gmean: Random 0.989, Random CDBP 1.001, "
+                "Random Sampler 1.034");
+    report.write();
     bench::footer();
     return 0;
 }

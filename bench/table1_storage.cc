@@ -58,6 +58,14 @@ main()
         "see EXPERIMENTS.md).  Either way the sampling predictor is\n"
         "well under 1% of LLC capacity while reftrace and counting\n"
         "cost 3.5% and 5.3%.\n";
+
+    bench::JsonReport report("table1_storage",
+                             "Table I, Sec. IV-A/B/C");
+    report.addTable("predictor storage overhead", t);
+    report.note("Paper totals (KB): reftrace 72, counting 108, "
+                "sampler 13.75 (see EXPERIMENTS.md on the sampler "
+                "discrepancy)");
+    report.write();
     bench::footer();
     return 0;
 }

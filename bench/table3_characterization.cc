@@ -41,7 +41,7 @@ main()
             std::find(subset.begin(), subset.end(), name) !=
             subset.end();
         t.row()
-            .cell(name)
+            .cell(bench::shortName(name))
             .cell(lru.mpki, 2)
             .cell(min_mpki, 2)
             .cell(lru.ipc, 2)
@@ -51,6 +51,12 @@ main()
     t.print(std::cout);
     std::cout << "\n'*' marks the 19-benchmark memory-intensive subset "
                  "used by Figs. 4-9.\n";
+
+    bench::JsonReport report("table3_characterization",
+                             "Table III, Sec. VI-A1", cfg);
+    report.addTable("benchmark characterization", t);
+    report.note("'*' marks the 19-benchmark memory-intensive subset");
+    report.write();
     bench::footer();
     return 0;
 }

@@ -33,7 +33,7 @@ main()
         std::string benches;
         for (const auto &b : mix.benchmarks)
             benches += (benches.empty() ? "" : " ") +
-                b.substr(b.find('.') + 1);
+                bench::shortName(b);
         auto &row = t.row().cell(mix.name).cell(benches);
         for (const auto sets : llc_sets) {
             RunConfig cfg = base;
@@ -45,6 +45,11 @@ main()
     t.print(std::cout);
     std::cout << "\nMPKI falls with shared-LLC size; the decline rate "
                  "is each mix's cache sensitivity curve.\n";
+
+    bench::JsonReport report("table4_mixes", "Table IV, Sec. VI-A2",
+                             base);
+    report.addTable("multi-core workload mixes", t);
+    report.write();
     bench::footer();
     return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/stat_registry.hh"
+#include "obs/trace_sink.hh"
 #include "trace/access.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
@@ -19,6 +21,38 @@ double
 CacheStats::efficiency() const
 {
     return totalTime > 0 ? liveTime / totalTime : 0.0;
+}
+
+void
+CacheStats::registerStats(obs::StatRegistry &reg,
+                          const std::string &prefix) const
+{
+    using obs::StatRegistry;
+    reg.addCounter(StatRegistry::join(prefix, "demand_accesses"),
+                   &demandAccesses);
+    reg.addCounter(StatRegistry::join(prefix, "demand_hits"),
+                   &demandHits);
+    reg.addCounter(StatRegistry::join(prefix, "demand_misses"),
+                   &demandMisses);
+    reg.addCounter(StatRegistry::join(prefix, "writeback_accesses"),
+                   &writebackAccesses);
+    reg.addCounter(StatRegistry::join(prefix, "writeback_hits"),
+                   &writebackHits);
+    reg.addCounter(StatRegistry::join(prefix, "fills"), &fills);
+    reg.addCounter(StatRegistry::join(prefix, "bypasses"), &bypasses);
+    reg.addCounter(StatRegistry::join(prefix, "evictions"),
+                   &evictions);
+    reg.addCounter(StatRegistry::join(prefix, "dirty_evictions"),
+                   &dirtyEvictions);
+}
+
+void
+Cache::registerStats(obs::StatRegistry &reg,
+                     const std::string &prefix) const
+{
+    stats_.registerStats(reg, prefix);
+    reg.addGauge(obs::StatRegistry::join(prefix, "efficiency"),
+                 [this] { return stats_.efficiency(); });
 }
 
 Cache::Cache(const CacheConfig &cfg,
@@ -143,6 +177,8 @@ Cache::fill(const AccessInfo &info, std::uint64_t now)
 
     if (policy_->shouldBypass(set, info)) {
         ++stats_.bypasses;
+        SDBP_TRACE_EVENT(trace_, now, obs::TraceEventKind::Bypass, set,
+                         info.blockAddr, info.pc, true);
         return evicted;
     }
 
@@ -167,6 +203,9 @@ Cache::fill(const AccessInfo &info, std::uint64_t now)
         ++stats_.evictions;
         if (victim_blk.dirty)
             ++stats_.dirtyEvictions;
+        SDBP_TRACE_EVENT(trace_, now, obs::TraceEventKind::Eviction,
+                         set, victim_blk.blockAddr, 0,
+                         victim_blk.predictedDead);
         policy_->onEvict(set, way, victim_blk);
     }
 
@@ -179,6 +218,8 @@ Cache::fill(const AccessInfo &info, std::uint64_t now)
     blk.fillTick = now;
     blk.lastTouchTick = now;
     ++stats_.fills;
+    SDBP_TRACE_EVENT(trace_, now, obs::TraceEventKind::Fill, set,
+                     info.blockAddr, info.pc, false);
     policy_->onFill(set, way, blk, info);
 
 #if SDBP_DCHECK_ENABLED

@@ -20,6 +20,12 @@
 namespace sdbp
 {
 
+namespace obs
+{
+class StatRegistry;
+class TraceSink;
+} // namespace obs
+
 /** Static geometry of one cache. */
 struct CacheConfig
 {
@@ -54,6 +60,15 @@ struct CacheStats
 
     /** Live-time ratio: the cache "efficiency" of Fig. 1. */
     double efficiency() const;
+
+    /**
+     * Register every counter under @p prefix ("llc" ->
+     * "llc.demand_misses", ...).  The stats object must outlive the
+     * registry; the registry pulls at snapshot time, so registration
+     * adds no per-access cost.
+     */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const;
 };
 
 /** What fell out of the cache during a fill or writeback allocate. */
@@ -117,6 +132,18 @@ class Cache
 
     const CacheConfig &config() const { return cfg_; }
     const CacheStats &stats() const { return stats_; }
+
+    /** Register counters + an efficiency gauge under @p prefix. */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const;
+
+    /**
+     * Attach an event-trace sink (nullptr detaches).  Fill, bypass
+     * and eviction events on the miss path are recorded; the hit
+     * path is never touched.
+     */
+    void setTraceSink(obs::TraceSink *sink) { trace_ = sink; }
+
     ReplacementPolicy &policy() { return *policy_; }
     const ReplacementPolicy &policy() const { return *policy_; }
 
@@ -141,6 +168,7 @@ class Cache
     std::unique_ptr<ReplacementPolicy> policy_;
     std::vector<CacheBlock> blocks_;
     CacheStats stats_;
+    obs::TraceSink *trace_ = nullptr;
     /** Per-frame accumulated live/total time (trackEfficiency). */
     std::vector<double> frameLive_;
     std::vector<double> frameTotal_;

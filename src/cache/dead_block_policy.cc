@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/stat_registry.hh"
+#include "obs/trace_sink.hh"
 #include "util/stats.hh"
 
 namespace sdbp
@@ -80,11 +82,22 @@ DeadBlockPolicy::onAccess(std::uint32_t set, int hit_way,
                                            info.pc, info.thread);
     if (dead)
         ++stats_.positives;
+    // The policy has no notion of time, so Prediction events are
+    // keyed by the consultation index.
+    SDBP_TRACE_EVENT(trace_, stats_.predictions,
+                     obs::TraceEventKind::Prediction, set,
+                     info.blockAddr, info.pc, dead);
 
     if (hit_way >= 0) {
         assert(blk != nullptr);
-        if (blk->predictedDead)
+        // A demand hit proves the block was live; classify the
+        // prediction bit it was carrying before re-predicting.
+        if (blk->predictedDead) {
             ++stats_.falsePositiveHits;
+            ++confusion_.deadHit;
+        } else {
+            ++confusion_.liveHit;
+        }
         blk->predictedDead = dead;
     } else {
         lastPrediction_ = dead;
@@ -159,6 +172,11 @@ void
 DeadBlockPolicy::onEvict(std::uint32_t set, std::uint32_t way,
                          const CacheBlock &blk)
 {
+    // Eviction without reuse proves the block was dead.
+    if (blk.predictedDead)
+        ++confusion_.deadEvicted;
+    else
+        ++confusion_.liveEvicted;
     predictor_->onEvict(set, blk.blockAddr);
     inner_->onEvict(set, way, blk);
 }
@@ -180,6 +198,28 @@ std::uint32_t
 DeadBlockPolicy::rank(std::uint32_t set, std::uint32_t way) const
 {
     return inner_->rank(set, way);
+}
+
+void
+DeadBlockPolicy::registerStats(obs::StatRegistry &reg,
+                               const std::string &prefix) const
+{
+    using obs::StatRegistry;
+    reg.addCounter(StatRegistry::join(prefix, "predictions"),
+                   &stats_.predictions);
+    reg.addCounter(StatRegistry::join(prefix, "positives"),
+                   &stats_.positives);
+    reg.addCounter(StatRegistry::join(prefix, "false_positive_hits"),
+                   &stats_.falsePositiveHits);
+    reg.addCounter(StatRegistry::join(prefix, "bypass_reuses"),
+                   &stats_.bypassReuses);
+    reg.addCounter(StatRegistry::join(prefix, "dead_evictions"),
+                   &stats_.deadEvictions);
+    reg.addCounter(StatRegistry::join(prefix, "bypasses"),
+                   &stats_.bypasses);
+    confusion_.registerStats(reg,
+                             StatRegistry::join(prefix, "confusion"));
+    predictor_->registerStats(reg, StatRegistry::join(prefix, "pred"));
 }
 
 std::string

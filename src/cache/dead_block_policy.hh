@@ -18,10 +18,17 @@
 #include <unordered_map>
 
 #include "cache/policy.hh"
+#include "obs/confusion.hh"
 #include "predictor/dead_block_predictor.hh"
 
 namespace sdbp
 {
+
+namespace obs
+{
+class StatRegistry;
+class TraceSink;
+} // namespace obs
 
 /** Accuracy/coverage accounting for Fig. 9. */
 struct DbrbStats
@@ -83,9 +90,25 @@ class DeadBlockPolicy : public ReplacementPolicy
     std::string name() const override;
 
     const DbrbStats &dbrbStats() const { return stats_; }
+    const obs::ConfusionMatrix &confusion() const { return confusion_; }
     DeadBlockPredictor &predictor() { return *predictor_; }
     const DeadBlockPredictor &predictor() const { return *predictor_; }
     ReplacementPolicy &inner() { return *inner_; }
+
+    /**
+     * Register the DBRB counters under "<prefix>.*", the confusion
+     * matrix under "<prefix>.confusion.*" and the wrapped predictor's
+     * stats under "<prefix>.pred.*".
+     */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const;
+
+    /**
+     * Attach an event-trace sink (nullptr detaches).  Records one
+     * Prediction event per predictor consultation, keyed by the
+     * consultation index (the policy has no notion of time).
+     */
+    void setTraceSink(obs::TraceSink *sink) { trace_ = sink; }
 
   private:
     void noteBypass(Addr block_addr);
@@ -95,6 +118,8 @@ class DeadBlockPolicy : public ReplacementPolicy
     std::unique_ptr<DeadBlockPredictor> predictor_;
     DeadBlockPolicyConfig cfg_;
     DbrbStats stats_;
+    obs::ConfusionMatrix confusion_;
+    obs::TraceSink *trace_ = nullptr;
 
     /** Prediction computed for the in-flight miss. */
     bool lastPrediction_ = false;

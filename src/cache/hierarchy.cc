@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "cache/lru.hh"
+#include "obs/stat_registry.hh"
 #include "util/logging.hh"
 
 namespace sdbp
@@ -111,6 +112,19 @@ Hierarchy::access(ThreadId core, const MemAccess &acc, std::uint64_t now)
     res.level = l2_hit ? ServiceLevel::L2
         : llc_hit ? ServiceLevel::Llc : ServiceLevel::Memory;
     return res;
+}
+
+void
+Hierarchy::registerStats(obs::StatRegistry &reg) const
+{
+    for (std::uint32_t c = 0; c < cfg_.numCores; ++c) {
+        const std::string core = "core" + std::to_string(c);
+        l1_[c]->registerStats(reg, core + ".l1");
+        l2_[c]->registerStats(reg, core + ".l2");
+    }
+    llc_->registerStats(reg, "llc");
+    reg.addCounter("mem.reads", &memReads_);
+    reg.addCounter("mem.writes", &memWrites_);
 }
 
 void

@@ -110,6 +110,15 @@ class Hierarchy
     /** Clear statistics in every cache (content is preserved). */
     void clearStats();
 
+    /**
+     * Register every cache's counters plus the DRAM traffic counters:
+     * "coreN.l1.*", "coreN.l2.*", "llc.*", "mem.reads", "mem.writes".
+     */
+    void registerStats(obs::StatRegistry &reg) const;
+
+    /** Attach an event-trace sink to the LLC (nullptr detaches). */
+    void setTraceSink(obs::TraceSink *sink) { llc_->setTraceSink(sink); }
+
   private:
     void writebackTo(int level, ThreadId core, Addr block_addr,
                      ThreadId owner, std::uint64_t now);

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/stat_registry.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -148,6 +149,21 @@ std::uint64_t
 Sampler::storageBits() const
 {
     return cfg_.storageBits();
+}
+
+void
+Sampler::registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const
+{
+    using obs::StatRegistry;
+    reg.addCounter(StatRegistry::join(prefix, "hits"), &hits_);
+    reg.addCounter(StatRegistry::join(prefix, "replacements"),
+                   &replacements_);
+    reg.addCounter(StatRegistry::join(prefix, "trained_evictions"),
+                   &trainedEvictions_);
+    reg.addGauge(StatRegistry::join(prefix, "storage_bits"), [this] {
+        return static_cast<double>(storageBits());
+    });
 }
 
 void

@@ -9,6 +9,7 @@
 #define SDBP_CORE_SAMPLER_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/skewed_table.hh"
@@ -123,6 +124,13 @@ class Sampler
     std::uint64_t hits() const { return hits_; }
     std::uint64_t replacements() const { return replacements_; }
     std::uint64_t trainedEvictions() const { return trainedEvictions_; }
+
+    /**
+     * Register the training event counters plus a storage_bits gauge
+     * under @p prefix ("...sampler" -> "...sampler.hits", ...).
+     */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const;
 
     void reset();
 

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/stat_registry.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -90,6 +91,21 @@ std::uint64_t
 SamplingDeadBlockPredictor::metadataBitsPerBlock() const
 {
     return cfg_.metadataBitsPerBlock();
+}
+
+void
+SamplingDeadBlockPredictor::registerStats(
+    obs::StatRegistry &reg, const std::string &prefix) const
+{
+    using obs::StatRegistry;
+    DeadBlockPredictor::registerStats(reg, prefix);
+    reg.addCounter(StatRegistry::join(prefix, "lookups"), &lookups_);
+    reg.addCounter(StatRegistry::join(prefix, "updates"), &updates_);
+    if (cfg_.useSampler) {
+        sampler_.registerStats(reg,
+                               StatRegistry::join(prefix, "sampler"));
+    }
+    table_.registerStats(reg, StatRegistry::join(prefix, "table"));
 }
 
 void

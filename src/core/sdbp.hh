@@ -103,6 +103,13 @@ class SamplingDeadBlockPredictor : public DeadBlockPredictor
     std::uint64_t storageBits() const override;
     std::uint64_t metadataBitsPerBlock() const override;
 
+    /**
+     * Base gauges plus lookup/update counters and the sampler's and
+     * table's own stats ("<prefix>.sampler.*", "<prefix>.table.*").
+     */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const override;
+
     /** Number of LLC accesses that updated predictor state. */
     std::uint64_t updates() const { return updates_; }
     /** Number of predictor consultations. */

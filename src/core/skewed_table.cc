@@ -1,7 +1,9 @@
 #include "core/skewed_table.hh"
 
+#include <algorithm>
 #include <cassert>
 
+#include "obs/stat_registry.hh"
 #include "util/logging.hh"
 
 namespace sdbp
@@ -64,6 +66,33 @@ std::uint64_t
 SkewedTable::storageBits() const
 {
     return cfg_.storageBits();
+}
+
+void
+SkewedTable::registerStats(obs::StatRegistry &reg,
+                           const std::string &prefix) const
+{
+    using obs::StatRegistry;
+    reg.addGauge(StatRegistry::join(prefix, "storage_bits"), [this] {
+        return static_cast<double>(storageBits());
+    });
+    reg.addGauge(StatRegistry::join(prefix, "nonzero_frac"), [this] {
+        const auto n = std::count_if(counters_.begin(), counters_.end(),
+                                     [](std::uint8_t c) {
+                                         return c != 0;
+                                     });
+        return static_cast<double>(n) /
+            static_cast<double>(counters_.size());
+    });
+    reg.addGauge(StatRegistry::join(prefix, "saturated_frac"), [this] {
+        const auto n =
+            std::count_if(counters_.begin(), counters_.end(),
+                          [this](std::uint8_t c) {
+                              return unsigned{c} >= counterMax_;
+                          });
+        return static_cast<double>(n) /
+            static_cast<double>(counters_.size());
+    });
 }
 
 void

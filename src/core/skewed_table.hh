@@ -9,6 +9,7 @@
 #define SDBP_CORE_SKEWED_TABLE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/bitops.hh"
@@ -17,6 +18,11 @@
 
 namespace sdbp
 {
+
+namespace obs
+{
+class StatRegistry;
+} // namespace obs
 
 struct SkewedTableConfig
 {
@@ -87,6 +93,14 @@ class SkewedTable
 
     /** Reset all counters to zero. */
     void reset();
+
+    /**
+     * Register "<prefix>.storage_bits" plus occupancy gauges: the
+     * fraction of counters that are nonzero and the fraction pinned
+     * at saturation.  Gauges scan the banks only at snapshot time.
+     */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const;
 
     /**
      * Panic (via SDBP_DCHECK) if any counter exceeds its saturation

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/stat_registry.hh"
+
 namespace sdbp
 {
 
@@ -83,6 +85,18 @@ Cycle
 CoreModel::cycles() const
 {
     return std::max(dispatchCycle_, maxCompletion_);
+}
+
+void
+CoreModel::registerStats(obs::StatRegistry &reg,
+                         const std::string &prefix) const
+{
+    using obs::StatRegistry;
+    reg.addCounter(StatRegistry::join(prefix, "instructions"),
+                   &instructions_);
+    reg.addGauge(StatRegistry::join(prefix, "cycles"), [this] {
+        return static_cast<double>(cycles());
+    });
 }
 
 } // namespace sdbp

@@ -17,12 +17,18 @@
 #define SDBP_CPU_CORE_MODEL_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/types.hh"
 
 namespace sdbp
 {
+
+namespace obs
+{
+class StatRegistry;
+} // namespace obs
 
 struct CoreConfig
 {
@@ -58,6 +64,14 @@ class CoreModel
 
     /** Restart counters (window state is cleared too). */
     void reset();
+
+    /**
+     * Register "<prefix>.instructions" (counter) and
+     * "<prefix>.cycles" (gauge: cycles() drains in-flight work, so
+     * it is computed, not a plain counter).
+     */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     void dispatch(Cycle completion);

@@ -2,7 +2,10 @@
 
 #include <cassert>
 #include <limits>
+#include <optional>
 
+#include "obs/profiler.hh"
+#include "obs/stat_registry.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -37,6 +40,17 @@ System::step(std::uint32_t c, AccessGenerator &gen)
     tick_ += rec.gap + 1;
 }
 
+void
+System::registerStats(obs::StatRegistry &reg) const
+{
+    reg.addCounter("sys.instructions", &tick_);
+    for (std::uint32_t c = 0; c < hcfg_.numCores; ++c) {
+        cores_[c].registerStats(reg,
+                                "core" + std::to_string(c));
+    }
+    hierarchy_.registerStats(reg);
+}
+
 std::vector<ThreadRunResult>
 System::run(const std::vector<AccessGenerator *> &gens,
             InstCount warmup, InstCount measure)
@@ -62,6 +76,10 @@ System::run(const std::vector<AccessGenerator *> &gens,
 
     // --- Warm-up phase ---
     if (warmup > 0) {
+        std::optional<obs::Profiler::Scope> prof;
+        if (profiler_)
+            prof.emplace(profiler_->scope("warmup"));
+        const std::uint64_t warmup_start = tick_;
         std::vector<bool> warming(n, true);
         std::uint32_t still_warming = n;
         while (still_warming > 0) {
@@ -73,6 +91,8 @@ System::run(const std::vector<AccessGenerator *> &gens,
             }
         }
         hierarchy_.clearStats();
+        if (profiler_)
+            profiler_->addEvents("warmup", tick_ - warmup_start);
     }
 
     // --- Measurement phase ---
@@ -81,6 +101,21 @@ System::run(const std::vector<AccessGenerator *> &gens,
     for (std::uint32_t c = 0; c < n; ++c) {
         start_insts[c] = cores_[c].instructions();
         start_cycles[c] = cores_[c].cycles();
+    }
+
+    std::optional<obs::Profiler::Scope> prof;
+    if (profiler_)
+        prof.emplace(profiler_->scope("measure"));
+    const std::uint64_t measure_start = tick_;
+
+    // Heartbeats only fire in this phase: warmup stats were just
+    // cleared, so from here on every registered counter is monotone
+    // across snapshots.  The baseline sample anchors interval 0.
+    std::uint64_t next_beat =
+        std::numeric_limits<std::uint64_t>::max();
+    if (heartbeatInterval_ > 0 && heartbeat_) {
+        heartbeat_(tick_);
+        next_beat = tick_ + heartbeatInterval_;
     }
 
     std::vector<ThreadRunResult> results(n);
@@ -92,6 +127,10 @@ System::run(const std::vector<AccessGenerator *> &gens,
         // contention, so everyone is eligible.
         const std::uint32_t c = next_core(all);
         step(c, *gens[c]);
+        if (tick_ >= next_beat) {
+            heartbeat_(tick_);
+            next_beat = tick_ + heartbeatInterval_;
+        }
         if (running[c] &&
             cores_[c].instructions() - start_insts[c] >= measure) {
             running[c] = false;
@@ -105,6 +144,10 @@ System::run(const std::vector<AccessGenerator *> &gens,
             gens[c]->reset();
         }
     }
+    if (heartbeatInterval_ > 0 && heartbeat_)
+        heartbeat_(tick_); // final partial interval
+    if (profiler_)
+        profiler_->addEvents("measure", tick_ - measure_start);
     return results;
 }
 

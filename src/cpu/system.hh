@@ -11,6 +11,7 @@
 #ifndef SDBP_CPU_SYSTEM_HH
 #define SDBP_CPU_SYSTEM_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -20,6 +21,12 @@
 
 namespace sdbp
 {
+
+namespace obs
+{
+class Profiler;
+class StatRegistry;
+} // namespace obs
 
 /** Per-thread outcome of a run. */
 struct ThreadRunResult
@@ -56,6 +63,35 @@ class System
     /** Global tick (total instructions executed by all cores). */
     std::uint64_t tick() const { return tick_; }
 
+    /**
+     * Register "sys.instructions" (the global tick), every core's
+     * counters ("coreN.*") and the whole hierarchy.
+     */
+    void registerStats(obs::StatRegistry &reg) const;
+
+    /**
+     * Fire @p callback every @p interval ticks during the
+     * *measurement* phase of run() (the stats clear at the
+     * warmup/measure boundary would break counter monotonicity if
+     * warmup were included).  The callback also fires at the phase
+     * boundaries, giving interval snapshots a baseline and a final
+     * sample.  Costs one integer compare per step; interval 0
+     * disables.
+     */
+    void
+    setHeartbeat(std::uint64_t interval,
+                 std::function<void(std::uint64_t)> callback)
+    {
+        heartbeatInterval_ = interval;
+        heartbeat_ = std::move(callback);
+    }
+
+    /** Attach a wall-clock profiler to run() (nullptr detaches). */
+    void setProfiler(obs::Profiler *profiler)
+    {
+        profiler_ = profiler;
+    }
+
   private:
     /** Advance core @p c by one trace record. */
     void step(std::uint32_t c, AccessGenerator &gen);
@@ -67,6 +103,10 @@ class System
     std::uint64_t tick_ = 0;
     /** Cycle at which the shared DRAM channel is next free. */
     Cycle memFree_ = 0;
+
+    std::uint64_t heartbeatInterval_ = 0;
+    std::function<void(std::uint64_t)> heartbeat_;
+    obs::Profiler *profiler_ = nullptr;
 };
 
 } // namespace sdbp

@@ -1,0 +1,35 @@
+#include "obs/confusion.hh"
+
+#include "obs/stat_registry.hh"
+#include "util/stats.hh"
+
+namespace sdbp::obs
+{
+
+double
+ConfusionMatrix::accuracy() const
+{
+    return ratio(static_cast<double>(deadEvicted + liveHit),
+                 static_cast<double>(total()));
+}
+
+double
+ConfusionMatrix::falseDiscoveryRate() const
+{
+    return ratio(static_cast<double>(deadHit),
+                 static_cast<double>(deadHit + deadEvicted));
+}
+
+void
+ConfusionMatrix::registerStats(StatRegistry &reg,
+                               const std::string &prefix) const
+{
+    reg.addCounter(StatRegistry::join(prefix, "dead_evicted"),
+                   &deadEvicted);
+    reg.addCounter(StatRegistry::join(prefix, "dead_hit"), &deadHit);
+    reg.addCounter(StatRegistry::join(prefix, "live_evicted"),
+                   &liveEvicted);
+    reg.addCounter(StatRegistry::join(prefix, "live_hit"), &liveHit);
+}
+
+} // namespace sdbp::obs

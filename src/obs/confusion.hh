@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Running confusion matrix of dead-block predictions against
+ * observed block outcomes.  Every demand hit and every eviction
+ * classifies the prediction bit the block was carrying at that
+ * moment, so the four cells partition exactly the (hits, evictions)
+ * the policy observed:
+ *
+ *                      observed dead (evicted)   observed live (hit)
+ *   predicted dead     deadEvicted (TP)          deadHit (FP)
+ *   predicted live     liveEvicted (FN)          liveHit (TN)
+ */
+
+#ifndef SDBP_OBS_CONFUSION_HH
+#define SDBP_OBS_CONFUSION_HH
+
+#include <cstdint>
+#include <string>
+
+namespace sdbp::obs
+{
+
+class StatRegistry;
+
+struct ConfusionMatrix
+{
+    /** Predicted dead, then evicted without reuse (true positive). */
+    std::uint64_t deadEvicted = 0;
+    /** Predicted dead, then demand-hit again (false positive). */
+    std::uint64_t deadHit = 0;
+    /** Predicted live, then evicted without reuse (false negative). */
+    std::uint64_t liveEvicted = 0;
+    /** Predicted live, then demand-hit again (true negative). */
+    std::uint64_t liveHit = 0;
+
+    std::uint64_t
+    evictionsObserved() const
+    {
+        return deadEvicted + liveEvicted;
+    }
+
+    std::uint64_t
+    total() const
+    {
+        return deadEvicted + deadHit + liveEvicted + liveHit;
+    }
+
+    /** Fraction of classified outcomes predicted correctly. */
+    double accuracy() const;
+    /** FP / (FP + TP): wrong fraction of the dead predictions. */
+    double falseDiscoveryRate() const;
+
+    /** Register the four cells as counters under @p prefix. */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
+};
+
+} // namespace sdbp::obs
+
+#endif // SDBP_OBS_CONFUSION_HH

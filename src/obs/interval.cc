@@ -1,0 +1,43 @@
+#include "obs/interval.hh"
+
+#include "util/stats.hh"
+
+namespace sdbp::obs
+{
+
+void
+IntervalTimeline::sample(std::uint64_t tick)
+{
+    if (!snapshots_.empty() && snapshots_.back().tick == tick)
+        return;
+    snapshots_.push_back(reg_->snapshot(tick));
+}
+
+std::vector<double>
+IntervalTimeline::deltaSeries(const std::string &name) const
+{
+    std::vector<double> out;
+    if (snapshots_.size() < 2)
+        return out;
+    out.reserve(snapshots_.size() - 1);
+    for (std::size_t i = 1; i < snapshots_.size(); ++i)
+        out.push_back(snapshots_[i].value(name) -
+                      snapshots_[i - 1].value(name));
+    return out;
+}
+
+std::vector<double>
+IntervalTimeline::rateSeries(const std::string &num,
+                             const std::string &denom,
+                             double scale) const
+{
+    const auto n = deltaSeries(num);
+    const auto d = deltaSeries(denom);
+    std::vector<double> out;
+    out.reserve(n.size());
+    for (std::size_t i = 0; i < n.size(); ++i)
+        out.push_back(scale * ratio(n[i], d[i]));
+    return out;
+}
+
+} // namespace sdbp::obs

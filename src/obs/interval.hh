@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Interval engine: snapshots a StatRegistry at every simulation
+ * heartbeat (every N instructions), building cumulative per-interval
+ * timelines from which rate series — MPKI, IPC, bypass rate,
+ * predictor accuracy — are derived by differencing consecutive
+ * snapshots.  Interval-resolved statistics are what expose warm-up
+ * and phase artifacts (Bueno et al., PAPERS.md).
+ */
+
+#ifndef SDBP_OBS_INTERVAL_HH
+#define SDBP_OBS_INTERVAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/stat_registry.hh"
+
+namespace sdbp::obs
+{
+
+class IntervalTimeline
+{
+  public:
+    /** @param reg registry to snapshot; must outlive the timeline */
+    explicit IntervalTimeline(const StatRegistry *reg) : reg_(reg) {}
+
+    /**
+     * Take one snapshot at @p tick.  Called by the System heartbeat
+     * during the measurement phase; the runner adds a final sample
+     * so the tail partial interval is captured too.  Duplicate ticks
+     * (e.g. when the run ends exactly on a boundary) are dropped.
+     */
+    void sample(std::uint64_t tick);
+
+    const std::vector<StatSnapshot> &snapshots() const
+    {
+        return snapshots_;
+    }
+    std::size_t numIntervals() const
+    {
+        return snapshots_.empty() ? 0 : snapshots_.size() - 1;
+    }
+
+    /**
+     * Per-interval deltas of one cumulative stat: element i is
+     * value(i+1) - value(i).  Gauges difference too (useful for
+     * cycles exposed as gauges); a missing name yields all-zeros.
+     */
+    std::vector<double> deltaSeries(const std::string &name) const;
+
+    /**
+     * Per-interval ratio of two deltas, scaled: element i is
+     * scale * d(num) / d(denom), 0 where the denominator interval
+     * delta is 0.  MPKI = rateSeries("llc.demand_misses",
+     * "sys.instructions", 1000); IPC = rateSeries(
+     * "core0.instructions", "core0.cycles").
+     */
+    std::vector<double> rateSeries(const std::string &num,
+                                   const std::string &denom,
+                                   double scale = 1.0) const;
+
+  private:
+    const StatRegistry *reg_;
+    std::vector<StatSnapshot> snapshots_;
+};
+
+} // namespace sdbp::obs
+
+#endif // SDBP_OBS_INTERVAL_HH

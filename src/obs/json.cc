@@ -1,0 +1,454 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace sdbp::obs
+{
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind_ == Kind::UInt)
+        return static_cast<double>(uint_);
+    return num_;
+}
+
+JsonValue &
+JsonValue::push(JsonValue v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    SDBP_DCHECK(kind_ == Kind::Array, "push on a non-array JSON value");
+    arr_.push_back(std::move(v));
+    return *this;
+}
+
+JsonValue &
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    SDBP_DCHECK(kind_ == Kind::Object, "set on a non-object JSON value");
+    for (auto &kv : obj_) {
+        if (kv.first == key) {
+            kv.second = std::move(v);
+            return *this;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+    return *this;
+}
+
+std::size_t
+JsonValue::size() const
+{
+    return kind_ == Kind::Array ? arr_.size() : obj_.size();
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &kv : obj_)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+void
+appendNumber(std::string &out, double d)
+{
+    if (!std::isfinite(d)) {
+        // JSON has no inf/nan; null is the conventional stand-in.
+        out += "null";
+        return;
+    }
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+    out.append(buf, res.ptr);
+}
+
+void
+appendIndent(std::string &out, int indent, int depth)
+{
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) *
+                   static_cast<std::size_t>(depth),
+               ' ');
+}
+
+} // anonymous namespace
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::UInt:
+        out += std::to_string(uint_);
+        break;
+      case Kind::Number:
+        appendNumber(out, num_);
+        break;
+      case Kind::String:
+        out += '"';
+        out += jsonEscape(str_);
+        out += '"';
+        break;
+      case Kind::Array:
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                out += ',';
+            if (indent > 0)
+                appendIndent(out, indent, depth + 1);
+            arr_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (indent > 0)
+            appendIndent(out, indent, depth);
+        out += ']';
+        break;
+      case Kind::Object:
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                out += ',';
+            if (indent > 0)
+                appendIndent(out, indent, depth + 1);
+            out += '"';
+            out += jsonEscape(obj_[i].first);
+            out += indent > 0 ? "\": " : "\":";
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (indent > 0)
+            appendIndent(out, indent, depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a string. */
+class Parser
+{
+  public:
+    Parser(const std::string &text) : text_(text) {}
+
+    std::optional<JsonValue>
+    run(std::string *error)
+    {
+        auto v = parseValue();
+        if (v) {
+            skipWs();
+            if (pos_ != text_.size()) {
+                fail("trailing characters after document");
+                v.reset();
+            }
+        }
+        if (!v && error)
+            *error = error_;
+        return v;
+    }
+
+  private:
+    void
+    fail(const std::string &what)
+    {
+        if (error_.empty())
+            error_ = what + " at offset " + std::to_string(pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeWord(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    std::optional<std::string>
+    parseString()
+    {
+        if (!consume('"')) {
+            fail("expected string");
+            return std::nullopt;
+        }
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    break;
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size()) {
+                        fail("truncated \\u escape");
+                        return std::nullopt;
+                    }
+                    unsigned code = 0;
+                    const auto res = std::from_chars(
+                        text_.data() + pos_, text_.data() + pos_ + 4,
+                        code, 16);
+                    if (res.ptr != text_.data() + pos_ + 4) {
+                        fail("bad \\u escape");
+                        return std::nullopt;
+                    }
+                    pos_ += 4;
+                    // Only BMP code points below 0x80 are emitted by
+                    // our writer; re-encode the rest as UTF-8.
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    fail("unknown escape");
+                    return std::nullopt;
+                }
+            } else {
+                out += c;
+            }
+        }
+        fail("unterminated string");
+        return std::nullopt;
+    }
+
+    std::optional<JsonValue>
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (consume('-')) {
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        const std::string tok = text_.substr(start, pos_ - start);
+        if (tok.empty() || tok == "-") {
+            fail("expected number");
+            return std::nullopt;
+        }
+        // Non-negative integers round-trip through the UInt kind so
+        // 64-bit counters keep full precision.
+        if (tok.find_first_of(".eE-") == std::string::npos) {
+            std::uint64_t u = 0;
+            const auto res = std::from_chars(
+                tok.data(), tok.data() + tok.size(), u, 10);
+            if (res.ec == std::errc() &&
+                res.ptr == tok.data() + tok.size())
+                return JsonValue(u);
+        }
+        double d = 0;
+        const auto res =
+            std::from_chars(tok.data(), tok.data() + tok.size(), d);
+        if (res.ec != std::errc() ||
+            res.ptr != tok.data() + tok.size()) {
+            fail("malformed number");
+            return std::nullopt;
+        }
+        return JsonValue(d);
+    }
+
+    std::optional<JsonValue>
+    parseValue()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return std::nullopt;
+        }
+        const char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            JsonValue obj = JsonValue::object();
+            skipWs();
+            if (consume('}'))
+                return obj;
+            while (true) {
+                skipWs();
+                auto key = parseString();
+                if (!key)
+                    return std::nullopt;
+                skipWs();
+                if (!consume(':')) {
+                    fail("expected ':'");
+                    return std::nullopt;
+                }
+                auto val = parseValue();
+                if (!val)
+                    return std::nullopt;
+                obj.set(*key, std::move(*val));
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return obj;
+                fail("expected ',' or '}'");
+                return std::nullopt;
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            JsonValue arr = JsonValue::array();
+            skipWs();
+            if (consume(']'))
+                return arr;
+            while (true) {
+                auto val = parseValue();
+                if (!val)
+                    return std::nullopt;
+                arr.push(std::move(*val));
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return arr;
+                fail("expected ',' or ']'");
+                return std::nullopt;
+            }
+        }
+        if (c == '"') {
+            auto s = parseString();
+            if (!s)
+                return std::nullopt;
+            return JsonValue(std::move(*s));
+        }
+        if (consumeWord("true"))
+            return JsonValue(true);
+        if (consumeWord("false"))
+            return JsonValue(false);
+        if (consumeWord("null"))
+            return JsonValue();
+        return parseNumber();
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+} // anonymous namespace
+
+std::optional<JsonValue>
+JsonValue::parse(const std::string &text, std::string *error)
+{
+    return Parser(text).run(error);
+}
+
+} // namespace sdbp::obs

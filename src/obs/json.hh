@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Minimal JSON document model for the observability exporters: an
+ * ordered value tree, a writer producing stable, human-diffable
+ * output, and a strict parser used by round-trip tests and tools.
+ * No external dependencies.
+ */
+
+#ifndef SDBP_OBS_JSON_HH
+#define SDBP_OBS_JSON_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sdbp::obs
+{
+
+/**
+ * One JSON value.  Objects preserve insertion order so exported
+ * documents are schema-stable across runs (a requirement for the
+ * BENCH_*.json artifacts, which are diffed between revisions).
+ */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, UInt, Number, String, Array, Object };
+
+    JsonValue() = default;
+    JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    JsonValue(double d) : kind_(Kind::Number), num_(d) {}
+    JsonValue(std::uint64_t u) : kind_(Kind::UInt), uint_(u) {}
+    JsonValue(int i)
+        : kind_(Kind::UInt), uint_(static_cast<std::uint64_t>(i))
+    {
+    }
+    JsonValue(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+    JsonValue(const char *s) : kind_(Kind::String), str_(s) {}
+
+    static JsonValue array();
+    static JsonValue object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    bool asBool() const { return bool_; }
+    /** Numeric value of UInt or Number kinds. */
+    double asNumber() const;
+    std::uint64_t asUInt() const { return uint_; }
+    const std::string &asString() const { return str_; }
+
+    /** Append to an array (converts a Null value to an array). */
+    JsonValue &push(JsonValue v);
+
+    /** Insert/overwrite an object key (converts Null to object). */
+    JsonValue &set(const std::string &key, JsonValue v);
+
+    /** Array length / object member count. */
+    std::size_t size() const;
+
+    /** Array element access. */
+    const JsonValue &at(std::size_t i) const { return arr_.at(i); }
+
+    /** Object member lookup; nullptr when absent. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Object members in insertion order. */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return obj_;
+    }
+
+    /**
+     * Serialize.  @p indent > 0 pretty-prints with that many spaces
+     * per level; 0 produces a compact single line.
+     */
+    std::string dump(int indent = 2) const;
+
+    /**
+     * Strict parse of a complete JSON document.  Returns nullopt and
+     * fills @p error (when non-null) on malformed input or trailing
+     * garbage.
+     */
+    static std::optional<JsonValue> parse(const std::string &text,
+                                          std::string *error = nullptr);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0;
+    std::uint64_t uint_ = 0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/** JSON string escaping (quotes not included). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace sdbp::obs
+
+#endif // SDBP_OBS_JSON_HH

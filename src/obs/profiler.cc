@@ -1,0 +1,48 @@
+#include "obs/profiler.hh"
+
+namespace sdbp::obs
+{
+
+Profiler::Scope::~Scope()
+{
+    if (!profiler_)
+        return;
+    const auto elapsed =
+        std::chrono::steady_clock::now() - start_;
+    profiler_->commit(
+        index_,
+        std::chrono::duration<double>(elapsed).count());
+}
+
+std::size_t
+Profiler::indexOf(const std::string &name)
+{
+    for (std::size_t i = 0; i < scopes_.size(); ++i)
+        if (scopes_[i].name == name)
+            return i;
+    ScopeStats s;
+    s.name = name;
+    scopes_.push_back(std::move(s));
+    return scopes_.size() - 1;
+}
+
+Profiler::Scope
+Profiler::scope(const std::string &name)
+{
+    return Scope(this, indexOf(name));
+}
+
+void
+Profiler::addEvents(const std::string &name, std::uint64_t n)
+{
+    scopes_[indexOf(name)].events += n;
+}
+
+void
+Profiler::commit(std::size_t index, double seconds)
+{
+    scopes_[index].seconds += seconds;
+    ++scopes_[index].calls;
+}
+
+} // namespace sdbp::obs

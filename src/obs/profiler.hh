@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Wall-clock profiling scopes for the simulator itself: accumulated
+ * time per named pipeline stage plus an event counter, so simulated
+ * events/second (the "measurably faster" ROADMAP metric) is reported
+ * with every instrumented run and performance regressions become
+ * visible in the run artifacts.
+ */
+
+#ifndef SDBP_OBS_PROFILER_HH
+#define SDBP_OBS_PROFILER_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdbp::obs
+{
+
+class Profiler
+{
+  public:
+    /** RAII scope: commits elapsed wall time on destruction. */
+    class Scope
+    {
+      public:
+        Scope(Profiler *profiler, std::size_t index)
+            : profiler_(profiler), index_(index),
+              start_(std::chrono::steady_clock::now())
+        {
+        }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+        Scope(Scope &&other) noexcept
+            : profiler_(other.profiler_), index_(other.index_),
+              start_(other.start_)
+        {
+            other.profiler_ = nullptr;
+        }
+        Scope &operator=(Scope &&) = delete;
+        ~Scope();
+
+      private:
+        Profiler *profiler_;
+        std::size_t index_;
+        std::chrono::steady_clock::time_point start_;
+    };
+
+    /** Enter the named scope (created on first use). */
+    Scope scope(const std::string &name);
+
+    /**
+     * Attribute @p n simulated events (instructions, accesses, ...)
+     * to the named scope, for the events/sec report.
+     */
+    void addEvents(const std::string &name, std::uint64_t n);
+
+    struct ScopeStats
+    {
+        std::string name;
+        double seconds = 0;
+        std::uint64_t calls = 0;
+        std::uint64_t events = 0;
+
+        double eventsPerSec() const
+        {
+            return seconds > 0 ? static_cast<double>(events) / seconds
+                               : 0;
+        }
+    };
+
+    const std::vector<ScopeStats> &summary() const { return scopes_; }
+
+  private:
+    std::size_t indexOf(const std::string &name);
+
+    std::vector<ScopeStats> scopes_;
+
+    friend class Scope;
+    void commit(std::size_t index, double seconds);
+};
+
+} // namespace sdbp::obs
+
+#endif // SDBP_OBS_PROFILER_HH

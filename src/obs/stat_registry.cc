@@ -1,0 +1,175 @@
+#include "obs/stat_registry.hh"
+
+#include "obs/json.hh"
+#include "util/logging.hh"
+
+namespace sdbp::obs
+{
+
+const StatSample *
+StatSnapshot::find(const std::string &name) const
+{
+    for (const auto &s : samples)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+double
+StatSnapshot::value(const std::string &name, double fallback) const
+{
+    const StatSample *s = find(name);
+    return s ? s->value : fallback;
+}
+
+std::uint64_t
+StatSnapshot::counter(const std::string &name) const
+{
+    const StatSample *s = find(name);
+    return s && s->kind == StatKind::Counter ? s->counter : 0;
+}
+
+void
+StatRegistry::checkName(const std::string &name)
+{
+    if (name.empty())
+        panic("StatRegistry: empty stat name");
+    if (!names_.insert(name).second)
+        panic("StatRegistry: duplicate stat name '" + name + "'");
+}
+
+void
+StatRegistry::addCounter(const std::string &name,
+                         const std::uint64_t *src)
+{
+    checkName(name);
+    Entry e;
+    e.name = name;
+    e.kind = StatKind::Counter;
+    e.counter = src;
+    entries_.push_back(std::move(e));
+}
+
+void
+StatRegistry::addGauge(const std::string &name,
+                       std::function<double()> src)
+{
+    checkName(name);
+    Entry e;
+    e.name = name;
+    e.kind = StatKind::Gauge;
+    e.gauge = std::move(src);
+    entries_.push_back(std::move(e));
+}
+
+void
+StatRegistry::addHistogram(const std::string &name,
+                           const Histogram *src)
+{
+    checkName(name);
+    Entry e;
+    e.name = name;
+    e.kind = StatKind::Histogram;
+    e.hist = src;
+    entries_.push_back(std::move(e));
+}
+
+void
+StatRegistry::addRunningStat(const std::string &name,
+                             const RunningStat *src)
+{
+    addGauge(name + ".mean", [src] { return src->mean(); });
+    addGauge(name + ".min", [src] { return src->min(); });
+    addGauge(name + ".max", [src] { return src->max(); });
+    addGauge(name + ".stddev", [src] { return src->stddev(); });
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    return names_.count(name) > 0;
+}
+
+std::vector<std::string>
+StatRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &e : entries_)
+        out.push_back(e.name);
+    return out;
+}
+
+StatSnapshot
+StatRegistry::snapshot(std::uint64_t tick) const
+{
+    StatSnapshot snap;
+    snap.tick = tick;
+    snap.samples.reserve(entries_.size());
+    for (const auto &e : entries_) {
+        StatSample s;
+        s.name = e.name;
+        s.kind = e.kind;
+        switch (e.kind) {
+          case StatKind::Counter:
+            s.counter = *e.counter;
+            s.value = static_cast<double>(s.counter);
+            break;
+          case StatKind::Gauge:
+            s.value = e.gauge();
+            break;
+          case StatKind::Histogram:
+            s.value = e.hist->mean();
+            s.bucketWidth = e.hist->bucketWidth();
+            s.buckets.reserve(e.hist->numBuckets());
+            for (unsigned i = 0; i < e.hist->numBuckets(); ++i)
+                s.buckets.push_back(e.hist->bucketCount(i));
+            break;
+        }
+        snap.samples.push_back(std::move(s));
+    }
+    return snap;
+}
+
+std::string
+StatRegistry::join(const std::string &prefix, const std::string &leaf)
+{
+    return prefix.empty() ? leaf : prefix + "." + leaf;
+}
+
+JsonValue
+snapshotToJson(const StatSnapshot &snap)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("tick", JsonValue(snap.tick));
+    JsonValue stats = JsonValue::object();
+    for (const auto &s : snap.samples) {
+        switch (s.kind) {
+          case StatKind::Counter:
+            stats.set(s.name, JsonValue(s.counter));
+            break;
+          case StatKind::Gauge:
+            stats.set(s.name, JsonValue(s.value));
+            break;
+          case StatKind::Histogram: {
+            JsonValue h = JsonValue::object();
+            std::uint64_t count = 0;
+            JsonValue buckets = JsonValue::array();
+            for (const auto b : s.buckets) {
+                count += b;
+                buckets.push(JsonValue(b));
+            }
+            h.set("count", JsonValue(count));
+            h.set("mean", JsonValue(s.value));
+            h.set("bucket_width", JsonValue(s.bucketWidth));
+            h.set("buckets", std::move(buckets));
+            stats.set(s.name, std::move(h));
+            break;
+          }
+        }
+    }
+    obj.set("stats", std::move(stats));
+    return obj;
+}
+
+} // namespace sdbp::obs

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Named hierarchical statistics registry (the hub of the
+ * observability layer, DESIGN.md §9).
+ *
+ * Components *register* their existing counters once at setup time —
+ * either a pointer to a live `std::uint64_t` counter, a gauge
+ * callback, or a pointer to a `Histogram` / `RunningStat` — and the
+ * registry *pulls* values when a snapshot is requested.  Nothing
+ * changes in any hot path: when observability is off the registry
+ * simply does not exist, and when it is on the simulation only pays
+ * at snapshot (heartbeat) boundaries.
+ *
+ * Names are dot-separated paths ("llc.demand_misses",
+ * "core0.cycles", "dbrb.confusion.dead_evicted").  Registering the
+ * same name twice is a programming error and panics.
+ */
+
+#ifndef SDBP_OBS_STAT_REGISTRY_HH
+#define SDBP_OBS_STAT_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace sdbp::obs
+{
+
+class JsonValue;
+
+enum class StatKind { Counter, Gauge, Histogram };
+
+/** Value of one stat at one point in time. */
+struct StatSample
+{
+    std::string name;
+    StatKind kind = StatKind::Counter;
+    /** Counter value (Counter kind only). */
+    std::uint64_t counter = 0;
+    /** Gauge value, or the counter cast to double. */
+    double value = 0;
+    /** Histogram kind only. */
+    std::vector<std::uint64_t> buckets;
+    double bucketWidth = 0;
+};
+
+/** All registered stats, sampled atomically at one tick. */
+struct StatSnapshot
+{
+    /** Simulation tick (total instructions) at sampling time. */
+    std::uint64_t tick = 0;
+    std::vector<StatSample> samples;
+
+    /** Lookup by full name; nullptr when absent. */
+    const StatSample *find(const std::string &name) const;
+    /** Numeric value by name; @p fallback when absent. */
+    double value(const std::string &name, double fallback = 0) const;
+    /** Counter value by name; 0 when absent or not a counter. */
+    std::uint64_t counter(const std::string &name) const;
+};
+
+class StatRegistry
+{
+  public:
+    /**
+     * Register a counter backed by @p src, which must outlive the
+     * registry (components own their counters; the registry reads).
+     */
+    void addCounter(const std::string &name, const std::uint64_t *src);
+
+    /** Register a gauge computed on demand. */
+    void addGauge(const std::string &name,
+                  std::function<double()> src);
+
+    /** Register a histogram backed by @p src. */
+    void addHistogram(const std::string &name, const Histogram *src);
+
+    /** Register a RunningStat as mean/min/max/stddev gauges. */
+    void addRunningStat(const std::string &name,
+                        const RunningStat *src);
+
+    bool has(const std::string &name) const;
+    std::size_t size() const { return entries_.size(); }
+
+    /** All registered names, in registration order. */
+    std::vector<std::string> names() const;
+
+    /** Sample every stat now. */
+    StatSnapshot snapshot(std::uint64_t tick = 0) const;
+
+    /** Join a prefix and a leaf name with '.' ("" prefix = leaf). */
+    static std::string join(const std::string &prefix,
+                            const std::string &leaf);
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        StatKind kind;
+        const std::uint64_t *counter = nullptr;
+        std::function<double()> gauge;
+        const Histogram *hist = nullptr;
+    };
+
+    void checkName(const std::string &name);
+
+    std::vector<Entry> entries_;
+    std::unordered_set<std::string> names_;
+};
+
+/** Snapshot as a flat JSON object name -> value (histograms become
+ *  {count, mean, buckets}). */
+JsonValue snapshotToJson(const StatSnapshot &snap);
+
+} // namespace sdbp::obs
+
+#endif // SDBP_OBS_STAT_REGISTRY_HH

@@ -1,0 +1,92 @@
+#include "obs/trace_sink.hh"
+
+#include <algorithm>
+
+namespace sdbp::obs
+{
+
+const char *
+traceEventKindName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::Prediction: return "prediction";
+      case TraceEventKind::Fill: return "fill";
+      case TraceEventKind::Hit: return "hit";
+      case TraceEventKind::Eviction: return "eviction";
+      case TraceEventKind::Bypass: return "bypass";
+    }
+    return "unknown";
+}
+
+TraceSink::TraceSink(std::size_t capacity)
+    : ring_(std::max<std::size_t>(capacity, 1))
+{
+}
+
+bool
+TraceSink::openJsonl(const std::string &path)
+{
+    jsonl_.open(path, std::ios::trunc);
+    return jsonl_.is_open();
+}
+
+void
+TraceSink::closeJsonl()
+{
+    if (jsonl_.is_open())
+        jsonl_.close();
+}
+
+void
+TraceSink::record(const TraceEvent &e)
+{
+    ring_[recorded_ % ring_.size()] = e;
+    ++recorded_;
+    if (jsonl_.is_open())
+        jsonl_ << toJsonl(e) << '\n';
+}
+
+std::size_t
+TraceSink::size() const
+{
+    return std::min<std::uint64_t>(recorded_, ring_.size());
+}
+
+std::uint64_t
+TraceSink::dropped() const
+{
+    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+}
+
+std::vector<TraceEvent>
+TraceSink::events() const
+{
+    std::vector<TraceEvent> out;
+    const std::size_t n = size();
+    out.reserve(n);
+    const std::uint64_t first = recorded_ - n;
+    for (std::uint64_t i = 0; i < n; ++i)
+        out.push_back(ring_[(first + i) % ring_.size()]);
+    return out;
+}
+
+std::string
+TraceSink::toJsonl(const TraceEvent &e)
+{
+    std::string out = "{\"tick\":";
+    out += std::to_string(e.tick);
+    out += ",\"event\":\"";
+    out += traceEventKindName(e.kind);
+    out += "\",\"set\":";
+    out += std::to_string(e.set);
+    out += ",\"block\":";
+    out += std::to_string(e.blockAddr);
+    out += ",\"pc\":";
+    out += std::to_string(e.pc);
+    out += ",\"dead\":";
+    out += e.predictedDead ? "true" : "false";
+    out += "}";
+    return out;
+}
+
+} // namespace sdbp::obs

@@ -1,0 +1,22 @@
+#include "predictor/dead_block_predictor.hh"
+
+#include "obs/stat_registry.hh"
+
+namespace sdbp
+{
+
+void
+DeadBlockPredictor::registerStats(obs::StatRegistry &reg,
+                                  const std::string &prefix) const
+{
+    using obs::StatRegistry;
+    reg.addGauge(StatRegistry::join(prefix, "storage_bits"), [this] {
+        return static_cast<double>(storageBits());
+    });
+    reg.addGauge(StatRegistry::join(prefix, "metadata_bits_per_block"),
+                 [this] {
+                     return static_cast<double>(metadataBitsPerBlock());
+                 });
+}
+
+} // namespace sdbp

@@ -15,6 +15,11 @@
 namespace sdbp
 {
 
+namespace obs
+{
+class StatRegistry;
+} // namespace obs
+
 /**
  * A dead block predictor, as driven by the dead-block replacement
  * and bypass policy (Sec. V).
@@ -83,6 +88,14 @@ class DeadBlockPredictor
 
     /** Extra metadata bits required per LLC block (Table I). */
     virtual std::uint64_t metadataBitsPerBlock() const = 0;
+
+    /**
+     * Register predictor stats under @p prefix.  The default
+     * registers the Table I storage budget as gauges; predictors
+     * with event counters (the sampling predictor) extend it.
+     */
+    virtual void registerStats(obs::StatRegistry &reg,
+                               const std::string &prefix) const;
 };
 
 } // namespace sdbp

@@ -1,5 +1,7 @@
 #include "sim/policy_factory.hh"
 
+#include <cctype>
+
 #include "cache/dip.hh"
 #include "cache/lru.hh"
 #include "cache/random_repl.hh"
@@ -56,6 +58,54 @@ policyName(PolicyKind kind)
         return "BurstDBP";
     }
     return "?";
+}
+
+const std::vector<PolicyKind> &
+allPolicyKinds()
+{
+    static const std::vector<PolicyKind> kinds = {
+        PolicyKind::Lru,           PolicyKind::Random,
+        PolicyKind::Dip,           PolicyKind::Tadip,
+        PolicyKind::Rrip,          PolicyKind::Sampler,
+        PolicyKind::Tdbp,          PolicyKind::Cdbp,
+        PolicyKind::RandomSampler, PolicyKind::RandomCdbp,
+        PolicyKind::SamplingCounting,
+        PolicyKind::TreePlru,      PolicyKind::Nru,
+        PolicyKind::Lip,           PolicyKind::Aip,
+        PolicyKind::TimeDbp,       PolicyKind::BurstDbp,
+    };
+    return kinds;
+}
+
+namespace
+{
+
+/** Lower-case with separators (space/dash/underscore) removed. */
+std::string
+canonicalPolicyName(const std::string &name)
+{
+    std::string out;
+    for (const char c : name) {
+        if (c == ' ' || c == '-' || c == '_')
+            continue;
+        out.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+std::optional<PolicyKind>
+parsePolicyKind(const std::string &name)
+{
+    const std::string want = canonicalPolicyName(name);
+    if (want.empty())
+        return std::nullopt;
+    for (const PolicyKind kind : allPolicyKinds())
+        if (canonicalPolicyName(policyName(kind)) == want)
+            return kind;
+    return std::nullopt;
 }
 
 namespace

@@ -59,6 +59,16 @@ struct PolicyOptions
 /** Display name used in result tables ("Sampler", "TDBP", ...). */
 std::string policyName(PolicyKind kind);
 
+/**
+ * Parse a policy name as accepted on tool command lines: the display
+ * name, case-insensitive, with spaces/dashes/underscores
+ * interchangeable ("sampler", "random-cdbp", "Tree-PLRU").
+ */
+std::optional<PolicyKind> parsePolicyKind(const std::string &name);
+
+/** Every PolicyKind, in declaration order (CLI help text). */
+const std::vector<PolicyKind> &allPolicyKinds();
+
 /** Build an LLC policy instance. */
 std::unique_ptr<ReplacementPolicy>
 makePolicy(PolicyKind kind, std::uint32_t num_sets, std::uint32_t assoc,

@@ -2,7 +2,9 @@
 
 #include <cstdlib>
 #include <map>
+#include <memory>
 
+#include "obs/trace_sink.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -27,6 +29,88 @@ envInstCount(const char *name, InstCount fallback)
     return parsed;
 }
 
+/**
+ * Everything the observability layer attaches to one System for one
+ * run.  Allocated only when cfg.obs.collect is set; an uncollected
+ * run carries no registry, heartbeat, profiler or trace sink at all.
+ */
+struct ObsHarness
+{
+    obs::StatRegistry registry;
+    obs::IntervalTimeline timeline{&registry};
+    obs::Profiler profiler;
+    obs::TraceSink trace;
+
+    explicit ObsHarness(const ObsOptions &opt) : trace(opt.traceCapacity)
+    {
+    }
+};
+
+/** Attach registry/heartbeat/profiler/trace to @p sys. */
+std::unique_ptr<ObsHarness>
+attachObs(System &sys, const ObsOptions &opt)
+{
+    if (!opt.collect)
+        return nullptr;
+    auto h = std::make_unique<ObsHarness>(opt);
+    sys.registerStats(h->registry);
+    if (auto *dbrb =
+            dynamic_cast<DeadBlockPolicy *>(&sys.hierarchy().llc()
+                                                 .policy())) {
+        dbrb->registerStats(h->registry, "dbrb");
+        dbrb->setTraceSink(&h->trace);
+    }
+    sys.setProfiler(&h->profiler);
+    sys.setHeartbeat(opt.intervalInstructions,
+                     [harness = h.get()](std::uint64_t tick) {
+                         harness->timeline.sample(tick);
+                     });
+    if (!opt.traceJsonlPath.empty() &&
+        !h->trace.openJsonl(opt.traceJsonlPath))
+        warn("cannot open trace JSONL file " + opt.traceJsonlPath);
+    sys.hierarchy().setTraceSink(&h->trace);
+    return h;
+}
+
+/**
+ * Assemble, export (per the SDBP_STATS_JSON-style options) and
+ * return the run artifact.  Takes the final snapshot now, while the
+ * System's registered counters are still alive.
+ */
+std::shared_ptr<const obs::RunArtifacts>
+collectObs(ObsHarness &h, System &sys, const ObsOptions &opt,
+           const std::string &benchmark, const std::string &policy,
+           const RunConfig &cfg)
+{
+    auto art = std::make_shared<obs::RunArtifacts>();
+    art->benchmark = benchmark;
+    art->policy = policy;
+    art->warmupInstructions = cfg.warmupInstructions;
+    art->measureInstructions = cfg.measureInstructions;
+    art->intervalInstructions = opt.intervalInstructions;
+    art->finalSnapshot = h.registry.snapshot(sys.tick());
+    art->intervals = h.timeline.snapshots();
+    art->series = obs::standardSeries(h.timeline);
+    if (const auto *dbrb =
+            dynamic_cast<const DeadBlockPolicy *>(&sys.hierarchy()
+                                                       .llc()
+                                                       .policy())) {
+        art->hasConfusion = true;
+        art->confusion = dbrb->confusion();
+    }
+    art->profile = h.profiler.summary();
+    art->traceEventsRecorded = h.trace.recorded();
+    art->traceEventsDropped = h.trace.dropped();
+
+    if (!opt.statsJsonPath.empty() &&
+        !art->writeJson(opt.statsJsonPath))
+        warn("cannot write stats JSON to " + opt.statsJsonPath);
+    if (!opt.timelineCsvPath.empty() &&
+        !art->writeTimelineCsv(opt.timelineCsvPath))
+        warn("cannot write timeline CSV to " + opt.timelineCsvPath);
+    return art;
+}
+
 } // anonymous namespace
 
 RunConfig
@@ -37,6 +121,13 @@ RunConfig::singleCore()
         envInstCount("SDBP_INSTRUCTIONS", cfg.measureInstructions);
     cfg.warmupInstructions =
         envInstCount("SDBP_WARMUP", cfg.warmupInstructions);
+    if (const char *path = std::getenv("SDBP_STATS_JSON");
+        path && *path) {
+        cfg.obs.collect = true;
+        cfg.obs.statsJsonPath = path;
+    }
+    cfg.obs.intervalInstructions =
+        envInstCount("SDBP_INTERVAL", cfg.obs.intervalInstructions);
     return cfg;
 }
 
@@ -67,11 +158,16 @@ runSingleCore(const std::string &benchmark, PolicyKind kind,
     res.policy = policyName(kind);
     if (cfg.recordLlcTrace)
         sys.hierarchy().recordLlcTrace(&res.llcTrace);
+    auto harness = attachObs(sys, cfg.obs);
 
     SyntheticWorkload workload(specProfile(benchmark));
     std::vector<AccessGenerator *> gens = {&workload};
     const auto threads = sys.run(gens, cfg.warmupInstructions,
                                  cfg.measureInstructions);
+    if (harness) {
+        res.artifacts = collectObs(*harness, sys, cfg.obs, benchmark,
+                                   res.policy, cfg);
+    }
 
     const Cache &llc = sys.hierarchy().llc();
     res.instructions = threads[0].instructions;
@@ -123,6 +219,7 @@ runMulticore(const MixProfile &mix, PolicyKind kind, RunConfig cfg)
     std::vector<AccessGenerator *> gens;
     for (auto &w : workloads)
         gens.push_back(&w);
+    auto harness = attachObs(sys, cfg.obs);
 
     const auto threads = sys.run(gens, cfg.warmupInstructions,
                                  cfg.measureInstructions);
@@ -130,6 +227,10 @@ runMulticore(const MixProfile &mix, PolicyKind kind, RunConfig cfg)
     MulticoreRunResult res;
     res.mix = mix.name;
     res.policy = policyName(kind);
+    if (harness) {
+        res.artifacts = collectObs(*harness, sys, cfg.obs, mix.name,
+                                   res.policy, cfg);
+    }
     res.benchmarks = mix.benchmarks;
     for (const auto &t : threads) {
         res.ipc.push_back(t.ipc);

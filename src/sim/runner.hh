@@ -7,15 +7,39 @@
 #ifndef SDBP_SIM_RUNNER_HH
 #define SDBP_SIM_RUNNER_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cpu/system.hh"
+#include "obs/artifacts.hh"
 #include "sim/policy_factory.hh"
 #include "trace/spec_profiles.hh"
 
 namespace sdbp
 {
+
+/**
+ * Observability wiring of one run.  Off by default (zero overhead);
+ * when `collect` is set, a StatRegistry is attached to the system,
+ * per-interval snapshots are taken, and a RunArtifacts is returned
+ * with the result (and optionally exported to disk).
+ */
+struct ObsOptions
+{
+    /** Build RunArtifacts for this run. */
+    bool collect = false;
+    /** Heartbeat period in instructions (global tick). */
+    std::uint64_t intervalInstructions = 1'000'000;
+    /** When non-empty, write the artifact JSON here. */
+    std::string statsJsonPath;
+    /** When non-empty, write the derived timeline CSV here. */
+    std::string timelineCsvPath;
+    /** When non-empty, stream trace events here as JSONL. */
+    std::string traceJsonlPath;
+    /** Event-trace ring capacity. */
+    std::size_t traceCapacity = 4096;
+};
 
 struct RunConfig
 {
@@ -28,12 +52,15 @@ struct RunConfig
     /** Track per-frame LLC efficiency (Fig. 1). */
     bool trackEfficiency = false;
     PolicyOptions policy;
+    ObsOptions obs;
 
     /**
      * Defaults for a single-core 2 MB-LLC experiment; instruction
      * counts honor the SDBP_INSTRUCTIONS / SDBP_WARMUP environment
      * variables so every bench can be scaled up toward the paper's
-     * 1 B-instruction runs.
+     * 1 B-instruction runs.  Setting SDBP_STATS_JSON=<path> turns on
+     * artifact collection and writes the run JSON there;
+     * SDBP_INTERVAL overrides the snapshot period.
      */
     static RunConfig singleCore();
 
@@ -64,6 +91,9 @@ struct RunResult
     std::size_t llcTraceMeasureStart = 0;
     /** Per-frame efficiency, sets*assoc (when trackEfficiency). */
     std::vector<double> frameEfficiency;
+    /** Run artifacts (when cfg.obs.collect); shared so RunResult
+     *  stays cheap to copy. */
+    std::shared_ptr<const obs::RunArtifacts> artifacts;
 };
 
 /** Simulate one benchmark under one LLC policy on a single core. */
@@ -79,6 +109,8 @@ struct MulticoreRunResult
     std::uint64_t llcMisses = 0;
     InstCount totalInstructions = 0;
     double mpki = 0; ///< misses per kilo-instruction, all threads
+    /** Run artifacts (when cfg.obs.collect). */
+    std::shared_ptr<const obs::RunArtifacts> artifacts;
 };
 
 /** Simulate one quad-core mix under one shared-LLC policy. */

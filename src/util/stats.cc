@@ -77,8 +77,14 @@ Histogram::quantile(double q) const
     assert(q >= 0.0 && q <= 1.0);
     if (count_ == 0)
         return 0.0;
-    const auto target = static_cast<std::uint64_t>(
-        q * static_cast<double>(count_));
+    // Rank of the sample the quantile falls on, 1-based.  Flooring
+    // q*count (the previous behaviour) made q=0 report the midpoint
+    // of bucket 0 even when that bucket was empty; clamping the rank
+    // into [1, count] lands q=0 on the first sample and q=1 on the
+    // last, both inside non-empty buckets.
+    auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    target = std::clamp<std::uint64_t>(target, 1, count_);
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         seen += buckets_[i];

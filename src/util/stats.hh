@@ -47,13 +47,19 @@ class Histogram
 
     std::uint64_t count() const { return count_; }
     double mean() const;
+    double bucketWidth() const { return bucketWidth_; }
     std::uint64_t bucketCount(unsigned i) const { return buckets_.at(i); }
     unsigned numBuckets() const
     {
         return static_cast<unsigned>(buckets_.size());
     }
 
-    /** Quantile via linear scan of the buckets (approximate). */
+    /**
+     * Quantile via linear scan of the buckets (approximate: returns
+     * the midpoint of the bucket holding the ceil(q*count)-th
+     * smallest sample; q=0 maps to the first sample, q=1 to the
+     * last).  An empty histogram yields 0.
+     */
     double quantile(double q) const;
 
     /** One-line textual rendering, for debug output. */

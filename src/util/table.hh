@@ -35,6 +35,14 @@ class TextTable
     /** Number of data rows so far. */
     std::size_t numRows() const { return rows_.size(); }
 
+    /** Column headers (machine-readable export). */
+    const std::vector<std::string> &headers() const { return headers_; }
+    /** Data rows, as rendered strings (machine-readable export). */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
     /** Render with single-space-padded, pipe-separated columns. */
     std::string render() const;
 

@@ -221,6 +221,49 @@ TEST(Stats, HistogramQuantile)
     EXPECT_GT(h.quantile(0.9), 5.0);
 }
 
+TEST(Stats, HistogramQuantileEmpty)
+{
+    Histogram h(4, 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Stats, HistogramQuantileSingleSample)
+{
+    // Every quantile of a one-sample histogram is that sample's
+    // bucket midpoint — including q=0, whose rank clamps up to 1.
+    Histogram h(8, 2.0);
+    h.add(5.0); // bucket 2, midpoint 5.0
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+}
+
+TEST(Stats, HistogramQuantileEndpointsLandInOccupiedBuckets)
+{
+    // Bucket 0 is empty: q=0 must report the first *sample* (bucket
+    // 3), not the midpoint of the empty bucket 0; q=1 the last
+    // sample (bucket 7).
+    Histogram h(10, 1.0);
+    for (int i = 0; i < 5; ++i)
+        h.add(3.5);
+    h.add(7.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.5);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.5);
+}
+
+TEST(Stats, HistogramQuantileClampedOverflow)
+{
+    // Samples past the last bucket clamp into it; quantiles of an
+    // all-overflow histogram report the last bucket's midpoint.
+    Histogram h(4, 10.0);
+    h.add(1e9);
+    h.add(2e9);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 35.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 35.0);
+}
+
 TEST(Stats, RunningStat)
 {
     RunningStat s;

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * sdbp_inspect: run one instrumented simulation and inspect its
+ * observability artifacts from the command line.
+ *
+ *   sdbp_inspect --benchmark hmmer --policy Sampler \
+ *                --json run.json --csv timeline.csv
+ *
+ * Prints a human-readable summary (headline metrics, predictor
+ * confusion matrix, per-interval timeline, wall-clock profile) and
+ * optionally exports the machine-readable artifacts: the
+ * `sdbp.run_artifacts/1` JSON, the derived timeline CSV, and the
+ * event-trace JSONL.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/artifacts.hh"
+#include "sim/runner.hh"
+#include "trace/spec_profiles.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace sdbp;
+
+int
+usage(const char *prog)
+{
+    std::cout
+        << "usage: " << prog << " [options]\n"
+        << "\n"
+        << "Run one instrumented single-core simulation and inspect "
+           "its artifacts.\n"
+        << "\n"
+        << "options:\n"
+        << "  --benchmark <name>   SPEC benchmark (default "
+           "456.hmmer); the\n"
+        << "                       numeric prefix is optional "
+           "(\"hmmer\" works)\n"
+        << "  --policy <name>      LLC policy (default Sampler); "
+           "case-insensitive,\n"
+        << "                       spaces/dashes/underscores "
+           "interchangeable\n"
+        << "  --warmup <n>         warm-up instructions\n"
+        << "  --instructions <n>   measured instructions\n"
+        << "  --interval <n>       snapshot period in instructions\n"
+        << "  --json <path>        write the run-artifact JSON\n"
+        << "  --csv <path>         write the derived timeline CSV\n"
+        << "  --trace <path>       stream trace events as JSONL\n"
+        << "  --stats              dump every final stat, not just "
+           "the summary\n"
+        << "  --list-benchmarks    print the known benchmarks and "
+           "exit\n"
+        << "  --list-policies      print the known policies and "
+           "exit\n"
+        << "  --help               this text\n"
+        << "\n"
+        << "The same artifacts are available from any run via the\n"
+        << "SDBP_STATS_JSON / SDBP_INTERVAL environment variables.\n";
+    return 2;
+}
+
+/** Accept "456.hmmer" or just "hmmer". */
+std::optional<std::string>
+resolveBenchmark(const std::string &name)
+{
+    for (const auto &full : allSpecBenchmarks()) {
+        if (full == name)
+            return full;
+        const auto dot = full.find('.');
+        if (dot != std::string::npos && full.substr(dot + 1) == name)
+            return full;
+    }
+    return std::nullopt;
+}
+
+void
+printSummary(const obs::RunArtifacts &art)
+{
+    const auto &snap = art.finalSnapshot;
+    const double insts =
+        snap.value("sys.instructions",
+                   static_cast<double>(art.measureInstructions));
+
+    TextTable t({"Metric", "Value"});
+    t.row().cell("benchmark").cell(art.benchmark);
+    t.row().cell("policy").cell(art.policy);
+    t.row().cell("instructions (warmup+measure)")
+        .cell(std::to_string(art.warmupInstructions) + "+" +
+              std::to_string(art.measureInstructions));
+    if (snap.find("core0.cycles")) {
+        const double cycles = snap.value("core0.cycles");
+        t.row().cell("IPC").cell(
+            formatDouble(cycles > 0 ? insts / cycles : 0, 3));
+    }
+    if (snap.find("llc.demand_misses")) {
+        const double misses = snap.value("llc.demand_misses");
+        t.row().cell("LLC MPKI").cell(formatDouble(
+            insts > 0 ? 1000.0 * misses / insts : 0, 3));
+        t.row().cell("LLC demand accesses").cell(
+            std::to_string(snap.counter("llc.demand_accesses")));
+        t.row().cell("LLC demand misses").cell(
+            std::to_string(snap.counter("llc.demand_misses")));
+        t.row().cell("LLC bypasses").cell(
+            std::to_string(snap.counter("llc.bypasses")));
+        t.row().cell("LLC evictions").cell(
+            std::to_string(snap.counter("llc.evictions")));
+    }
+    if (snap.find("llc.efficiency"))
+        t.row().cell("LLC efficiency").cell(
+            formatPercent(snap.value("llc.efficiency"), 1));
+    if (snap.find("dbrb.pred.storage_bits"))
+        t.row().cell("predictor storage (KB)").cell(formatDouble(
+            snap.value("dbrb.pred.storage_bits") / 8192.0, 1));
+    t.print(std::cout);
+
+    if (art.hasConfusion) {
+        const auto &c = art.confusion;
+        std::cout << "\nPrediction confusion matrix (hits and "
+                     "evictions classified):\n";
+        TextTable ct({"", "observed dead", "observed live"});
+        ct.row().cell("predicted dead")
+            .cell(std::to_string(c.deadEvicted) + " (TP)")
+            .cell(std::to_string(c.deadHit) + " (FP)");
+        ct.row().cell("predicted live")
+            .cell(std::to_string(c.liveEvicted) + " (FN)")
+            .cell(std::to_string(c.liveHit) + " (TN)");
+        ct.print(std::cout);
+        std::cout << "accuracy " << formatPercent(c.accuracy(), 1)
+                  << ", false discovery rate "
+                  << formatPercent(c.falseDiscoveryRate(), 1) << "\n";
+    }
+
+    if (art.intervals.size() > 1 && !art.series.empty()) {
+        std::cout << "\nTimeline (" << art.intervals.size() - 1
+                  << " intervals of " << art.intervalInstructions
+                  << " instructions):\n";
+        std::vector<std::string> headers = {"end tick"};
+        for (const auto &s : art.series)
+            headers.push_back(s.name);
+        TextTable tt(headers);
+        const std::size_t n = art.intervals.size() - 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            auto &row = tt.row().cell(
+                std::to_string(art.intervals[i + 1].tick));
+            for (const auto &s : art.series)
+                row.cell(i < s.values.size()
+                             ? formatDouble(s.values[i], 3)
+                             : "-");
+        }
+        tt.print(std::cout);
+    }
+
+    if (!art.profile.empty()) {
+        std::cout << "\nWall-clock profile:\n";
+        TextTable pt({"scope", "seconds", "events", "events/sec"});
+        for (const auto &s : art.profile)
+            pt.row().cell(s.name)
+                .cell(formatDouble(s.seconds, 3))
+                .cell(std::to_string(s.events))
+                .cell(formatDouble(s.eventsPerSec(), 0));
+        pt.print(std::cout);
+    }
+
+    if (art.traceEventsRecorded || art.traceEventsDropped)
+        std::cout << "\nTrace: " << art.traceEventsRecorded
+                  << " events recorded, " << art.traceEventsDropped
+                  << " dropped (ring full)\n";
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string benchmark = "456.hmmer";
+    std::string policy_name = "Sampler";
+    RunConfig cfg = RunConfig::singleCore();
+    cfg.obs.collect = true;
+    bool dump_stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "error: " << arg
+                          << " requires an argument\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--benchmark" || arg == "-b") {
+            benchmark = next();
+        } else if (arg == "--policy" || arg == "-p") {
+            policy_name = next();
+        } else if (arg == "--warmup") {
+            cfg.warmupInstructions =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--instructions" || arg == "-n") {
+            cfg.measureInstructions =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--interval") {
+            cfg.obs.intervalInstructions =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--json") {
+            cfg.obs.statsJsonPath = next();
+        } else if (arg == "--csv") {
+            cfg.obs.timelineCsvPath = next();
+        } else if (arg == "--trace") {
+            cfg.obs.traceJsonlPath = next();
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--list-benchmarks") {
+            for (const auto &b : allSpecBenchmarks())
+                std::cout << b << "\n";
+            return 0;
+        } else if (arg == "--list-policies") {
+            for (const auto kind : allPolicyKinds())
+                std::cout << policyName(kind) << "\n";
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::cerr << "error: unknown option " << arg << "\n";
+            return usage(argv[0]);
+        }
+    }
+
+    const auto bench = resolveBenchmark(benchmark);
+    if (!bench) {
+        std::cerr << "error: unknown benchmark '" << benchmark
+                  << "' (try --list-benchmarks)\n";
+        return 2;
+    }
+    const auto kind = parsePolicyKind(policy_name);
+    if (!kind) {
+        std::cerr << "error: unknown policy '" << policy_name
+                  << "' (try --list-policies)\n";
+        return 2;
+    }
+
+    std::cout << "Running " << *bench << " under "
+              << policyName(*kind) << " ("
+              << cfg.warmupInstructions << " warmup + "
+              << cfg.measureInstructions
+              << " measured instructions)...\n\n";
+
+    const RunResult res = runSingleCore(*bench, *kind, cfg);
+    if (!res.artifacts) {
+        std::cerr << "error: run produced no artifacts\n";
+        return 1;
+    }
+
+    printSummary(*res.artifacts);
+
+    if (dump_stats) {
+        std::cout << "\nFinal stats:\n";
+        for (const auto &s : res.artifacts->finalSnapshot.samples)
+            std::cout << "  " << s.name << " = "
+                      << (s.kind == obs::StatKind::Counter
+                              ? std::to_string(s.counter)
+                              : formatDouble(s.value, 6))
+                      << "\n";
+    }
+
+    if (!cfg.obs.statsJsonPath.empty())
+        std::cout << "\n[wrote " << cfg.obs.statsJsonPath << "]\n";
+    if (!cfg.obs.timelineCsvPath.empty())
+        std::cout << "[wrote " << cfg.obs.timelineCsvPath << "]\n";
+    if (!cfg.obs.traceJsonlPath.empty())
+        std::cout << "[wrote " << cfg.obs.traceJsonlPath << "]\n";
+    return 0;
+}

@@ -12,14 +12,18 @@
 #define SDBP_BENCH_COMMON_HH
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/json.hh"
 #include "sim/runner.hh"
+#include "sim/sweep.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
@@ -57,15 +61,17 @@ footer()
 }
 
 /**
- * Run the 19-benchmark subset under one policy; returns
- * benchmark -> result.
+ * Run the 19-benchmark subset under one policy (fanned across
+ * SDBP_JOBS workers); returns benchmark -> result.
  */
 inline std::map<std::string, RunResult>
 runSubset(PolicyKind kind, const RunConfig &cfg)
 {
+    const sweep::Grid g =
+        sweep::runGrid(memoryIntensiveSubset(), {kind}, cfg);
     std::map<std::string, RunResult> out;
-    for (const auto &bench : memoryIntensiveSubset())
-        out[bench] = runSingleCore(bench, kind, cfg);
+    for (std::size_t b = 0; b < g.benchmarks.size(); ++b)
+        out[g.benchmarks[b]] = g.at(b, 0);
     return out;
 }
 
@@ -102,6 +108,41 @@ class JsonReport
 
     /** Free-form note (paper reference values etc.). */
     void note(const std::string &text) { notes_.push_back(text); }
+
+    /** Record one simulated run's wall clock for the timing block. */
+    void
+    addRun(const std::string &run, const std::string &policy,
+           double seconds)
+    {
+        runs_.push_back({run, policy, seconds});
+        runSeconds_ += seconds;
+    }
+
+    /** Account sweep wall clock not covered by addGrid. */
+    void addSweepSeconds(double seconds) { sweepSeconds_ += seconds; }
+
+    /** Fold a finished sweep into the timing block. */
+    void
+    addGrid(const sweep::Grid &g)
+    {
+        jobs_ = g.jobs;
+        sweepSeconds_ += g.wallSeconds;
+        for (std::size_t b = 0; b < g.benchmarks.size(); ++b)
+            for (std::size_t p = 0; p < g.policies.size(); ++p)
+                addRun(g.benchmarks[b], policyName(g.policies[p]),
+                       g.at(b, p).wallSeconds);
+    }
+
+    void
+    addGrid(const sweep::MixGrid &g)
+    {
+        jobs_ = g.jobs;
+        sweepSeconds_ += g.wallSeconds;
+        for (std::size_t m = 0; m < g.mixes.size(); ++m)
+            for (std::size_t p = 0; p < g.policies.size(); ++p)
+                addRun(g.mixes[m].name, policyName(g.policies[p]),
+                       g.at(m, p).wallSeconds);
+    }
 
     /** Write BENCH_<name>.json; reports failure on stderr. */
     bool
@@ -141,6 +182,40 @@ class JsonReport
             notes.push(obs::JsonValue(n));
         root.set("notes", std::move(notes));
 
+        // Wall-clock accounting: how long the sweeps took with how
+        // many workers, and what the summed per-run cost was.
+        // effective_parallelism = run_seconds_total /
+        // sweep_wall_seconds measures achieved concurrency; it
+        // equals the speedup over a serial sweep only when every
+        // worker has a dedicated core (per-run wall clocks inflate
+        // under time-sharing — see EXPERIMENTS.md).
+        obs::JsonValue timing = obs::JsonValue::object();
+        timing.set("jobs",
+                   obs::JsonValue(static_cast<std::uint64_t>(jobs_)));
+        timing.set("total_wall_seconds",
+                   obs::JsonValue(std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_)
+                                      .count()));
+        timing.set("sweep_wall_seconds",
+                   obs::JsonValue(sweepSeconds_));
+        timing.set("simulated_runs",
+                   obs::JsonValue(
+                       static_cast<std::uint64_t>(runs_.size())));
+        timing.set("run_seconds_total", obs::JsonValue(runSeconds_));
+        if (sweepSeconds_ > 0)
+            timing.set("effective_parallelism",
+                       obs::JsonValue(runSeconds_ / sweepSeconds_));
+        obs::JsonValue run_list = obs::JsonValue::array();
+        for (const auto &r : runs_) {
+            obs::JsonValue jr = obs::JsonValue::object();
+            jr.set("run", obs::JsonValue(r.run));
+            jr.set("policy", obs::JsonValue(r.policy));
+            jr.set("seconds", obs::JsonValue(r.seconds));
+            run_list.push(std::move(jr));
+        }
+        timing.set("runs", std::move(run_list));
+        root.set("timing", std::move(timing));
+
         const std::string path = "BENCH_" + name_ + ".json";
         std::FILE *f = std::fopen(path.c_str(), "w");
         if (!f) {
@@ -155,6 +230,13 @@ class JsonReport
     }
 
   private:
+    struct RunTiming
+    {
+        std::string run;
+        std::string policy;
+        double seconds;
+    };
+
     std::string name_;
     std::string paperRef_;
     InstCount warmup_;
@@ -162,7 +244,56 @@ class JsonReport
     /** (title, table); tables must outlive the report. */
     std::vector<std::pair<std::string, const TextTable *>> tables_;
     std::vector<std::string> notes_;
+    unsigned jobs_ = sweep::defaultJobs();
+    double sweepSeconds_ = 0;
+    double runSeconds_ = 0;
+    std::vector<RunTiming> runs_;
+    std::chrono::steady_clock::time_point start_ =
+        std::chrono::steady_clock::now();
 };
+
+/**
+ * The one shared sweep entry point of the bench binaries: fan the
+ * benchmarks x policies grid across SDBP_JOBS workers and fold its
+ * wall-clock accounting into @p report.  Rows and columns come back
+ * in input order, so tables print exactly as the old serial loops
+ * did.
+ */
+inline sweep::Grid
+runGrid(JsonReport &report, const std::vector<std::string> &benchmarks,
+        const std::vector<PolicyKind> &policies, const RunConfig &cfg)
+{
+    sweep::Grid g = sweep::runGrid(benchmarks, policies, cfg);
+    report.addGrid(g);
+    return g;
+}
+
+/** Multicore-mix equivalent of bench::runGrid. */
+inline sweep::MixGrid
+runMixGrid(JsonReport &report, const std::vector<MixProfile> &mixes,
+           const std::vector<PolicyKind> &policies,
+           const RunConfig &cfg)
+{
+    sweep::MixGrid g = sweep::runMixGrid(mixes, policies, cfg);
+    report.addGrid(g);
+    return g;
+}
+
+/**
+ * sweep::parallelFor with SDBP_JOBS workers, its wall clock folded
+ * into @p report — for bench work that is not a plain grid (optimal
+ * replays, per-size sensitivity cells).
+ */
+inline void
+timedParallelFor(JsonReport &report, std::size_t n,
+                 const std::function<void(std::size_t)> &fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    sweep::parallelFor(n, sweep::defaultJobs(), fn);
+    report.addSweepSeconds(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+}
 
 } // namespace sdbp::bench
 

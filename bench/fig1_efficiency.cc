@@ -23,9 +23,15 @@ main()
     cfg.hierarchy.llc.numSets = 1024; // 1 MB
     cfg.trackEfficiency = true;
 
-    const auto lru = runSingleCore("456.hmmer", PolicyKind::Lru, cfg);
-    const auto sampler =
-        runSingleCore("456.hmmer", PolicyKind::Sampler, cfg);
+    bench::JsonReport report("fig1_efficiency",
+                             "Fig. 1 and the Sec. I dead-time claim",
+                             cfg);
+
+    const auto hmmer = bench::runGrid(
+        report, {"456.hmmer"},
+        {PolicyKind::Lru, PolicyKind::Sampler}, cfg);
+    const RunResult &lru = hmmer.at(0, 0);
+    const RunResult &sampler = hmmer.at(0, 1);
 
     TextTable t({"Configuration", "Efficiency", "Paper"});
     t.row().cell("1MB LRU (a)")
@@ -39,11 +45,11 @@ main()
     // Sec. I claim: average dead fraction over the subset, 2 MB LRU.
     RunConfig cfg2 = RunConfig::singleCore();
     cfg2.trackEfficiency = true;
+    const auto subset = bench::runGrid(report, memoryIntensiveSubset(),
+                                       {PolicyKind::Lru}, cfg2);
     std::vector<double> dead_fractions;
-    for (const auto &bench : memoryIntensiveSubset()) {
-        const auto r = runSingleCore(bench, PolicyKind::Lru, cfg2);
-        dead_fractions.push_back(1.0 - r.llcEfficiency);
-    }
+    for (std::size_t b = 0; b < subset.benchmarks.size(); ++b)
+        dead_fractions.push_back(1.0 - subset.at(b, 0).llcEfficiency);
     std::cout << "\nAverage dead-time fraction, 2MB LRU LLC, "
                  "19-benchmark subset: "
               << formatPercent(amean(dead_fractions), 1)
@@ -51,9 +57,6 @@ main()
     std::cout << "A PGM heat map like Fig. 1 can be produced with "
                  "examples/efficiency_visualizer.\n";
 
-    bench::JsonReport report("fig1_efficiency",
-                             "Fig. 1 and the Sec. I dead-time claim",
-                             cfg);
     report.addTable("cache efficiency (live-time ratio)", t);
     report.note("Average dead-time fraction, 2MB LRU LLC, subset: " +
                 formatPercent(amean(dead_fractions), 1) +

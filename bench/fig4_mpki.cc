@@ -19,31 +19,44 @@ main()
     RunConfig lru_cfg = cfg;
     lru_cfg.recordLlcTrace = true;
 
+    bench::JsonReport report("fig4_mpki", "Fig. 4, Sec. VII-A1", cfg);
+
     const auto &policies = lruDefaultPolicies();
+    const auto &subset = memoryIntensiveSubset();
+
+    const auto baseline =
+        bench::runGrid(report, subset, {PolicyKind::Lru}, lru_cfg);
+    const auto grid = bench::runGrid(report, subset, policies, cfg);
+
+    // The optimal replays are pure CPU work over the recorded LRU
+    // traces; fan them out too.
+    std::vector<OptimalResult> opt(subset.size());
+    bench::timedParallelFor(report, subset.size(), [&](std::size_t b) {
+        const RunResult &lru = baseline.at(b, 0);
+        opt[b] = optimalMisses(lru.llcTrace, cfg.hierarchy.llc.numSets,
+                               cfg.hierarchy.llc.assoc, true,
+                               lru.llcTraceMeasureStart);
+    });
 
     TextTable t({"Benchmark", "TDBP", "CDBP", "DIP", "RRIP", "Sampler",
                  "Optimal"});
     std::map<std::string, std::vector<double>> normalized;
 
-    for (const auto &bench : memoryIntensiveSubset()) {
-        const RunResult lru =
-            runSingleCore(bench, PolicyKind::Lru, lru_cfg);
-        auto &row = t.row().cell(sdbp::bench::shortName(bench));
-        for (const auto kind : policies) {
-            const RunResult r = runSingleCore(bench, kind, cfg);
+    for (std::size_t b = 0; b < subset.size(); ++b) {
+        const RunResult &lru = baseline.at(b, 0);
+        auto &row = t.row().cell(sdbp::bench::shortName(subset[b]));
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const RunResult &r = grid.at(b, p);
             const double norm = lru.llcMisses == 0
                 ? 1.0
                 : static_cast<double>(r.llcMisses) /
                     static_cast<double>(lru.llcMisses);
-            normalized[policyName(kind)].push_back(norm);
+            normalized[policyName(policies[p])].push_back(norm);
             row.cell(norm, 3);
         }
-        const OptimalResult opt = optimalMisses(
-            lru.llcTrace, cfg.hierarchy.llc.numSets,
-            cfg.hierarchy.llc.assoc, true, lru.llcTraceMeasureStart);
         const double onorm = lru.llcMisses == 0
             ? 1.0
-            : static_cast<double>(opt.misses) /
+            : static_cast<double>(opt[b].misses) /
                 static_cast<double>(lru.llcMisses);
         normalized["Optimal"].push_back(onorm);
         row.cell(onorm, 3);
@@ -60,7 +73,6 @@ main()
         "CDBP 0.954, DIP 0.939,\nRRIP 0.919, Sampler 0.883, "
         "Optimal 0.814.\n";
 
-    bench::JsonReport report("fig4_mpki", "Fig. 4, Sec. VII-A1", cfg);
     report.addTable("normalized LLC misses (LRU default)", t);
     report.note("Paper amean normalized misses: TDBP 1.080, "
                 "CDBP 0.954, DIP 0.939, RRIP 0.919, Sampler 0.883, "

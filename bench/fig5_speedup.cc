@@ -17,18 +17,28 @@ main()
     const RunConfig cfg = RunConfig::singleCore();
     const auto &policies = lruDefaultPolicies();
 
+    bench::JsonReport report("fig5_speedup", "Fig. 5, Sec. VII-A2",
+                             cfg);
+
+    // One grid with the LRU baseline as column 0.
+    std::vector<PolicyKind> cols = {PolicyKind::Lru};
+    cols.insert(cols.end(), policies.begin(), policies.end());
+    const auto grid =
+        bench::runGrid(report, memoryIntensiveSubset(), cols, cfg);
+
     TextTable t({"Benchmark", "TDBP", "CDBP", "DIP", "RRIP",
                  "Sampler"});
     std::map<std::string, std::vector<double>> speedups;
 
-    for (const auto &bench : memoryIntensiveSubset()) {
-        const RunResult lru = runSingleCore(bench, PolicyKind::Lru, cfg);
-        auto &row = t.row().cell(sdbp::bench::shortName(bench));
-        for (const auto kind : policies) {
-            const RunResult r = runSingleCore(bench, kind, cfg);
+    for (std::size_t b = 0; b < grid.benchmarks.size(); ++b) {
+        const RunResult &lru = grid.at(b, 0);
+        auto &row =
+            t.row().cell(sdbp::bench::shortName(grid.benchmarks[b]));
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const RunResult &r = grid.at(b, p + 1);
             const double speedup =
                 lru.ipc > 0 ? r.ipc / lru.ipc : 1.0;
-            speedups[policyName(kind)].push_back(speedup);
+            speedups[policyName(policies[p])].push_back(speedup);
             row.cell(speedup, 3);
         }
     }
@@ -43,8 +53,6 @@ main()
         "DIP 1.031, RRIP 1.041,\nSampler 1.059.  The sampler should "
         "deliver the best geometric mean here.\n";
 
-    bench::JsonReport report("fig5_speedup", "Fig. 5, Sec. VII-A2",
-                             cfg);
     report.addTable("speedup over LRU (LRU default)", t);
     report.note("Paper gmean speedup: TDBP ~1.00, CDBP 1.023, "
                 "DIP 1.031, RRIP 1.041, Sampler 1.059");

@@ -24,17 +24,18 @@ struct Variant
 };
 
 double
-gmeanSpeedup(const Variant &v, const RunConfig &base,
+gmeanSpeedup(bench::JsonReport &report, const Variant &v,
+             const RunConfig &base,
              const std::map<std::string, double> &lru_ipc)
 {
     RunConfig cfg = base;
     cfg.policy = v.opts;
+    const auto grid = bench::runGrid(report, memoryIntensiveSubset(),
+                                     {PolicyKind::Sampler}, cfg);
     std::vector<double> speedups;
-    for (const auto &bench : memoryIntensiveSubset()) {
-        const RunResult r =
-            runSingleCore(bench, PolicyKind::Sampler, cfg);
-        speedups.push_back(r.ipc / lru_ipc.at(bench));
-    }
+    for (std::size_t b = 0; b < grid.benchmarks.size(); ++b)
+        speedups.push_back(grid.at(b, 0).ipc /
+                           lru_ipc.at(grid.benchmarks[b]));
     return gmean(speedups);
 }
 
@@ -49,10 +50,14 @@ main()
     const RunConfig cfg = RunConfig::singleCore();
     const std::uint32_t llc_sets = cfg.hierarchy.llc.numSets;
 
+    bench::JsonReport report("fig6_ablation", "Fig. 6, Sec. VII-A4",
+                             cfg);
+
+    const auto lru_grid = bench::runGrid(
+        report, memoryIntensiveSubset(), {PolicyKind::Lru}, cfg);
     std::map<std::string, double> lru_ipc;
-    for (const auto &bench : memoryIntensiveSubset())
-        lru_ipc[bench] =
-            runSingleCore(bench, PolicyKind::Lru, cfg).ipc;
+    for (std::size_t b = 0; b < lru_grid.benchmarks.size(); ++b)
+        lru_ipc[lru_grid.benchmarks[b]] = lru_grid.at(b, 0).ipc;
 
     auto variant = [&](std::string name, bool use_sampler,
                        bool skewed, std::uint32_t sampler_assoc) {
@@ -104,17 +109,19 @@ main()
 
     TextTable t({"Variant", "gmean speedup"});
     for (const auto &v : variants)
-        t.row().cell(v.name).cell(gmeanSpeedup(v, cfg, lru_ipc), 3);
+        t.row().cell(v.name).cell(
+            gmeanSpeedup(report, v, cfg, lru_ipc), 3);
 
     // Extension (paper Sec. VIII future work): a counting predictor
     // trained through a decoupled sampler instead of by evictions.
     {
+        const auto grid =
+            bench::runGrid(report, memoryIntensiveSubset(),
+                           {PolicyKind::SamplingCounting}, cfg);
         std::vector<double> speedups;
-        for (const auto &bench : memoryIntensiveSubset()) {
-            const RunResult r = runSingleCore(
-                bench, PolicyKind::SamplingCounting, cfg);
-            speedups.push_back(r.ipc / lru_ipc.at(bench));
-        }
+        for (std::size_t b = 0; b < grid.benchmarks.size(); ++b)
+            speedups.push_back(grid.at(b, 0).ipc /
+                               lru_ipc.at(grid.benchmarks[b]));
         t.row()
             .cell("extension: sampling counting predictor")
             .cell(gmean(speedups), 3);
@@ -126,8 +133,6 @@ main()
         "+sampler 1.038,\n+sampler+3 tables 1.040, +sampler+12-way "
         "1.056, full 1.059.\n";
 
-    bench::JsonReport report("fig6_ablation",
-                             "Fig. 6, Sec. VII-A4", cfg);
     report.addTable("component contribution ablation", t);
     report.note("Paper: DBRB alone 1.034, +3 tables 1.023, +sampler "
                 "1.038, +sampler+3 tables 1.040, +sampler+12-way "

@@ -17,20 +17,29 @@ main()
     const RunConfig cfg = RunConfig::singleCore();
     const auto &policies = randomDefaultPolicies();
 
+    bench::JsonReport report("fig7_random_mpki",
+                             "Fig. 7, Sec. VII-B1", cfg);
+
+    std::vector<PolicyKind> cols = {PolicyKind::Lru};
+    cols.insert(cols.end(), policies.begin(), policies.end());
+    const auto grid =
+        bench::runGrid(report, memoryIntensiveSubset(), cols, cfg);
+
     TextTable t({"Benchmark", "Random", "Random CDBP",
                  "Random Sampler"});
     std::map<std::string, std::vector<double>> normalized;
 
-    for (const auto &bench : memoryIntensiveSubset()) {
-        const RunResult lru = runSingleCore(bench, PolicyKind::Lru, cfg);
-        auto &row = t.row().cell(sdbp::bench::shortName(bench));
-        for (const auto kind : policies) {
-            const RunResult r = runSingleCore(bench, kind, cfg);
+    for (std::size_t b = 0; b < grid.benchmarks.size(); ++b) {
+        const RunResult &lru = grid.at(b, 0);
+        auto &row =
+            t.row().cell(sdbp::bench::shortName(grid.benchmarks[b]));
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const RunResult &r = grid.at(b, p + 1);
             const double norm = lru.llcMisses == 0
                 ? 1.0
                 : static_cast<double>(r.llcMisses) /
                     static_cast<double>(lru.llcMisses);
-            normalized[policyName(kind)].push_back(norm);
+            normalized[policyName(policies[p])].push_back(norm);
             row.cell(norm, 3);
         }
     }
@@ -45,8 +54,6 @@ main()
         "Random CDBP ~1.00,\nRandom Sampler 0.925.  The random-default "
         "sampler needs only 1 bit of per-block metadata.\n";
 
-    bench::JsonReport report("fig7_random_mpki",
-                             "Fig. 7, Sec. VII-B1", cfg);
     report.addTable("normalized LLC misses (random default)", t);
     report.note("Paper amean normalized misses: Random 1.025, "
                 "Random CDBP ~1.00, Random Sampler 0.925");

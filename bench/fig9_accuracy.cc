@@ -19,19 +19,27 @@ main()
     const std::vector<PolicyKind> predictors = {
         PolicyKind::Tdbp, PolicyKind::Cdbp, PolicyKind::Sampler};
 
+    bench::JsonReport report("fig9_accuracy", "Fig. 9, Sec. VII-C",
+                             cfg);
+
+    const auto grid =
+        bench::runGrid(report, memoryIntensiveSubset(), predictors,
+                       cfg);
+
     TextTable t({"Benchmark", "reftrace cov", "reftrace FP",
                  "counting cov", "counting FP", "sampler cov",
                  "sampler FP"});
     std::map<std::string, std::vector<double>> cov, fp;
 
-    for (const auto &bench : memoryIntensiveSubset()) {
-        auto &row = t.row().cell(sdbp::bench::shortName(bench));
-        for (const auto kind : predictors) {
-            const RunResult r = runSingleCore(bench, kind, cfg);
+    for (std::size_t b = 0; b < grid.benchmarks.size(); ++b) {
+        auto &row =
+            t.row().cell(sdbp::bench::shortName(grid.benchmarks[b]));
+        for (std::size_t p = 0; p < predictors.size(); ++p) {
+            const RunResult &r = grid.at(b, p);
             const double c = r.dbrb.coverage();
             const double f = r.dbrb.falsePositiveRate();
-            cov[policyName(kind)].push_back(c);
-            fp[policyName(kind)].push_back(f);
+            cov[policyName(predictors[p])].push_back(c);
+            fp[policyName(predictors[p])].push_back(f);
             row.cell(formatPercent(c, 1)).cell(formatPercent(f, 1));
         }
     }
@@ -49,8 +57,6 @@ main()
         "low false-positive rate is what turns coverage into "
         "speedup.\n";
 
-    bench::JsonReport report("fig9_accuracy", "Fig. 9, Sec. VII-C",
-                             cfg);
     report.addTable("predictor coverage and false positives", t);
     report.note("Paper amean: reftrace 88% cov / 19.9% FP; counting "
                 "67% / 7.2%; sampler 59% / 3.0%");

@@ -21,6 +21,9 @@ main()
     constexpr std::uint64_t llc_blocks = 32768;
     constexpr std::uint64_t llc_bytes = 2ull * 1024 * 1024;
 
+    bench::JsonReport report("table1_storage",
+                             "Table I, Sec. IV-A/B/C");
+
     RefTracePredictor reftrace;
     CountingPredictor counting;
     SamplingDeadBlockPredictor sampler;
@@ -59,8 +62,6 @@ main()
         "well under 1% of LLC capacity while reftrace and counting\n"
         "cost 3.5% and 5.3%.\n";
 
-    bench::JsonReport report("table1_storage",
-                             "Table I, Sec. IV-A/B/C");
     report.addTable("predictor storage overhead", t);
     report.note("Paper totals (KB): reftrace 72, counting 108, "
                 "sampler 13.75 (see EXPERIMENTS.md on the sampler "

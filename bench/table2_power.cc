@@ -19,6 +19,10 @@ main()
                   "Table II and Sec. IV-D");
 
     constexpr std::uint64_t llc_blocks = 32768;
+
+    bench::JsonReport report("table2_power",
+                             "Table II and Sec. IV-D");
+
     PowerModel model;
     const auto llc = model.estimate(PowerModel::baselineLlcGeometry());
 
@@ -88,8 +92,6 @@ main()
               << "The model reproduces the ordering sampler < "
                  "reftrace < counting on both axes.\n";
 
-    bench::JsonReport report("table2_power",
-                             "Table II and Sec. IV-D");
     report.addTable("predictor leakage and dynamic power", t);
     report.note("Paper: sampler 3.1% of LLC dynamic / 1.2% leakage; "
                 "counting 11% / 4.7%; reftrace 2.9% leakage");

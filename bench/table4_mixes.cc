@@ -27,18 +27,35 @@ main()
     const std::vector<std::uint32_t> llc_sets = {1024, 2048, 4096,
                                                  8192}; // 1..8 MB
 
+    bench::JsonReport report("table4_mixes", "Table IV, Sec. VI-A2",
+                             base);
+
+    // Every (mix, LLC size) sensitivity point is independent;
+    // flatten the whole matrix into one parallel sweep.
+    const auto &mixes = multicoreMixes();
+    std::vector<MulticoreRunResult> cells(mixes.size() *
+                                          llc_sets.size());
+    bench::timedParallelFor(report, cells.size(), [&](std::size_t i) {
+        RunConfig cfg = base;
+        cfg.hierarchy.llc.numSets = llc_sets[i % llc_sets.size()];
+        cells[i] = runMulticore(mixes[i / llc_sets.size()],
+                                PolicyKind::Lru, cfg);
+    });
+
     TextTable t({"Mix", "Benchmarks", "MPKI @1MB", "@2MB", "@4MB",
                  "@8MB"});
-    for (const auto &mix : multicoreMixes()) {
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        const auto &mix = mixes[m];
         std::string benches;
         for (const auto &b : mix.benchmarks)
             benches += (benches.empty() ? "" : " ") +
                 bench::shortName(b);
         auto &row = t.row().cell(mix.name).cell(benches);
-        for (const auto sets : llc_sets) {
-            RunConfig cfg = base;
-            cfg.hierarchy.llc.numSets = sets;
-            const auto r = runMulticore(mix, PolicyKind::Lru, cfg);
+        for (std::size_t s = 0; s < llc_sets.size(); ++s) {
+            const auto &r = cells[m * llc_sets.size() + s];
+            report.addRun(mix.name + "@" +
+                              std::to_string(llc_sets[s]) + "sets",
+                          "LRU", r.wallSeconds);
             row.cell(r.mpki, 2);
         }
     }
@@ -46,8 +63,6 @@ main()
     std::cout << "\nMPKI falls with shared-LLC size; the decline rate "
                  "is each mix's cache sensitivity curve.\n";
 
-    bench::JsonReport report("table4_mixes", "Table IV, Sec. VI-A2",
-                             base);
     report.addTable("multi-core workload mixes", t);
     report.write();
     bench::footer();

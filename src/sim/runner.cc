@@ -1,8 +1,10 @@
 #include "sim/runner.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "obs/trace_sink.hh"
 #include "util/logging.hh"
@@ -13,6 +15,14 @@ namespace sdbp
 
 namespace
 {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
 
 InstCount
 envInstCount(const char *name, InstCount fallback)
@@ -145,6 +155,7 @@ RunResult
 runSingleCore(const std::string &benchmark, PolicyKind kind,
               RunConfig cfg)
 {
+    const auto wall_start = std::chrono::steady_clock::now();
     cfg.hierarchy.numCores = 1;
     cfg.hierarchy.llc.trackEfficiency = cfg.trackEfficiency;
     cfg.policy.numThreads = 1;
@@ -197,12 +208,14 @@ runSingleCore(const std::string &benchmark, PolicyKind kind,
         res.hasDbrb = true;
         res.dbrb = dbrb->dbrbStats();
     }
+    res.wallSeconds = secondsSince(wall_start);
     return res;
 }
 
 MulticoreRunResult
 runMulticore(const MixProfile &mix, PolicyKind kind, RunConfig cfg)
 {
+    const auto wall_start = std::chrono::steady_clock::now();
     const auto cores = static_cast<std::uint32_t>(
         mix.benchmarks.size());
     cfg.hierarchy.numCores = cores;
@@ -238,28 +251,42 @@ runMulticore(const MixProfile &mix, PolicyKind kind, RunConfig cfg)
     }
     res.llcMisses = sys.hierarchy().llc().stats().demandMisses;
     res.mpki = mpki(res.llcMisses, res.totalInstructions);
+    res.wallSeconds = secondsSince(wall_start);
     return res;
 }
 
 double
 isolatedIpc(const std::string &benchmark, RunConfig cfg)
 {
-    static std::map<std::string, double> cache;
+    // Shared across sweep workers: the memo is the only mutable
+    // process-wide state in the runner, so it is mutex-guarded.  The
+    // key covers the cache geometry and instruction budget so
+    // different configurations (quad-core 8 MB, future geometries)
+    // never collide.
+    static std::mutex memo_mutex;
+    static std::map<std::string, double> memo;
     const std::string key = benchmark + "/" +
-        std::to_string(cfg.hierarchy.llc.numSets) + "/" +
+        std::to_string(cfg.hierarchy.llc.numSets) + "x" +
+        std::to_string(cfg.hierarchy.llc.assoc) + "/" +
+        std::to_string(cfg.warmupInstructions) + "+" +
         std::to_string(cfg.measureInstructions);
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(memo_mutex);
+        if (auto it = memo.find(key); it != memo.end())
+            return it->second;
+    }
 
+    // Simulate outside the lock; two workers racing on the same key
+    // compute the same deterministic value, and emplace keeps the
+    // first.
     RunConfig solo = cfg;
     solo.hierarchy.numCores = 1;
     solo.recordLlcTrace = false;
     solo.trackEfficiency = false;
     const RunResult run = runSingleCore(benchmark, PolicyKind::Lru,
                                         solo);
-    cache[key] = run.ipc;
-    return run.ipc;
+    std::lock_guard<std::mutex> lock(memo_mutex);
+    return memo.emplace(key, run.ipc).first->second;
 }
 
 double

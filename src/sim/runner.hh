@@ -94,6 +94,8 @@ struct RunResult
     /** Run artifacts (when cfg.obs.collect); shared so RunResult
      *  stays cheap to copy. */
     std::shared_ptr<const obs::RunArtifacts> artifacts;
+    /** Wall-clock seconds this run took (setup + warmup + measure). */
+    double wallSeconds = 0;
 };
 
 /** Simulate one benchmark under one LLC policy on a single core. */
@@ -111,6 +113,8 @@ struct MulticoreRunResult
     double mpki = 0; ///< misses per kilo-instruction, all threads
     /** Run artifacts (when cfg.obs.collect). */
     std::shared_ptr<const obs::RunArtifacts> artifacts;
+    /** Wall-clock seconds this run took (setup + warmup + measure). */
+    double wallSeconds = 0;
 };
 
 /** Simulate one quad-core mix under one shared-LLC policy. */
@@ -121,7 +125,9 @@ MulticoreRunResult runMulticore(const MixProfile &mix, PolicyKind kind,
  * IPC of @p benchmark running alone with an LRU LLC of the
  * multi-core geometry — the SingleIPC denominator of the weighted
  * speedup metric (Sec. VI-A2).  Results are memoized per
- * (benchmark, config) within the process.
+ * (benchmark, cache geometry, instruction budget) within the
+ * process; the memo is mutex-guarded, so concurrent sweep workers
+ * may call this freely.
  */
 double isolatedIpc(const std::string &benchmark,
                    RunConfig cfg = RunConfig::quadCore());

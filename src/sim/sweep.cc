@@ -1,0 +1,200 @@
+#include "sim/sweep.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace sdbp::sweep
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** "Random Sampler" -> "random_sampler"; "456.hmmer" -> "456_hmmer". */
+std::string
+slug(const std::string &name)
+{
+    std::string out;
+    for (const char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            out.push_back(static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c))));
+        else if (!out.empty() && out.back() != '_')
+            out.push_back('_');
+    }
+    while (!out.empty() && out.back() == '_')
+        out.pop_back();
+    return out;
+}
+
+/**
+ * Per-cell copy of cfg.  A multi-cell sweep rewrites any artifact
+ * paths so concurrent cells never share an output file; a single
+ * cell keeps the caller's exact paths.
+ */
+RunConfig
+cellConfig(const RunConfig &cfg, bool multi_cell,
+           const std::string &run, const std::string &policy)
+{
+    if (!multi_cell)
+        return cfg;
+    RunConfig out = cfg;
+    if (!out.obs.statsJsonPath.empty())
+        out.obs.statsJsonPath =
+            cellArtifactPath(out.obs.statsJsonPath, run, policy);
+    if (!out.obs.timelineCsvPath.empty())
+        out.obs.timelineCsvPath =
+            cellArtifactPath(out.obs.timelineCsvPath, run, policy);
+    if (!out.obs.traceJsonlPath.empty())
+        out.obs.traceJsonlPath =
+            cellArtifactPath(out.obs.traceJsonlPath, run, policy);
+    return out;
+}
+
+} // anonymous namespace
+
+unsigned
+defaultJobs()
+{
+    if (const char *value = std::getenv("SDBP_JOBS");
+        value && *value) {
+        char *end = nullptr;
+        const unsigned long parsed = std::strtoul(value, &end, 10);
+        if (end != value && *end == '\0' && parsed >= 1 &&
+            parsed <= 4096)
+            return static_cast<unsigned>(parsed);
+        warn("SDBP_JOBS: ignoring invalid value");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+parallelFor(std::size_t n, unsigned jobs,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs, n));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    util::ThreadPool pool(workers);
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        futures.push_back(pool.submit([&fn, i] { fn(i); }));
+    // Drain every future, then fail with the lowest-index error so a
+    // parallel sweep reports the same failure the serial loop would.
+    std::exception_ptr first;
+    for (auto &f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+std::string
+cellArtifactPath(const std::string &base, const std::string &run,
+                 const std::string &policy)
+{
+    const std::string suffix = "." + slug(run) + "." + slug(policy);
+    const auto slash = base.find_last_of('/');
+    const auto dot = base.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return base + suffix;
+    return base.substr(0, dot) + suffix + base.substr(dot);
+}
+
+double
+Grid::runSecondsTotal() const
+{
+    double sum = 0;
+    for (const auto &cell : cells)
+        sum += cell.wallSeconds;
+    return sum;
+}
+
+double
+MixGrid::runSecondsTotal() const
+{
+    double sum = 0;
+    for (const auto &cell : cells)
+        sum += cell.wallSeconds;
+    return sum;
+}
+
+Grid
+runGrid(std::vector<std::string> benchmarks,
+        std::vector<PolicyKind> policies, const RunConfig &cfg,
+        unsigned jobs)
+{
+    Grid grid;
+    grid.benchmarks = std::move(benchmarks);
+    grid.policies = std::move(policies);
+    grid.jobs = jobs;
+    const std::size_t cols = grid.policies.size();
+    const std::size_t n = grid.benchmarks.size() * cols;
+    grid.cells.resize(n);
+    const bool multi = n > 1;
+    const auto start = std::chrono::steady_clock::now();
+    parallelFor(n, jobs, [&](std::size_t i) {
+        const auto &bench = grid.benchmarks[i / cols];
+        const PolicyKind kind = grid.policies[i % cols];
+        grid.cells[i] = runSingleCore(
+            bench, kind,
+            cellConfig(cfg, multi, bench, policyName(kind)));
+    });
+    grid.wallSeconds = secondsSince(start);
+    return grid;
+}
+
+MixGrid
+runMixGrid(std::vector<MixProfile> mixes,
+           std::vector<PolicyKind> policies, const RunConfig &cfg,
+           unsigned jobs)
+{
+    MixGrid grid;
+    grid.mixes = std::move(mixes);
+    grid.policies = std::move(policies);
+    grid.jobs = jobs;
+    const std::size_t cols = grid.policies.size();
+    const std::size_t n = grid.mixes.size() * cols;
+    grid.cells.resize(n);
+    const bool multi = n > 1;
+    const auto start = std::chrono::steady_clock::now();
+    parallelFor(n, jobs, [&](std::size_t i) {
+        const auto &mix = grid.mixes[i / cols];
+        const PolicyKind kind = grid.policies[i % cols];
+        grid.cells[i] = runMulticore(
+            mix, kind,
+            cellConfig(cfg, multi, mix.name, policyName(kind)));
+    });
+    grid.wallSeconds = secondsSince(start);
+    return grid;
+}
+
+} // namespace sdbp::sweep

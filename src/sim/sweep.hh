@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Parallel experiment engine: deterministic fan-out of independent
+ * (benchmark, policy) simulations across a fixed thread pool.
+ *
+ * Every cell of a grid owns its own System and seeded workload
+ * stream, so results are bit-identical to the serial loop for any
+ * job count; results are collected by (row, column) index, never by
+ * completion order (DESIGN.md §10).
+ */
+
+#ifndef SDBP_SIM_SWEEP_HH
+#define SDBP_SIM_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace sdbp::sweep
+{
+
+/**
+ * Worker count for sweeps: the SDBP_JOBS environment variable when
+ * set to a valid positive integer, else hardware_concurrency
+ * (minimum 1).  1 means serial execution.
+ */
+unsigned defaultJobs();
+
+/**
+ * Run fn(0) .. fn(n-1) across @p jobs workers.  Tasks must be
+ * independent; completion order is unspecified but error reporting
+ * is deterministic: if tasks throw, every task still finishes and
+ * then the exception of the lowest failing index is rethrown — the
+ * same failure the serial loop would report first.  jobs <= 1
+ * executes inline.
+ */
+void parallelFor(std::size_t n, unsigned jobs,
+                 const std::function<void(std::size_t)> &fn);
+
+/**
+ * Derive the per-cell artifact path of a multi-cell sweep, so
+ * concurrent runs never write the same file:
+ * ("run.json", "456.hmmer", "Random Sampler") ->
+ * "run.456_hmmer.random_sampler.json".  Deterministic, so serial
+ * and parallel sweeps produce identical files.
+ */
+std::string cellArtifactPath(const std::string &base,
+                             const std::string &run,
+                             const std::string &policy);
+
+/**
+ * Results of a benchmarks x policies sweep, row-major in input
+ * order.
+ */
+struct Grid
+{
+    std::vector<std::string> benchmarks;
+    std::vector<PolicyKind> policies;
+    /** benchmarks.size() * policies.size() cells, row-major. */
+    std::vector<RunResult> cells;
+    /** Workers the sweep ran with. */
+    unsigned jobs = 1;
+    /** Whole-grid wall clock, seconds. */
+    double wallSeconds = 0;
+
+    const RunResult &
+    at(std::size_t b, std::size_t p) const
+    {
+        return cells[b * policies.size() + p];
+    }
+
+    /** Sum of per-run wall clocks (the serial-equivalent cost). */
+    double runSecondsTotal() const;
+};
+
+/** Multicore-mix equivalent of Grid. */
+struct MixGrid
+{
+    std::vector<MixProfile> mixes;
+    std::vector<PolicyKind> policies;
+    /** mixes.size() * policies.size() cells, row-major. */
+    std::vector<MulticoreRunResult> cells;
+    unsigned jobs = 1;
+    double wallSeconds = 0;
+
+    const MulticoreRunResult &
+    at(std::size_t m, std::size_t p) const
+    {
+        return cells[m * policies.size() + p];
+    }
+
+    double runSecondsTotal() const;
+};
+
+/**
+ * Simulate every (benchmark, policy) cell with runSingleCore, fanned
+ * across @p jobs threads.  When cfg carries artifact paths and the
+ * grid has more than one cell, each cell writes to its
+ * cellArtifactPath-derived file instead.
+ */
+Grid runGrid(std::vector<std::string> benchmarks,
+             std::vector<PolicyKind> policies, const RunConfig &cfg,
+             unsigned jobs = defaultJobs());
+
+/** Simulate every (mix, policy) cell with runMulticore. */
+MixGrid runMixGrid(std::vector<MixProfile> mixes,
+                   std::vector<PolicyKind> policies,
+                   const RunConfig &cfg,
+                   unsigned jobs = defaultJobs());
+
+} // namespace sdbp::sweep
+
+#endif // SDBP_SIM_SWEEP_HH

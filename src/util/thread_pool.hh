@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Minimal fixed-size thread pool for embarrassingly parallel
+ * experiment grids: one shared FIFO queue, no work stealing, futures
+ * that propagate exceptions.  A pool with zero workers degenerates
+ * to inline execution at submit() time, so call sites need no
+ * serial/parallel special cases.
+ */
+
+#ifndef SDBP_UTIL_THREAD_POOL_HH
+#define SDBP_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sdbp::util
+{
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p workers threads; 0 means run tasks inline. */
+    explicit ThreadPool(unsigned workers)
+    {
+        threads_.reserve(workers);
+        for (unsigned i = 0; i < workers; ++i)
+            threads_.emplace_back([this] { workerLoop(); });
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Finishes every task already submitted, then joins. */
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        wake_.notify_all();
+        for (auto &t : threads_)
+            t.join();
+    }
+
+    unsigned
+    workers() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /**
+     * Queue @p fn; the future yields its result, or rethrows
+     * whatever it threw.  With zero workers the task runs right
+     * here, so the returned future is already ready.
+     */
+    template <typename F>
+    std::future<std::invoke_result_t<F>>
+    submit(F fn)
+    {
+        std::packaged_task<std::invoke_result_t<F>()> task(
+            std::move(fn));
+        auto future = task.get_future();
+        if (threads_.empty()) {
+            task();
+            return future;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace_back(
+                [t = std::move(task)]() mutable { t(); });
+        }
+        wake_.notify_one();
+        return future;
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::packaged_task<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock, [this] {
+                    return stopping_ || !queue_.empty();
+                });
+                if (queue_.empty())
+                    return; // stopping and fully drained
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            task();
+        }
+    }
+
+    std::vector<std::thread> threads_;
+    std::deque<std::packaged_task<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+};
+
+} // namespace sdbp::util
+
+#endif // SDBP_UTIL_THREAD_POOL_HH

@@ -11,6 +11,11 @@
  * optionally exports the machine-readable artifacts: the
  * `sdbp.run_artifacts/1` JSON, the derived timeline CSV, and the
  * event-trace JSONL.
+ *
+ * --benchmark and --policy accept comma-separated lists; a
+ * multi-cell selection runs the whole grid in parallel (SDBP_JOBS /
+ * --jobs workers) through the sweep engine and prints one summary
+ * row per cell, with artifact paths derived per cell.
  */
 
 #include <cstdio>
@@ -22,7 +27,9 @@
 
 #include "obs/artifacts.hh"
 #include "sim/runner.hh"
+#include "sim/sweep.hh"
 #include "trace/spec_profiles.hh"
+#include "util/stats.hh"
 #include "util/table.hh"
 
 namespace
@@ -40,14 +47,20 @@ usage(const char *prog)
            "its artifacts.\n"
         << "\n"
         << "options:\n"
-        << "  --benchmark <name>   SPEC benchmark (default "
+        << "  --benchmark <names>  SPEC benchmark (default "
            "456.hmmer); the\n"
         << "                       numeric prefix is optional "
-           "(\"hmmer\" works)\n"
-        << "  --policy <name>      LLC policy (default Sampler); "
+           "(\"hmmer\" works);\n"
+        << "                       comma-separated lists sweep a "
+           "grid\n"
+        << "  --policy <names>     LLC policy (default Sampler); "
            "case-insensitive,\n"
         << "                       spaces/dashes/underscores "
-           "interchangeable\n"
+           "interchangeable;\n"
+        << "                       comma-separated lists sweep a "
+           "grid\n"
+        << "  --jobs <n>           sweep workers (default SDBP_JOBS "
+           "or all cores)\n"
         << "  --warmup <n>         warm-up instructions\n"
         << "  --instructions <n>   measured instructions\n"
         << "  --interval <n>       snapshot period in instructions\n"
@@ -79,6 +92,24 @@ resolveBenchmark(const std::string &name)
             return full;
     }
     return std::nullopt;
+}
+
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const auto comma = text.find(',', start);
+        const auto end =
+            comma == std::string::npos ? text.size() : comma;
+        if (end > start)
+            out.push_back(text.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
 }
 
 void
@@ -185,6 +216,7 @@ main(int argc, char **argv)
     RunConfig cfg = RunConfig::singleCore();
     cfg.obs.collect = true;
     bool dump_stats = false;
+    unsigned jobs = sweep::defaultJobs();
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -200,6 +232,13 @@ main(int argc, char **argv)
             benchmark = next();
         } else if (arg == "--policy" || arg == "-p") {
             policy_name = next();
+        } else if (arg == "--jobs" || arg == "-j") {
+            jobs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+            if (jobs == 0) {
+                std::cerr << "error: --jobs needs a positive count\n";
+                return 2;
+            }
         } else if (arg == "--warmup") {
             cfg.warmupInstructions =
                 std::strtoull(next(), nullptr, 10);
@@ -234,48 +273,104 @@ main(int argc, char **argv)
         }
     }
 
-    const auto bench = resolveBenchmark(benchmark);
-    if (!bench) {
-        std::cerr << "error: unknown benchmark '" << benchmark
-                  << "' (try --list-benchmarks)\n";
+    std::vector<std::string> benchmarks;
+    for (const auto &name : splitList(benchmark)) {
+        const auto resolved = resolveBenchmark(name);
+        if (!resolved) {
+            std::cerr << "error: unknown benchmark '" << name
+                      << "' (try --list-benchmarks)\n";
+            return 2;
+        }
+        benchmarks.push_back(*resolved);
+    }
+    std::vector<PolicyKind> kinds;
+    for (const auto &name : splitList(policy_name)) {
+        const auto kind = parsePolicyKind(name);
+        if (!kind) {
+            std::cerr << "error: unknown policy '" << name
+                      << "' (try --list-policies)\n";
+            return 2;
+        }
+        kinds.push_back(*kind);
+    }
+    if (benchmarks.empty() || kinds.empty()) {
+        std::cerr << "error: empty benchmark or policy list\n";
         return 2;
     }
-    const auto kind = parsePolicyKind(policy_name);
-    if (!kind) {
-        std::cerr << "error: unknown policy '" << policy_name
-                  << "' (try --list-policies)\n";
-        return 2;
+
+    const std::size_t cells = benchmarks.size() * kinds.size();
+    if (cells == 1)
+        std::cout << "Running " << benchmarks[0] << " under "
+                  << policyName(kinds[0]) << " ("
+                  << cfg.warmupInstructions << " warmup + "
+                  << cfg.measureInstructions
+                  << " measured instructions)...\n\n";
+    else
+        std::cout << "Sweeping " << benchmarks.size()
+                  << " benchmark(s) x " << kinds.size()
+                  << " policy(ies) across " << jobs << " worker(s) ("
+                  << cfg.warmupInstructions << " warmup + "
+                  << cfg.measureInstructions
+                  << " measured instructions per run)...\n\n";
+
+    const sweep::Grid grid =
+        sweep::runGrid(benchmarks, kinds, cfg, jobs);
+
+    if (cells == 1) {
+        const RunResult &res = grid.at(0, 0);
+        if (!res.artifacts) {
+            std::cerr << "error: run produced no artifacts\n";
+            return 1;
+        }
+        printSummary(*res.artifacts);
+
+        if (dump_stats) {
+            std::cout << "\nFinal stats:\n";
+            for (const auto &s :
+                 res.artifacts->finalSnapshot.samples)
+                std::cout << "  " << s.name << " = "
+                          << (s.kind == obs::StatKind::Counter
+                                  ? std::to_string(s.counter)
+                                  : formatDouble(s.value, 6))
+                          << "\n";
+        }
+
+        if (!cfg.obs.statsJsonPath.empty())
+            std::cout << "\n[wrote " << cfg.obs.statsJsonPath
+                      << "]\n";
+        if (!cfg.obs.timelineCsvPath.empty())
+            std::cout << "[wrote " << cfg.obs.timelineCsvPath
+                      << "]\n";
+        if (!cfg.obs.traceJsonlPath.empty())
+            std::cout << "[wrote " << cfg.obs.traceJsonlPath
+                      << "]\n";
+        return 0;
     }
 
-    std::cout << "Running " << *bench << " under "
-              << policyName(*kind) << " ("
-              << cfg.warmupInstructions << " warmup + "
-              << cfg.measureInstructions
-              << " measured instructions)...\n\n";
-
-    const RunResult res = runSingleCore(*bench, *kind, cfg);
-    if (!res.artifacts) {
-        std::cerr << "error: run produced no artifacts\n";
-        return 1;
-    }
-
-    printSummary(*res.artifacts);
-
-    if (dump_stats) {
-        std::cout << "\nFinal stats:\n";
-        for (const auto &s : res.artifacts->finalSnapshot.samples)
-            std::cout << "  " << s.name << " = "
-                      << (s.kind == obs::StatKind::Counter
-                              ? std::to_string(s.counter)
-                              : formatDouble(s.value, 6))
-                      << "\n";
-    }
-
-    if (!cfg.obs.statsJsonPath.empty())
-        std::cout << "\n[wrote " << cfg.obs.statsJsonPath << "]\n";
-    if (!cfg.obs.timelineCsvPath.empty())
-        std::cout << "[wrote " << cfg.obs.timelineCsvPath << "]\n";
-    if (!cfg.obs.traceJsonlPath.empty())
-        std::cout << "[wrote " << cfg.obs.traceJsonlPath << "]\n";
+    // Multi-cell sweep: one summary row per cell, in grid order.
+    TextTable t({"Benchmark", "Policy", "IPC", "MPKI", "Misses",
+                 "Bypasses", "Wall s"});
+    for (std::size_t b = 0; b < grid.benchmarks.size(); ++b)
+        for (std::size_t p = 0; p < grid.policies.size(); ++p) {
+            const RunResult &r = grid.at(b, p);
+            t.row()
+                .cell(grid.benchmarks[b])
+                .cell(r.policy)
+                .cell(r.ipc, 3)
+                .cell(r.mpki, 3)
+                .cell(std::to_string(r.llcMisses))
+                .cell(std::to_string(r.llcBypasses))
+                .cell(r.wallSeconds, 2);
+        }
+    t.print(std::cout);
+    std::cout << "\nSweep of " << cells << " runs took "
+              << formatDouble(grid.wallSeconds, 2) << " s with "
+              << jobs << " worker(s); serial-equivalent cost "
+              << formatDouble(grid.runSecondsTotal(), 2) << " s.\n";
+    if (!cfg.obs.statsJsonPath.empty() ||
+        !cfg.obs.timelineCsvPath.empty() ||
+        !cfg.obs.traceJsonlPath.empty())
+        std::cout << "Artifacts were written per cell "
+                     "(base path + .<benchmark>.<policy>).\n";
     return 0;
 }

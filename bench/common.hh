@@ -24,6 +24,7 @@
 #include "obs/json.hh"
 #include "sim/runner.hh"
 #include "sim/sweep.hh"
+#include "util/file.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
@@ -121,12 +122,17 @@ class JsonReport
     /** Account sweep wall clock not covered by addGrid. */
     void addSweepSeconds(double seconds) { sweepSeconds_ += seconds; }
 
-    /** Fold a finished sweep into the timing block. */
+    /** Fold a finished sweep into the timing block and collect its
+     *  cell failures for the sweep block / exit code. */
     void
     addGrid(const sweep::Grid &g)
     {
         jobs_ = g.jobs;
         sweepSeconds_ += g.wallSeconds;
+        errors_.insert(errors_.end(), g.errors.begin(),
+                       g.errors.end());
+        skipped_ += g.skipped;
+        resumed_ += g.resumed;
         for (std::size_t b = 0; b < g.benchmarks.size(); ++b)
             for (std::size_t p = 0; p < g.policies.size(); ++p)
                 addRun(g.benchmarks[b], policyName(g.policies[p]),
@@ -138,10 +144,50 @@ class JsonReport
     {
         jobs_ = g.jobs;
         sweepSeconds_ += g.wallSeconds;
+        errors_.insert(errors_.end(), g.errors.begin(),
+                       g.errors.end());
+        skipped_ += g.skipped;
+        resumed_ += g.resumed;
         for (std::size_t m = 0; m < g.mixes.size(); ++m)
             for (std::size_t p = 0; p < g.policies.size(); ++p)
                 addRun(g.mixes[m].name, policyName(g.policies[p]),
                        g.at(m, p).wallSeconds);
+    }
+
+    /**
+     * Checkpoint path for the next sweep this report will run:
+     * BENCH_<name>.manifest.json for the first grid, then
+     * BENCH_<name>.grid2.manifest.json and so on — each grid of a
+     * multi-grid bench resumes independently.
+     */
+    std::string
+    nextManifestPath()
+    {
+        ++gridCount_;
+        if (gridCount_ == 1)
+            return "BENCH_" + name_ + ".manifest.json";
+        return "BENCH_" + name_ + ".grid" +
+            std::to_string(gridCount_) + ".manifest.json";
+    }
+
+    const std::vector<sweep::CellError> &errors() const
+    {
+        return errors_;
+    }
+    std::size_t skipped() const { return skipped_; }
+    std::size_t resumed() const { return resumed_; }
+
+    /**
+     * Process exit code for this report: 0 when every cell produced
+     * a result, 130 when a shutdown request skipped cells (the
+     * conventional SIGINT code), 1 when cells failed outright.
+     */
+    int
+    exitCode() const
+    {
+        if (skipped_ > 0)
+            return 130;
+        return errors_.empty() ? 0 : 1;
     }
 
     /** Write BENCH_<name>.json; reports failure on stderr. */
@@ -216,15 +262,32 @@ class JsonReport
         timing.set("runs", std::move(run_list));
         root.set("timing", std::move(timing));
 
+        // Resilience accounting: failed/skipped cells and how many
+        // were restored from a sweep manifest instead of re-run.
+        obs::JsonValue sweep_block = obs::JsonValue::object();
+        obs::JsonValue error_list = obs::JsonValue::array();
+        for (const auto &e : errors_) {
+            obs::JsonValue je = obs::JsonValue::object();
+            je.set("run", obs::JsonValue(e.run));
+            je.set("policy", obs::JsonValue(e.policy));
+            je.set("error", obs::JsonValue(e.message));
+            je.set("attempts", obs::JsonValue(
+                                   std::uint64_t{e.attempts}));
+            je.set("timed_out", obs::JsonValue(e.timedOut));
+            error_list.push(std::move(je));
+        }
+        sweep_block.set("errors", std::move(error_list));
+        sweep_block.set("skipped_cells",
+                        obs::JsonValue(std::uint64_t{skipped_}));
+        sweep_block.set("resumed_cells",
+                        obs::JsonValue(std::uint64_t{resumed_}));
+        root.set("sweep", std::move(sweep_block));
+
         const std::string path = "BENCH_" + name_ + ".json";
-        std::FILE *f = std::fopen(path.c_str(), "w");
-        if (!f) {
+        if (!util::atomicWriteFile(path, root.dump() + "\n")) {
             std::cerr << "cannot write " << path << "\n";
             return false;
         }
-        const std::string text = root.dump() + "\n";
-        std::fwrite(text.data(), 1, text.size(), f);
-        std::fclose(f);
         std::cout << "[wrote " << path << "]\n";
         return true;
     }
@@ -244,6 +307,10 @@ class JsonReport
     /** (title, table); tables must outlive the report. */
     std::vector<std::pair<std::string, const TextTable *>> tables_;
     std::vector<std::string> notes_;
+    std::vector<sweep::CellError> errors_;
+    std::size_t skipped_ = 0;
+    std::size_t resumed_ = 0;
+    unsigned gridCount_ = 0;
     unsigned jobs_ = sweep::defaultJobs();
     double sweepSeconds_ = 0;
     double runSeconds_ = 0;
@@ -263,7 +330,10 @@ inline sweep::Grid
 runGrid(JsonReport &report, const std::vector<std::string> &benchmarks,
         const std::vector<PolicyKind> &policies, const RunConfig &cfg)
 {
-    sweep::Grid g = sweep::runGrid(benchmarks, policies, cfg);
+    sweep::installShutdownHandler();
+    sweep::SweepOptions opts = sweep::SweepOptions::fromEnvironment();
+    opts.manifestPath = report.nextManifestPath();
+    sweep::Grid g = sweep::runGrid(benchmarks, policies, cfg, opts);
     report.addGrid(g);
     return g;
 }
@@ -274,9 +344,37 @@ runMixGrid(JsonReport &report, const std::vector<MixProfile> &mixes,
            const std::vector<PolicyKind> &policies,
            const RunConfig &cfg)
 {
-    sweep::MixGrid g = sweep::runMixGrid(mixes, policies, cfg);
+    sweep::installShutdownHandler();
+    sweep::SweepOptions opts = sweep::SweepOptions::fromEnvironment();
+    opts.manifestPath = report.nextManifestPath();
+    sweep::MixGrid g = sweep::runMixGrid(mixes, policies, cfg, opts);
     report.addGrid(g);
     return g;
+}
+
+/**
+ * Close out a bench binary: print any cell failures, write the JSON
+ * report, and return the process exit code (0 all cells ran, 1 cells
+ * failed, 130 interrupted).  Use as `return bench::finish(report);`.
+ */
+inline int
+finish(JsonReport &report)
+{
+    for (const auto &e : report.errors())
+        std::cerr << "FAILED cell " << e.run << "/" << e.policy
+                  << " after " << e.attempts << " attempt(s)"
+                  << (e.timedOut ? " [timeout]" : "") << ": "
+                  << e.message << "\n";
+    if (report.skipped() > 0)
+        std::cerr << "interrupted: " << report.skipped()
+                  << " cell(s) skipped; re-run with SDBP_RESUME=1 to "
+                     "continue from the manifest\n";
+    if (report.resumed() > 0)
+        std::cout << "[resumed " << report.resumed()
+                  << " cell(s) from manifest]\n";
+    report.write();
+    footer();
+    return report.exitCode();
 }
 
 /**

@@ -113,7 +113,5 @@ main()
     report.note("Paper gmean: Sampler 1.125, CDBP 1.10, TADIP 1.076, "
                 "TDBP 1.056, RRIP 1.045; Random Sampler 1.07, Random "
                 "CDBP 1.06");
-    report.write();
-    bench::footer();
-    return 0;
+    return bench::finish(report);
 }

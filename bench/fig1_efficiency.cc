@@ -61,7 +61,5 @@ main()
     report.note("Average dead-time fraction, 2MB LRU LLC, subset: " +
                 formatPercent(amean(dead_fractions), 1) +
                 " (paper: 86.2%)");
-    report.write();
-    bench::footer();
-    return 0;
+    return bench::finish(report);
 }

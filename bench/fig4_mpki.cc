@@ -77,7 +77,5 @@ main()
     report.note("Paper amean normalized misses: TDBP 1.080, "
                 "CDBP 0.954, DIP 0.939, RRIP 0.919, Sampler 0.883, "
                 "Optimal 0.814");
-    report.write();
-    bench::footer();
-    return 0;
+    return bench::finish(report);
 }

@@ -56,7 +56,5 @@ main()
     report.addTable("speedup over LRU (LRU default)", t);
     report.note("Paper gmean speedup: TDBP ~1.00, CDBP 1.023, "
                 "DIP 1.031, RRIP 1.041, Sampler 1.059");
-    report.write();
-    bench::footer();
-    return 0;
+    return bench::finish(report);
 }

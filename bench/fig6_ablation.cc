@@ -137,7 +137,5 @@ main()
     report.note("Paper: DBRB alone 1.034, +3 tables 1.023, +sampler "
                 "1.038, +sampler+3 tables 1.040, +sampler+12-way "
                 "1.056, full 1.059");
-    report.write();
-    bench::footer();
-    return 0;
+    return bench::finish(report);
 }

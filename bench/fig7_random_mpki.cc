@@ -57,7 +57,5 @@ main()
     report.addTable("normalized LLC misses (random default)", t);
     report.note("Paper amean normalized misses: Random 1.025, "
                 "Random CDBP ~1.00, Random Sampler 0.925");
-    report.write();
-    bench::footer();
-    return 0;
+    return bench::finish(report);
 }

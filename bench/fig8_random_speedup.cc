@@ -54,7 +54,5 @@ main()
     report.addTable("speedup over LRU (random default)", t);
     report.note("Paper gmean: Random 0.989, Random CDBP 1.001, "
                 "Random Sampler 1.034");
-    report.write();
-    bench::footer();
-    return 0;
+    return bench::finish(report);
 }

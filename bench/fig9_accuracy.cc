@@ -60,7 +60,5 @@ main()
     report.addTable("predictor coverage and false positives", t);
     report.note("Paper amean: reftrace 88% cov / 19.9% FP; counting "
                 "67% / 7.2%; sampler 59% / 3.0%");
-    report.write();
-    bench::footer();
-    return 0;
+    return bench::finish(report);
 }

@@ -66,7 +66,5 @@ main()
     report.note("Paper totals (KB): reftrace 72, counting 108, "
                 "sampler 13.75 (see EXPERIMENTS.md on the sampler "
                 "discrepancy)");
-    report.write();
-    bench::footer();
-    return 0;
+    return bench::finish(report);
 }

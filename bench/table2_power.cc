@@ -95,7 +95,5 @@ main()
     report.addTable("predictor leakage and dynamic power", t);
     report.note("Paper: sampler 3.1% of LLC dynamic / 1.2% leakage; "
                 "counting 11% / 4.7%; reftrace 2.9% leakage");
-    report.write();
-    bench::footer();
-    return 0;
+    return bench::finish(report);
 }

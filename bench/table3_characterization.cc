@@ -75,7 +75,5 @@ main()
 
     report.addTable("benchmark characterization", t);
     report.note("'*' marks the 19-benchmark memory-intensive subset");
-    report.write();
-    bench::footer();
-    return 0;
+    return bench::finish(report);
 }

@@ -64,7 +64,5 @@ main()
                  "is each mix's cache sensitivity curve.\n";
 
     report.addTable("multi-core workload mixes", t);
-    report.write();
-    bench::footer();
-    return 0;
+    return bench::finish(report);
 }

@@ -36,6 +36,10 @@ DeadBlockPolicy::DeadBlockPolicy(
     bypassWindow_ = cfg_.bypassReuseWindow
         ? cfg_.bypassReuseWindow
         : static_cast<std::uint64_t>(numSets_) * assoc_;
+    if (cfg_.fault.enabled()) {
+        faults_ = std::make_unique<fault::FaultInjector>(cfg_.fault);
+        predictor_->registerFaultTargets(*faults_);
+    }
 }
 
 void
@@ -78,6 +82,12 @@ DeadBlockPolicy::onAccess(std::uint32_t set, int hit_way,
     }
 
     ++stats_.predictions;
+    // One injector tick per consultation — the rate is defined in
+    // faults per million consultations, and tying the draw to this
+    // (scheduling-independent) event keeps sweeps deterministic
+    // across SDBP_JOBS values.
+    if (faults_)
+        faults_->onAccess();
     const bool dead = predictor_->onAccess(set, info.blockAddr,
                                            info.pc, info.thread);
     if (dead)
@@ -220,6 +230,9 @@ DeadBlockPolicy::registerStats(obs::StatRegistry &reg,
     confusion_.registerStats(reg,
                              StatRegistry::join(prefix, "confusion"));
     predictor_->registerStats(reg, StatRegistry::join(prefix, "pred"));
+    if (faults_)
+        faults_->registerStats(reg,
+                               StatRegistry::join(prefix, "faults"));
 }
 
 std::string

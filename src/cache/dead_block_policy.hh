@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "cache/policy.hh"
+#include "fault/fault_injector.hh"
 #include "obs/confusion.hh"
 #include "predictor/dead_block_predictor.hh"
 
@@ -62,6 +63,11 @@ struct DeadBlockPolicyConfig
      * to a bypassed block counts as a bypass false positive.
      */
     std::uint64_t bypassReuseWindow = 0; // 0 = numSets * assoc
+    /**
+     * Soft-error injection into the wrapped predictor's state
+     * (DESIGN.md §11); rate 0 builds no injector at all.
+     */
+    fault::FaultInjectorConfig fault;
 };
 
 class DeadBlockPolicy : public ReplacementPolicy
@@ -110,12 +116,19 @@ class DeadBlockPolicy : public ReplacementPolicy
      */
     void setTraceSink(obs::TraceSink *sink) { trace_ = sink; }
 
+    /** The fault injector, or nullptr when injection is disabled. */
+    const fault::FaultInjector *faultInjector() const
+    {
+        return faults_.get();
+    }
+
   private:
     void noteBypass(Addr block_addr);
     void checkBypassReuse(Addr block_addr);
 
     std::unique_ptr<ReplacementPolicy> inner_;
     std::unique_ptr<DeadBlockPredictor> predictor_;
+    std::unique_ptr<fault::FaultInjector> faults_;
     DeadBlockPolicyConfig cfg_;
     DbrbStats stats_;
     obs::ConfusionMatrix confusion_;

@@ -1,7 +1,10 @@
 #include "core/sampler.hh"
 
+#include <algorithm>
 #include <cassert>
+#include <numeric>
 
+#include "fault/fault_injector.hh"
 #include "obs/stat_registry.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
@@ -143,6 +146,62 @@ Sampler::access(std::uint32_t set, std::uint16_t partial_tag,
         table.auditInvariants();
     }
 #endif
+}
+
+void
+Sampler::renormalizeLru(std::uint32_t set)
+{
+    auto *base = &entries_[set * cfg_.assoc];
+    std::vector<std::uint32_t> ways(cfg_.assoc);
+    std::iota(ways.begin(), ways.end(), 0u);
+    // Stable by way index, so equal (corrupted, duplicated) positions
+    // decode to the same ordering on every run.
+    std::stable_sort(ways.begin(), ways.end(),
+                     [base](std::uint32_t a, std::uint32_t b) {
+                         return base[a].lruPos < base[b].lruPos;
+                     });
+    for (std::uint32_t rank = 0; rank < cfg_.assoc; ++rank)
+        base[ways[rank]].lruPos = static_cast<std::uint8_t>(rank);
+}
+
+void
+Sampler::registerFaultTargets(fault::FaultInjector &injector,
+                              const std::string &prefix)
+{
+    const std::uint64_t entries = entries_.size();
+    injector.addTarget(
+        {prefix + ".tag", entries, cfg_.tagBits,
+         [this](std::uint64_t w, unsigned b) {
+             entries_[w].tag = static_cast<std::uint16_t>(
+                 entries_[w].tag ^ (1u << b));
+         }});
+    injector.addTarget(
+        {prefix + ".pc", entries, cfg_.pcBits,
+         [this](std::uint64_t w, unsigned b) {
+             entries_[w].pc = static_cast<std::uint16_t>(
+                 entries_[w].pc ^ (1u << b));
+         }});
+    injector.addTarget(
+        {prefix + ".lru", entries, cfg_.lruBits(),
+         [this](std::uint64_t w, unsigned b) {
+             // Flip the raw position bit, then re-decode the set's
+             // stack — hardware recency logic maps any bit pattern
+             // to *some* valid ordering, and so do we.
+             entries_[w].lruPos = static_cast<std::uint8_t>(
+                 entries_[w].lruPos ^ (1u << b));
+             renormalizeLru(
+                 static_cast<std::uint32_t>(w / cfg_.assoc));
+         }});
+    injector.addTarget(
+        {prefix + ".dead", entries, 1,
+         [this](std::uint64_t w, unsigned) {
+             entries_[w].predictedDead = !entries_[w].predictedDead;
+         }});
+    injector.addTarget(
+        {prefix + ".valid", entries, 1,
+         [this](std::uint64_t w, unsigned) {
+             entries_[w].valid = !entries_[w].valid;
+         }});
 }
 
 std::uint64_t

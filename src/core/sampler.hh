@@ -19,6 +19,11 @@
 namespace sdbp
 {
 
+namespace fault
+{
+class FaultInjector;
+} // namespace fault
+
 struct SamplerConfig
 {
     /** Number of sampled sets (32 in the paper). */
@@ -132,11 +137,24 @@ class Sampler
     void registerStats(obs::StatRegistry &reg,
                        const std::string &prefix) const;
 
+    /**
+     * Expose the tag array's per-entry fields (tag, PC, LRU
+     * position, predicted-dead bit, valid bit — the exact Sec. IV-C
+     * storage budget) as fault targets under "<prefix>.tag" etc.
+     * LRU flips re-decode the set's corrupted stack into a valid
+     * permutation, so auditInvariants() holds at any fault rate.
+     */
+    void registerFaultTargets(fault::FaultInjector &injector,
+                              const std::string &prefix);
+
     void reset();
 
   private:
     std::uint32_t pickVictim(std::uint32_t set, bool *dead_preferred);
     void moveToMru(std::uint32_t set, std::uint32_t way);
+    /** Re-rank a set's (possibly corrupted) LRU positions into a
+     *  permutation of 0..assoc-1, stably by (position, way). */
+    void renormalizeLru(std::uint32_t set);
 
     /** Replacement counter driving the periodic LRU fallback. */
     std::uint64_t victimTick_ = 0;

@@ -109,6 +109,15 @@ SamplingDeadBlockPredictor::registerStats(
 }
 
 void
+SamplingDeadBlockPredictor::registerFaultTargets(
+    fault::FaultInjector &injector)
+{
+    if (cfg_.useSampler)
+        sampler_.registerFaultTargets(injector, "sampler");
+    table_.registerFaultTargets(injector, "table");
+}
+
+void
 SamplingDeadBlockPredictor::auditInvariants() const
 {
 #if SDBP_DCHECK_ENABLED

@@ -128,7 +128,15 @@ class SamplingDeadBlockPredictor : public DeadBlockPredictor
      * (stride divides the LLC evenly and every sampler set shadows
      * exactly one LLC set) and the sampler/table invariants hold.
      */
-    void auditInvariants() const;
+    void auditInvariants() const override;
+
+    /**
+     * Fault surface: the sampler tag array ("sampler.*") and the
+     * skewed counter banks ("table.*") — exactly the Sec. IV-C
+     * storage budget.  The transient per-block map of the
+     * useSampler=false ablation is not SRAM and is not exposed.
+     */
+    void registerFaultTargets(fault::FaultInjector &injector) override;
 
     /** 15-bit signature of a PC. */
     std::uint64_t

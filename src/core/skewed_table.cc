@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "fault/fault_injector.hh"
 #include "obs/stat_registry.hh"
 #include "util/logging.hh"
 
@@ -93,6 +94,18 @@ SkewedTable::registerStats(obs::StatRegistry &reg,
         return static_cast<double>(n) /
             static_cast<double>(counters_.size());
     });
+}
+
+void
+SkewedTable::registerFaultTargets(fault::FaultInjector &injector,
+                                  const std::string &prefix)
+{
+    injector.addTarget(
+        {prefix + ".counter", counters_.size(), cfg_.counterBits,
+         [this](std::uint64_t w, unsigned b) {
+             counters_[w] = static_cast<std::uint8_t>(
+                 counters_[w] ^ (1u << b));
+         }});
 }
 
 void

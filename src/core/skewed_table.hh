@@ -24,6 +24,11 @@ namespace obs
 class StatRegistry;
 } // namespace obs
 
+namespace fault
+{
+class FaultInjector;
+} // namespace fault
+
 struct SkewedTableConfig
 {
     /** Number of banks (3 in the paper; 1 = conventional table). */
@@ -107,6 +112,14 @@ class SkewedTable
      * maximum or the bank geometry drifted from the config.
      */
     void auditInvariants() const;
+
+    /**
+     * Expose every bank's saturating counters as one fault target
+     * "<prefix>.counter" (counterBits flippable bits per counter, so
+     * a flipped counter still satisfies the saturation audit).
+     */
+    void registerFaultTargets(fault::FaultInjector &injector,
+                              const std::string &prefix);
 
   private:
     std::size_t

@@ -41,6 +41,20 @@ System::step(std::uint32_t c, AccessGenerator &gen)
 }
 
 void
+System::checkDeadline(const char *phase)
+{
+    // One branch per step in the common case; the clock is only read
+    // every 32Ki steps.
+    constexpr std::uint64_t kDeadlineStride = 1u << 15;
+    if (!hasDeadline_ || ++deadlineTick_ % kDeadlineStride != 0)
+        return;
+    if (std::chrono::steady_clock::now() >= deadline_)
+        throw SimulationTimeout(
+            std::string("simulation deadline exceeded during ") +
+            phase + " after " + std::to_string(tick_) + " ticks");
+}
+
+void
 System::registerStats(obs::StatRegistry &reg) const
 {
     reg.addCounter("sys.instructions", &tick_);
@@ -85,6 +99,7 @@ System::run(const std::vector<AccessGenerator *> &gens,
         while (still_warming > 0) {
             const std::uint32_t c = next_core(warming);
             step(c, *gens[c]);
+            checkDeadline("warmup");
             if (cores_[c].instructions() >= warmup) {
                 warming[c] = false;
                 --still_warming;
@@ -127,6 +142,7 @@ System::run(const std::vector<AccessGenerator *> &gens,
         // contention, so everyone is eligible.
         const std::uint32_t c = next_core(all);
         step(c, *gens[c]);
+        checkDeadline("measure");
         if (tick_ >= next_beat) {
             heartbeat_(tick_);
             next_beat = tick_ + heartbeatInterval_;

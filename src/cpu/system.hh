@@ -11,8 +11,10 @@
 #ifndef SDBP_CPU_SYSTEM_HH
 #define SDBP_CPU_SYSTEM_HH
 
+#include <chrono>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "cache/hierarchy.hh"
@@ -27,6 +29,19 @@ namespace obs
 class Profiler;
 class StatRegistry;
 } // namespace obs
+
+/**
+ * Thrown by System::run when a configured deadline passes.  A
+ * runaway cell (pathological configuration, scheduling stall) must
+ * not wedge a whole sweep; the check is cooperative, so the System
+ * is abandoned in a consistent state and the sweep engine can retry
+ * or record the cell as failed.
+ */
+class SimulationTimeout : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** Per-thread outcome of a run. */
 struct ThreadRunResult
@@ -92,7 +107,21 @@ class System
         profiler_ = profiler;
     }
 
+    /**
+     * Abort run() with SimulationTimeout once wall clock passes
+     * @p deadline.  Checked every few thousand steps (cooperative),
+     * so the overshoot is bounded by milliseconds.
+     */
+    void setDeadline(std::chrono::steady_clock::time_point deadline)
+    {
+        deadline_ = deadline;
+        hasDeadline_ = true;
+    }
+
   private:
+    /** Throw SimulationTimeout if the deadline passed (amortized:
+     *  only looks at the clock every kDeadlineStride steps). */
+    void checkDeadline(const char *phase);
     /** Advance core @p c by one trace record. */
     void step(std::uint32_t c, AccessGenerator &gen);
 
@@ -107,6 +136,10 @@ class System
     std::uint64_t heartbeatInterval_ = 0;
     std::function<void(std::uint64_t)> heartbeat_;
     obs::Profiler *profiler_ = nullptr;
+
+    bool hasDeadline_ = false;
+    std::chrono::steady_clock::time_point deadline_;
+    std::uint64_t deadlineTick_ = 0;
 };
 
 } // namespace sdbp

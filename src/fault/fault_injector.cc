@@ -1,0 +1,92 @@
+#include "fault/fault_injector.hh"
+
+#include <algorithm>
+
+#include "obs/stat_registry.hh"
+#include "util/logging.hh"
+
+namespace sdbp::fault
+{
+
+FaultInjector::FaultInjector(const FaultInjectorConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+    if (cfg_.faultsPerMillion > 1'000'000)
+        fatal("fault rate exceeds 1e6 faults per million accesses");
+}
+
+void
+FaultInjector::addTarget(FaultTarget target)
+{
+    if (frozen_)
+        panic("FaultInjector: addTarget after freeze");
+    if (!target.flip)
+        panic("FaultInjector: target '" + target.name +
+              "' has no flip callback");
+    targets_.push_back(std::move(target));
+}
+
+void
+FaultInjector::freeze()
+{
+    frozen_ = true;
+    firstBit_.clear();
+    firstBit_.reserve(targets_.size());
+    totalBits_ = 0;
+    for (const FaultTarget &t : targets_) {
+        firstBit_.push_back(totalBits_);
+        totalBits_ += t.words * t.bitsPerWord;
+    }
+    perTarget_.assign(targets_.size(), 0);
+}
+
+void
+FaultInjector::injectOne()
+{
+    const std::uint64_t offset = rng_.below(totalBits_);
+    // Targets are few (≤ ~10); upper_bound on the prefix sums finds
+    // the region in O(log n).
+    const auto it = std::upper_bound(firstBit_.begin(),
+                                     firstBit_.end(), offset);
+    const std::size_t idx =
+        static_cast<std::size_t>(it - firstBit_.begin()) - 1;
+    const FaultTarget &t = targets_[idx];
+    const std::uint64_t local = offset - firstBit_[idx];
+    t.flip(local / t.bitsPerWord,
+           static_cast<unsigned>(local % t.bitsPerWord));
+    ++injected_;
+    ++perTarget_[idx];
+}
+
+std::uint64_t
+FaultInjector::injectedInto(const std::string &name) const
+{
+    for (std::size_t i = 0; i < targets_.size(); ++i)
+        if (targets_[i].name == name)
+            return i < perTarget_.size() ? perTarget_[i] : 0;
+    return 0;
+}
+
+void
+FaultInjector::registerStats(obs::StatRegistry &reg,
+                             const std::string &prefix)
+{
+    using obs::StatRegistry;
+    if (!frozen_)
+        freeze();
+    reg.addCounter(StatRegistry::join(prefix, "injected"),
+                   &injected_);
+    reg.addGauge(StatRegistry::join(prefix, "surface_bits"), [this] {
+        return static_cast<double>(totalBits_);
+    });
+    reg.addGauge(StatRegistry::join(prefix, "rate_per_million"),
+                 [this] {
+                     return static_cast<double>(
+                         cfg_.faultsPerMillion);
+                 });
+    for (std::size_t i = 0; i < targets_.size(); ++i)
+        reg.addCounter(StatRegistry::join(prefix, targets_[i].name),
+                       &perTarget_[i]);
+}
+
+} // namespace sdbp::fault

@@ -1,6 +1,6 @@
 #include "obs/artifacts.hh"
 
-#include <fstream>
+#include "util/file.hh"
 
 namespace sdbp::obs
 {
@@ -77,11 +77,7 @@ RunArtifacts::toJson() const
 bool
 RunArtifacts::writeJson(const std::string &path) const
 {
-    std::ofstream out(path, std::ios::trunc);
-    if (!out.is_open())
-        return false;
-    out << toJson().dump() << '\n';
-    return out.good();
+    return util::atomicWriteFile(path, toJson().dump() + "\n");
 }
 
 std::string
@@ -111,11 +107,7 @@ RunArtifacts::timelineCsv() const
 bool
 RunArtifacts::writeTimelineCsv(const std::string &path) const
 {
-    std::ofstream out(path, std::ios::trunc);
-    if (!out.is_open())
-        return false;
-    out << timelineCsv();
-    return out.good();
+    return util::atomicWriteFile(path, timelineCsv());
 }
 
 std::vector<TimelineSeries>

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "fault/fault_injector.hh"
 #include "util/hash.hh"
+#include "util/logging.hh"
 
 namespace sdbp
 {
@@ -84,6 +86,34 @@ std::uint64_t
 CountingPredictor::metadataBitsPerBlock() const
 {
     return cfg_.metadataBitsPerBlock();
+}
+
+void
+CountingPredictor::registerFaultTargets(fault::FaultInjector &injector)
+{
+    injector.addTarget(
+        {"table.count", table_.size(), cfg_.counterBits,
+         [this](std::uint64_t w, unsigned b) {
+             table_[w].count = static_cast<std::uint8_t>(
+                 table_[w].count ^ (1u << b));
+         }});
+    injector.addTarget(
+        {"table.confident", table_.size(), 1,
+         [this](std::uint64_t w, unsigned) {
+             table_[w].confident = !table_[w].confident;
+         }});
+}
+
+void
+CountingPredictor::auditInvariants() const
+{
+#if SDBP_DCHECK_ENABLED
+    SDBP_DCHECK_EQ(table_.size(), cfg_.storageSpec().entries,
+                   "counting table geometry drifted from config");
+    for (std::size_t i = 0; i < table_.size(); ++i)
+        SDBP_DCHECK_LE(unsigned{table_[i].count}, counterMax_,
+                       "counting access count overflowed its width");
+#endif // SDBP_DCHECK_ENABLED
 }
 
 } // namespace sdbp

@@ -69,6 +69,17 @@ class CountingPredictor : public DeadBlockPredictor
 
     const CountingConfig &config() const { return cfg_; }
 
+    /**
+     * Fault surface: the PC x addr matrix's access counts
+     * ("table.count") and confidence bits ("table.confident").
+     * Per-block metadata rides with the LLC blocks and is not
+     * exposed.
+     */
+    void registerFaultTargets(fault::FaultInjector &injector) override;
+
+    /** Every table count within its configured counter width. */
+    void auditInvariants() const override;
+
   private:
     struct TableEntry
     {

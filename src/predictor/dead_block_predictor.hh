@@ -20,6 +20,11 @@ namespace obs
 class StatRegistry;
 } // namespace obs
 
+namespace fault
+{
+class FaultInjector;
+} // namespace fault
+
 /**
  * A dead block predictor, as driven by the dead-block replacement
  * and bypass policy (Sec. V).
@@ -96,6 +101,28 @@ class DeadBlockPredictor
      */
     virtual void registerStats(obs::StatRegistry &reg,
                                const std::string &prefix) const;
+
+    /**
+     * Expose this predictor's SRAM-like state to a soft-error fault
+     * injector (DESIGN.md §11).  The default registers nothing — a
+     * predictor without fault targets simply cannot be perturbed.
+     * Implementations must keep every flip within the component's
+     * audited invariants (flip only configured-width bits; re-decode
+     * structural state).
+     */
+    virtual void
+    registerFaultTargets(fault::FaultInjector &injector)
+    {
+        (void)injector;
+    }
+
+    /**
+     * Panic (via SDBP_DCHECK) if internal invariants drifted; the
+     * runner calls this after every run when DCHECKs are on, so
+     * fault-injected runs prove the perturbation stayed inside the
+     * hints-only boundary.  Default: nothing to audit.
+     */
+    virtual void auditInvariants() const {}
 };
 
 } // namespace sdbp

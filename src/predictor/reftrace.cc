@@ -2,7 +2,9 @@
 
 #include <cassert>
 
+#include "fault/fault_injector.hh"
 #include "util/bitops.hh"
+#include "util/logging.hh"
 
 namespace sdbp
 {
@@ -77,6 +79,29 @@ std::uint64_t
 RefTracePredictor::metadataBitsPerBlock() const
 {
     return cfg_.metadataBitsPerBlock();
+}
+
+void
+RefTracePredictor::registerFaultTargets(fault::FaultInjector &injector)
+{
+    injector.addTarget(
+        {"table.counter", table_.size(), cfg_.counterBits,
+         [this](std::uint64_t w, unsigned b) {
+             table_[w] = static_cast<std::uint8_t>(
+                 table_[w] ^ (1u << b));
+         }});
+}
+
+void
+RefTracePredictor::auditInvariants() const
+{
+#if SDBP_DCHECK_ENABLED
+    SDBP_DCHECK_EQ(table_.size(), cfg_.storageSpec().entries,
+                   "reftrace table geometry drifted from config");
+    for (std::size_t i = 0; i < table_.size(); ++i)
+        SDBP_DCHECK_LE(unsigned{table_[i]}, counterMax_,
+                       "reftrace counter overflowed its width");
+#endif // SDBP_DCHECK_ENABLED
 }
 
 } // namespace sdbp

@@ -69,6 +69,16 @@ class RefTracePredictor : public DeadBlockPredictor
 
     const RefTraceConfig &config() const { return cfg_; }
 
+    /**
+     * Fault surface: the history table's saturating counters
+     * ("table.counter").  The per-block signature map models
+     * LLC-side metadata, not predictor SRAM, so it is not exposed.
+     */
+    void registerFaultTargets(fault::FaultInjector &injector) override;
+
+    /** Every counter within its configured saturation width. */
+    void auditInvariants() const override;
+
   private:
     std::uint64_t
     pcSignature(PC pc) const

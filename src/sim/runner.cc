@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "obs/trace_sink.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -27,16 +28,7 @@ secondsSince(std::chrono::steady_clock::time_point start)
 InstCount
 envInstCount(const char *name, InstCount fallback)
 {
-    const char *value = std::getenv(name);
-    if (!value || !*value)
-        return fallback;
-    char *end = nullptr;
-    const unsigned long long parsed = std::strtoull(value, &end, 10);
-    if (end == value || parsed == 0) {
-        warn(std::string(name) + ": ignoring invalid value");
-        return fallback;
-    }
-    return parsed;
+    return env::u64(name, fallback, 1);
 }
 
 /**
@@ -121,6 +113,20 @@ collectObs(ObsHarness &h, System &sys, const ObsOptions &opt,
     return art;
 }
 
+/**
+ * Apply the SDBP_CELL_TIMEOUT wall-clock budget (seconds; 0 or unset
+ * disables).  The deadline starts when the System is armed, so each
+ * retry of a failed sweep cell gets a fresh budget.
+ */
+void
+applyCellTimeout(System &sys)
+{
+    const std::uint64_t secs = env::u64("SDBP_CELL_TIMEOUT", 0);
+    if (secs > 0)
+        sys.setDeadline(std::chrono::steady_clock::now() +
+                        std::chrono::seconds(secs));
+}
+
 } // anonymous namespace
 
 RunConfig
@@ -131,13 +137,18 @@ RunConfig::singleCore()
         envInstCount("SDBP_INSTRUCTIONS", cfg.measureInstructions);
     cfg.warmupInstructions =
         envInstCount("SDBP_WARMUP", cfg.warmupInstructions);
-    if (const char *path = std::getenv("SDBP_STATS_JSON");
-        path && *path) {
+    if (const std::string path = env::outputPath("SDBP_STATS_JSON");
+        !path.empty()) {
         cfg.obs.collect = true;
         cfg.obs.statsJsonPath = path;
     }
     cfg.obs.intervalInstructions =
         envInstCount("SDBP_INTERVAL", cfg.obs.intervalInstructions);
+    cfg.policy.dbrb.fault.faultsPerMillion =
+        env::u64("SDBP_FAULT_RATE",
+                 cfg.policy.dbrb.fault.faultsPerMillion, 0, 1'000'000);
+    cfg.policy.dbrb.fault.seed =
+        env::u64("SDBP_FAULT_SEED", cfg.policy.dbrb.fault.seed);
     return cfg;
 }
 
@@ -169,6 +180,7 @@ runSingleCore(const std::string &benchmark, PolicyKind kind,
     res.policy = policyName(kind);
     if (cfg.recordLlcTrace)
         sys.hierarchy().recordLlcTrace(&res.llcTrace);
+    applyCellTimeout(sys);
     auto harness = attachObs(sys, cfg.obs);
 
     SyntheticWorkload workload(specProfile(benchmark));
@@ -207,6 +219,11 @@ runSingleCore(const std::string &benchmark, PolicyKind kind,
             &llc.policy())) {
         res.hasDbrb = true;
         res.dbrb = dbrb->dbrbStats();
+        if (const auto *fi = dbrb->faultInjector())
+            res.faultsInjected = fi->injected();
+        // Fault-injected or not, the predictor must end the run with
+        // its invariants intact: corruption is confined to hints.
+        dbrb->predictor().auditInvariants();
     }
     res.wallSeconds = secondsSince(wall_start);
     return res;
@@ -232,6 +249,7 @@ runMulticore(const MixProfile &mix, PolicyKind kind, RunConfig cfg)
     std::vector<AccessGenerator *> gens;
     for (auto &w : workloads)
         gens.push_back(&w);
+    applyCellTimeout(sys);
     auto harness = attachObs(sys, cfg.obs);
 
     const auto threads = sys.run(gens, cfg.warmupInstructions,
@@ -251,6 +269,12 @@ runMulticore(const MixProfile &mix, PolicyKind kind, RunConfig cfg)
     }
     res.llcMisses = sys.hierarchy().llc().stats().demandMisses;
     res.mpki = mpki(res.llcMisses, res.totalInstructions);
+    if (const auto *dbrb = dynamic_cast<const DeadBlockPolicy *>(
+            &sys.hierarchy().llc().policy())) {
+        if (const auto *fi = dbrb->faultInjector())
+            res.faultsInjected = fi->injected();
+        dbrb->predictor().auditInvariants();
+    }
     res.wallSeconds = secondsSince(wall_start);
     return res;
 }

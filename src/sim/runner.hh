@@ -84,6 +84,8 @@ struct RunResult
     /** Predictor accounting; meaningful for DBRB policies. */
     bool hasDbrb = false;
     DbrbStats dbrb;
+    /** Soft errors injected into predictor state (DESIGN.md §11). */
+    std::uint64_t faultsInjected = 0;
     /** LLC reference stream (when recordLlcTrace); includes the
      *  warm-up portion. */
     std::vector<LlcRef> llcTrace;
@@ -111,6 +113,8 @@ struct MulticoreRunResult
     std::uint64_t llcMisses = 0;
     InstCount totalInstructions = 0;
     double mpki = 0; ///< misses per kilo-instruction, all threads
+    /** Soft errors injected into predictor state (DESIGN.md §11). */
+    std::uint64_t faultsInjected = 0;
     /** Run artifacts (when cfg.obs.collect). */
     std::shared_ptr<const obs::RunArtifacts> artifacts;
     /** Wall-clock seconds this run took (setup + warmup + measure). */

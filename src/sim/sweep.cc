@@ -1,12 +1,16 @@
 #include "sim/sweep.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <exception>
+#include <mutex>
 #include <thread>
 
+#include "util/env.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -15,6 +19,18 @@ namespace sdbp::sweep
 
 namespace
 {
+
+std::atomic<bool> g_shutdown{false};
+
+extern "C" void
+sweepSignalHandler(int sig)
+{
+    // First signal: request a graceful drain (queued cells skip,
+    // in-flight cells finish and checkpoint).  Restoring the default
+    // disposition means a second signal kills the process outright.
+    g_shutdown.store(true, std::memory_order_relaxed);
+    std::signal(sig, SIG_DFL);
+}
 
 double
 secondsSince(std::chrono::steady_clock::time_point start)
@@ -65,22 +81,105 @@ cellConfig(const RunConfig &cfg, bool multi_cell,
     return out;
 }
 
+/**
+ * Run @p attempt up to 1 + retries times with exponential backoff.
+ * Returns true on success; otherwise @p err holds the last failure.
+ */
+bool
+runWithRetries(std::size_t index, const std::string &run,
+               const std::string &policy, unsigned retries,
+               const std::function<void()> &attempt, CellError &err)
+{
+    err.index = index;
+    err.run = run;
+    err.policy = policy;
+    const unsigned max_attempts = retries + 1;
+    for (unsigned a = 1; a <= max_attempts; ++a) {
+        err.attempts = a;
+        try {
+            // Test hook: make exactly this cell throw, so the
+            // end-to-end failure path (retries, CellError, manifest,
+            // exit code) is exercisable from tests and CI.
+            if (const char *f = std::getenv("SDBP_TEST_FAIL_CELL");
+                f && *f && run + "/" + policy == f)
+                throw std::runtime_error(
+                    "SDBP_TEST_FAIL_CELL forced failure");
+            attempt();
+            return true;
+        } catch (const SimulationTimeout &e) {
+            err.timedOut = true;
+            err.message = e.what();
+        } catch (const std::exception &e) {
+            err.timedOut = false;
+            err.message = e.what();
+        } catch (...) {
+            err.timedOut = false;
+            err.message = "unknown exception";
+        }
+        if (a < max_attempts && !shutdownRequested()) {
+            warn("cell " + run + "/" + policy + " failed (attempt " +
+                 std::to_string(a) + "/" +
+                 std::to_string(max_attempts) + "): " + err.message);
+            const unsigned delay_ms =
+                std::min(100u << (a - 1), 2000u);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay_ms));
+        }
+    }
+    return false;
+}
+
 } // anonymous namespace
 
 unsigned
 defaultJobs()
 {
-    if (const char *value = std::getenv("SDBP_JOBS");
-        value && *value) {
-        char *end = nullptr;
-        const unsigned long parsed = std::strtoul(value, &end, 10);
-        if (end != value && *end == '\0' && parsed >= 1 &&
-            parsed <= 4096)
-            return static_cast<unsigned>(parsed);
-        warn("SDBP_JOBS: ignoring invalid value");
-    }
+    const std::uint64_t jobs = env::u64("SDBP_JOBS", 0, 1, 4096);
+    if (jobs > 0)
+        return static_cast<unsigned>(jobs);
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
+}
+
+unsigned
+defaultRetries()
+{
+    return static_cast<unsigned>(env::u64("SDBP_RETRIES", 0, 0, 16));
+}
+
+void
+installShutdownHandler()
+{
+    std::signal(SIGINT, sweepSignalHandler);
+    std::signal(SIGTERM, sweepSignalHandler);
+}
+
+void
+requestShutdown()
+{
+    g_shutdown.store(true, std::memory_order_relaxed);
+}
+
+bool
+shutdownRequested()
+{
+    return g_shutdown.load(std::memory_order_relaxed);
+}
+
+void
+resetShutdown()
+{
+    g_shutdown.store(false, std::memory_order_relaxed);
+}
+
+SweepOptions
+SweepOptions::fromEnvironment()
+{
+    SweepOptions opts;
+    opts.jobs = defaultJobs();
+    opts.retries = defaultRetries();
+    opts.resume = env::u64("SDBP_RESUME", 0, 0, 1) == 1;
+    return opts;
 }
 
 void
@@ -150,26 +249,195 @@ MixGrid::runSecondsTotal() const
 Grid
 runGrid(std::vector<std::string> benchmarks,
         std::vector<PolicyKind> policies, const RunConfig &cfg,
-        unsigned jobs)
+        const SweepOptions &opts)
 {
     Grid grid;
     grid.benchmarks = std::move(benchmarks);
     grid.policies = std::move(policies);
-    grid.jobs = jobs;
+    grid.jobs = opts.jobs ? opts.jobs : defaultJobs();
     const std::size_t cols = grid.policies.size();
     const std::size_t n = grid.benchmarks.size() * cols;
     grid.cells.resize(n);
     const bool multi = n > 1;
+
+    std::vector<std::string> policy_names;
+    policy_names.reserve(cols);
+    for (const PolicyKind kind : grid.policies)
+        policy_names.push_back(policyName(kind));
+
+    // In-memory payloads (the LLC reference trace, per-frame
+    // efficiency) are not checkpointed, so such grids must re-run.
+    const bool can_resume =
+        !cfg.recordLlcTrace && !cfg.trackEfficiency;
+    std::unique_ptr<SweepManifest> manifest;
+    bool resume = false;
+    if (!opts.manifestPath.empty()) {
+        manifest = std::make_unique<SweepManifest>(
+            opts.manifestPath, "grid", grid.benchmarks, policy_names,
+            cfg.warmupInstructions, cfg.measureInstructions);
+        resume = opts.resume && can_resume;
+        if (opts.resume && !can_resume)
+            warn("sweep records in-memory artifacts; ignoring resume "
+                 "and re-running every cell");
+        if (resume)
+            manifest->loadCompleted();
+        // Persist the initial state so an interrupt before the first
+        // cell completes still leaves a well-formed checkpoint.
+        manifest->flush();
+    }
+
+    std::mutex book_mutex;
     const auto start = std::chrono::steady_clock::now();
-    parallelFor(n, jobs, [&](std::size_t i) {
+    parallelFor(n, grid.jobs, [&](std::size_t i) {
         const auto &bench = grid.benchmarks[i / cols];
         const PolicyKind kind = grid.policies[i % cols];
-        grid.cells[i] = runSingleCore(
-            bench, kind,
-            cellConfig(cfg, multi, bench, policyName(kind)));
+        const std::string &pol = policy_names[i % cols];
+
+        if (resume && manifest->isCompleted(i)) {
+            grid.cells[i] =
+                runResultFromJson(manifest->completedMetrics(i));
+            std::lock_guard<std::mutex> lock(book_mutex);
+            ++grid.resumed;
+            return;
+        }
+        if (shutdownRequested()) {
+            if (manifest)
+                manifest->markSkipped(i);
+            std::lock_guard<std::mutex> lock(book_mutex);
+            ++grid.skipped;
+            return;
+        }
+
+        CellError err;
+        const bool ok = runWithRetries(
+            i, bench, pol, opts.retries,
+            [&] {
+                grid.cells[i] = runSingleCore(
+                    bench, kind, cellConfig(cfg, multi, bench, pol));
+            },
+            err);
+        if (ok) {
+            if (manifest)
+                manifest->markCompleted(
+                    i, runResultToJson(grid.cells[i]));
+            return;
+        }
+        grid.cells[i] = RunResult{};
+        grid.cells[i].benchmark = bench;
+        grid.cells[i].policy = pol;
+        if (manifest)
+            manifest->markFailed(err);
+        std::lock_guard<std::mutex> lock(book_mutex);
+        grid.errors.push_back(std::move(err));
     });
     grid.wallSeconds = secondsSince(start);
+    // Workers push errors in completion order; report them in cell
+    // order, as the serial loop would.
+    std::sort(grid.errors.begin(), grid.errors.end(),
+              [](const CellError &a, const CellError &b) {
+                  return a.index < b.index;
+              });
     return grid;
+}
+
+MixGrid
+runMixGrid(std::vector<MixProfile> mixes,
+           std::vector<PolicyKind> policies, const RunConfig &cfg,
+           const SweepOptions &opts)
+{
+    MixGrid grid;
+    grid.mixes = std::move(mixes);
+    grid.policies = std::move(policies);
+    grid.jobs = opts.jobs ? opts.jobs : defaultJobs();
+    const std::size_t cols = grid.policies.size();
+    const std::size_t n = grid.mixes.size() * cols;
+    grid.cells.resize(n);
+    const bool multi = n > 1;
+
+    std::vector<std::string> run_names;
+    run_names.reserve(grid.mixes.size());
+    for (const MixProfile &mix : grid.mixes)
+        run_names.push_back(mix.name);
+    std::vector<std::string> policy_names;
+    policy_names.reserve(cols);
+    for (const PolicyKind kind : grid.policies)
+        policy_names.push_back(policyName(kind));
+
+    std::unique_ptr<SweepManifest> manifest;
+    bool resume = false;
+    if (!opts.manifestPath.empty()) {
+        manifest = std::make_unique<SweepManifest>(
+            opts.manifestPath, "mix_grid", run_names, policy_names,
+            cfg.warmupInstructions, cfg.measureInstructions);
+        resume = opts.resume;
+        if (resume)
+            manifest->loadCompleted();
+        manifest->flush();
+    }
+
+    std::mutex book_mutex;
+    const auto start = std::chrono::steady_clock::now();
+    parallelFor(n, grid.jobs, [&](std::size_t i) {
+        const auto &mix = grid.mixes[i / cols];
+        const PolicyKind kind = grid.policies[i % cols];
+        const std::string &pol = policy_names[i % cols];
+
+        if (resume && manifest->isCompleted(i)) {
+            grid.cells[i] = multicoreResultFromJson(
+                manifest->completedMetrics(i));
+            std::lock_guard<std::mutex> lock(book_mutex);
+            ++grid.resumed;
+            return;
+        }
+        if (shutdownRequested()) {
+            if (manifest)
+                manifest->markSkipped(i);
+            std::lock_guard<std::mutex> lock(book_mutex);
+            ++grid.skipped;
+            return;
+        }
+
+        CellError err;
+        const bool ok = runWithRetries(
+            i, mix.name, pol, opts.retries,
+            [&] {
+                grid.cells[i] = runMulticore(
+                    mix, kind,
+                    cellConfig(cfg, multi, mix.name, pol));
+            },
+            err);
+        if (ok) {
+            if (manifest)
+                manifest->markCompleted(
+                    i, multicoreResultToJson(grid.cells[i]));
+            return;
+        }
+        grid.cells[i] = MulticoreRunResult{};
+        grid.cells[i].mix = mix.name;
+        grid.cells[i].policy = pol;
+        if (manifest)
+            manifest->markFailed(err);
+        std::lock_guard<std::mutex> lock(book_mutex);
+        grid.errors.push_back(std::move(err));
+    });
+    grid.wallSeconds = secondsSince(start);
+    std::sort(grid.errors.begin(), grid.errors.end(),
+              [](const CellError &a, const CellError &b) {
+                  return a.index < b.index;
+              });
+    return grid;
+}
+
+Grid
+runGrid(std::vector<std::string> benchmarks,
+        std::vector<PolicyKind> policies, const RunConfig &cfg,
+        unsigned jobs)
+{
+    SweepOptions opts;
+    opts.jobs = jobs;
+    opts.retries = defaultRetries();
+    return runGrid(std::move(benchmarks), std::move(policies), cfg,
+                   opts);
 }
 
 MixGrid
@@ -177,24 +445,11 @@ runMixGrid(std::vector<MixProfile> mixes,
            std::vector<PolicyKind> policies, const RunConfig &cfg,
            unsigned jobs)
 {
-    MixGrid grid;
-    grid.mixes = std::move(mixes);
-    grid.policies = std::move(policies);
-    grid.jobs = jobs;
-    const std::size_t cols = grid.policies.size();
-    const std::size_t n = grid.mixes.size() * cols;
-    grid.cells.resize(n);
-    const bool multi = n > 1;
-    const auto start = std::chrono::steady_clock::now();
-    parallelFor(n, jobs, [&](std::size_t i) {
-        const auto &mix = grid.mixes[i / cols];
-        const PolicyKind kind = grid.policies[i % cols];
-        grid.cells[i] = runMulticore(
-            mix, kind,
-            cellConfig(cfg, multi, mix.name, policyName(kind)));
-    });
-    grid.wallSeconds = secondsSince(start);
-    return grid;
+    SweepOptions opts;
+    opts.jobs = jobs;
+    opts.retries = defaultRetries();
+    return runMixGrid(std::move(mixes), std::move(policies), cfg,
+                      opts);
 }
 
 } // namespace sdbp::sweep

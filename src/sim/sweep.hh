@@ -14,20 +14,60 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/runner.hh"
+#include "sim/sweep_manifest.hh"
 
 namespace sdbp::sweep
 {
 
 /**
  * Worker count for sweeps: the SDBP_JOBS environment variable when
- * set to a valid positive integer, else hardware_concurrency
- * (minimum 1).  1 means serial execution.
+ * set, else hardware_concurrency (minimum 1).  1 means serial
+ * execution.  A malformed SDBP_JOBS is a hard error, not a silent
+ * fallback.
  */
 unsigned defaultJobs();
+
+/**
+ * Per-cell retry budget: SDBP_RETRIES (0..16), default 0.  A cell
+ * that throws (including SimulationTimeout) is re-attempted with
+ * exponential backoff before being recorded as a CellError.
+ */
+unsigned defaultRetries();
+
+/**
+ * Cooperative shutdown for in-flight sweeps.  installShutdownHandler
+ * routes SIGINT/SIGTERM to requestShutdown(); once requested, queued
+ * cells are skipped (and marked so in the manifest) while cells
+ * already executing drain normally — so ^C during a long sweep still
+ * leaves a resumable checkpoint, and a second ^C kills the process
+ * the usual way.
+ */
+void installShutdownHandler();
+void requestShutdown();
+bool shutdownRequested();
+/** Test hook: clear a previously requested shutdown. */
+void resetShutdown();
+
+/** Execution knobs of one sweep. */
+struct SweepOptions
+{
+    unsigned jobs = 0;    ///< 0 = defaultJobs()
+    unsigned retries = 0; ///< extra attempts per failing cell
+    /** When non-empty, checkpoint every cell outcome here. */
+    std::string manifestPath;
+    /** Restore completed cells from the manifest instead of
+     *  re-running them (requires manifestPath). */
+    bool resume = false;
+
+    /** jobs/retries/resume from SDBP_JOBS / SDBP_RETRIES /
+     *  SDBP_RESUME; manifestPath stays empty (caller's choice). */
+    static SweepOptions fromEnvironment();
+};
 
 /**
  * Run fn(0) .. fn(n-1) across @p jobs workers.  Tasks must be
@@ -59,12 +99,23 @@ struct Grid
 {
     std::vector<std::string> benchmarks;
     std::vector<PolicyKind> policies;
-    /** benchmarks.size() * policies.size() cells, row-major. */
+    /** benchmarks.size() * policies.size() cells, row-major.  Failed
+     *  and skipped cells hold a default RunResult with only the
+     *  benchmark/policy labels filled in. */
     std::vector<RunResult> cells;
+    /** Cells that exhausted their attempts, ordered by index. */
+    std::vector<CellError> errors;
+    /** Cells skipped because shutdown was requested. */
+    std::size_t skipped = 0;
+    /** Cells restored from the manifest instead of re-run. */
+    std::size_t resumed = 0;
     /** Workers the sweep ran with. */
     unsigned jobs = 1;
     /** Whole-grid wall clock, seconds. */
     double wallSeconds = 0;
+
+    /** Every cell holds a real result. */
+    bool ok() const { return errors.empty() && skipped == 0; }
 
     const RunResult &
     at(std::size_t b, std::size_t p) const
@@ -83,8 +134,13 @@ struct MixGrid
     std::vector<PolicyKind> policies;
     /** mixes.size() * policies.size() cells, row-major. */
     std::vector<MulticoreRunResult> cells;
+    std::vector<CellError> errors;
+    std::size_t skipped = 0;
+    std::size_t resumed = 0;
     unsigned jobs = 1;
     double wallSeconds = 0;
+
+    bool ok() const { return errors.empty() && skipped == 0; }
 
     const MulticoreRunResult &
     at(std::size_t m, std::size_t p) const
@@ -97,15 +153,34 @@ struct MixGrid
 
 /**
  * Simulate every (benchmark, policy) cell with runSingleCore, fanned
- * across @p jobs threads.  When cfg carries artifact paths and the
+ * across opts.jobs threads.  When cfg carries artifact paths and the
  * grid has more than one cell, each cell writes to its
  * cellArtifactPath-derived file instead.
+ *
+ * Failure isolation: a throwing cell (SimulationTimeout included) is
+ * retried opts.retries times with exponential backoff and, if it
+ * still fails, recorded as a CellError — the remaining cells run to
+ * completion regardless.  With opts.manifestPath set, every cell
+ * outcome is checkpointed atomically; with opts.resume additionally
+ * set, cells the manifest records as completed restore their metrics
+ * instead of re-running (unless cfg needs in-memory artifacts —
+ * recordLlcTrace / trackEfficiency — which cannot be checkpointed;
+ * those grids always re-run).
  */
 Grid runGrid(std::vector<std::string> benchmarks,
              std::vector<PolicyKind> policies, const RunConfig &cfg,
-             unsigned jobs = defaultJobs());
+             const SweepOptions &opts);
 
-/** Simulate every (mix, policy) cell with runMulticore. */
+/** Simulate every (mix, policy) cell with runMulticore, with the
+ *  same failure isolation and checkpointing as runGrid. */
+MixGrid runMixGrid(std::vector<MixProfile> mixes,
+                   std::vector<PolicyKind> policies,
+                   const RunConfig &cfg, const SweepOptions &opts);
+
+/** Back-compat convenience: plain sweep with @p jobs workers. */
+Grid runGrid(std::vector<std::string> benchmarks,
+             std::vector<PolicyKind> policies, const RunConfig &cfg,
+             unsigned jobs = defaultJobs());
 MixGrid runMixGrid(std::vector<MixProfile> mixes,
                    std::vector<PolicyKind> policies,
                    const RunConfig &cfg,

@@ -1,0 +1,326 @@
+#include "sim/sweep_manifest.hh"
+
+#include "util/file.hh"
+#include "util/logging.hh"
+
+namespace sdbp::sweep
+{
+
+namespace
+{
+
+const char *
+statusName(CellStatus s)
+{
+    switch (s) {
+    case CellStatus::Pending: return "pending";
+    case CellStatus::Completed: return "completed";
+    case CellStatus::Failed: return "failed";
+    case CellStatus::Skipped: return "skipped";
+    }
+    return "pending";
+}
+
+std::uint64_t
+u64Field(const obs::JsonValue &v, const std::string &key)
+{
+    const obs::JsonValue *f = v.find(key);
+    return f ? f->asUInt() : 0;
+}
+
+double
+numField(const obs::JsonValue &v, const std::string &key)
+{
+    const obs::JsonValue *f = v.find(key);
+    return f ? f->asNumber() : 0.0;
+}
+
+std::string
+strField(const obs::JsonValue &v, const std::string &key)
+{
+    const obs::JsonValue *f = v.find(key);
+    return f ? f->asString() : std::string{};
+}
+
+bool
+boolField(const obs::JsonValue &v, const std::string &key)
+{
+    const obs::JsonValue *f = v.find(key);
+    return f && f->asBool();
+}
+
+obs::JsonValue
+stringArray(const std::vector<std::string> &items)
+{
+    obs::JsonValue arr = obs::JsonValue::array();
+    for (const auto &s : items)
+        arr.push(s);
+    return arr;
+}
+
+bool
+matchesStringArray(const obs::JsonValue *arr,
+                   const std::vector<std::string> &items)
+{
+    if (!arr || !arr->isArray() || arr->size() != items.size())
+        return false;
+    for (std::size_t i = 0; i < items.size(); ++i)
+        if (arr->at(i).asString() != items[i])
+            return false;
+    return true;
+}
+
+} // anonymous namespace
+
+SweepManifest::SweepManifest(std::string path, std::string kind,
+                             std::vector<std::string> runs,
+                             std::vector<std::string> policies,
+                             InstCount warmup, InstCount measure)
+    : path_(std::move(path)), kind_(std::move(kind)),
+      runs_(std::move(runs)), policies_(std::move(policies)),
+      warmup_(warmup), measure_(measure),
+      cells_(runs_.size() * policies_.size())
+{
+}
+
+std::size_t
+SweepManifest::loadCompleted()
+{
+    bool ok = false;
+    const std::string text = util::readFile(path_, &ok);
+    if (!ok)
+        return 0; // no checkpoint yet: fresh start
+
+    std::string err;
+    const auto doc = obs::JsonValue::parse(text, &err);
+    if (!doc)
+        fatal("sweep manifest " + path_ + " is not valid JSON (" +
+              err + "); delete it to start fresh");
+    if (u64Field(*doc, "schema") != kSchemaVersion)
+        fatal("sweep manifest " + path_ +
+              " has an unsupported schema version");
+    const obs::JsonValue *fp = doc->find("fingerprint");
+    if (strField(*doc, "kind") != kind_ || !fp ||
+        !matchesStringArray(fp->find("runs"), runs_) ||
+        !matchesStringArray(fp->find("policies"), policies_) ||
+        u64Field(*fp, "warmup_instructions") != warmup_ ||
+        u64Field(*fp, "measure_instructions") != measure_)
+        fatal("sweep manifest " + path_ +
+              " describes a different sweep (benchmarks, policies or "
+              "instruction budget changed); delete it to start fresh");
+
+    const obs::JsonValue *cells = doc->find("cells");
+    if (!cells || !cells->isArray() || cells->size() != cells_.size())
+        fatal("sweep manifest " + path_ + " has the wrong cell count");
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t restored = 0;
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        const obs::JsonValue &c = cells->at(i);
+        if (strField(c, "status") != "completed")
+            continue;
+        const obs::JsonValue *metrics = c.find("metrics");
+        if (!metrics || !metrics->isObject())
+            continue;
+        cells_[i].status = CellStatus::Completed;
+        cells_[i].metrics = *metrics;
+        ++restored;
+    }
+    return restored;
+}
+
+bool
+SweepManifest::isCompleted(std::size_t index) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cells_.at(index).status == CellStatus::Completed;
+}
+
+obs::JsonValue
+SweepManifest::completedMetrics(std::size_t index) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cells_.at(index).metrics;
+}
+
+void
+SweepManifest::markCompleted(std::size_t index, obs::JsonValue metrics)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Cell &c = cells_.at(index);
+    c.status = CellStatus::Completed;
+    c.metrics = std::move(metrics);
+    c.error.clear();
+    flushLocked();
+}
+
+void
+SweepManifest::markFailed(const CellError &err)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Cell &c = cells_.at(err.index);
+    c.status = CellStatus::Failed;
+    c.error = err.message;
+    c.attempts = err.attempts;
+    c.timedOut = err.timedOut;
+    flushLocked();
+}
+
+void
+SweepManifest::markSkipped(std::size_t index)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Cell &c = cells_.at(index);
+    if (c.status == CellStatus::Pending)
+        c.status = CellStatus::Skipped;
+    flushLocked();
+}
+
+void
+SweepManifest::flush()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    flushLocked();
+}
+
+obs::JsonValue
+SweepManifest::toJsonLocked() const
+{
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc.set("schema", kSchemaVersion);
+    doc.set("kind", kind_);
+    obs::JsonValue fp = obs::JsonValue::object();
+    fp.set("runs", stringArray(runs_));
+    fp.set("policies", stringArray(policies_));
+    fp.set("warmup_instructions", std::uint64_t{warmup_});
+    fp.set("measure_instructions", std::uint64_t{measure_});
+    doc.set("fingerprint", std::move(fp));
+
+    obs::JsonValue cells = obs::JsonValue::array();
+    const std::size_t cols = policies_.size();
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        const Cell &c = cells_[i];
+        obs::JsonValue cell = obs::JsonValue::object();
+        cell.set("run", runs_[i / cols]);
+        cell.set("policy", policies_[i % cols]);
+        cell.set("status", statusName(c.status));
+        if (c.status == CellStatus::Completed)
+            cell.set("metrics", c.metrics);
+        if (c.status == CellStatus::Failed) {
+            cell.set("error", c.error);
+            cell.set("attempts", std::uint64_t{c.attempts});
+            cell.set("timed_out", c.timedOut);
+        }
+        cells.push(std::move(cell));
+    }
+    doc.set("cells", std::move(cells));
+    return doc;
+}
+
+void
+SweepManifest::flushLocked() const
+{
+    if (!util::atomicWriteFile(path_, toJsonLocked().dump(2) + "\n"))
+        warn("cannot write sweep manifest " + path_);
+}
+
+obs::JsonValue
+runResultToJson(const RunResult &r)
+{
+    obs::JsonValue v = obs::JsonValue::object();
+    v.set("benchmark", r.benchmark);
+    v.set("policy", r.policy);
+    v.set("instructions", std::uint64_t{r.instructions});
+    v.set("cycles", std::uint64_t{r.cycles});
+    v.set("ipc", r.ipc);
+    v.set("mpki", r.mpki);
+    v.set("llc_accesses", r.llcAccesses);
+    v.set("llc_misses", r.llcMisses);
+    v.set("llc_bypasses", r.llcBypasses);
+    v.set("llc_efficiency", r.llcEfficiency);
+    v.set("has_dbrb", r.hasDbrb);
+    if (r.hasDbrb) {
+        obs::JsonValue d = obs::JsonValue::object();
+        d.set("predictions", r.dbrb.predictions);
+        d.set("positives", r.dbrb.positives);
+        d.set("false_positive_hits", r.dbrb.falsePositiveHits);
+        d.set("bypass_reuses", r.dbrb.bypassReuses);
+        d.set("dead_evictions", r.dbrb.deadEvictions);
+        d.set("bypasses", r.dbrb.bypasses);
+        v.set("dbrb", std::move(d));
+    }
+    v.set("faults_injected", r.faultsInjected);
+    v.set("wall_seconds", r.wallSeconds);
+    return v;
+}
+
+RunResult
+runResultFromJson(const obs::JsonValue &v)
+{
+    RunResult r;
+    r.benchmark = strField(v, "benchmark");
+    r.policy = strField(v, "policy");
+    r.instructions = u64Field(v, "instructions");
+    r.cycles = u64Field(v, "cycles");
+    r.ipc = numField(v, "ipc");
+    r.mpki = numField(v, "mpki");
+    r.llcAccesses = u64Field(v, "llc_accesses");
+    r.llcMisses = u64Field(v, "llc_misses");
+    r.llcBypasses = u64Field(v, "llc_bypasses");
+    r.llcEfficiency = numField(v, "llc_efficiency");
+    r.hasDbrb = boolField(v, "has_dbrb");
+    if (const obs::JsonValue *d = v.find("dbrb"); d && r.hasDbrb) {
+        r.dbrb.predictions = u64Field(*d, "predictions");
+        r.dbrb.positives = u64Field(*d, "positives");
+        r.dbrb.falsePositiveHits = u64Field(*d, "false_positive_hits");
+        r.dbrb.bypassReuses = u64Field(*d, "bypass_reuses");
+        r.dbrb.deadEvictions = u64Field(*d, "dead_evictions");
+        r.dbrb.bypasses = u64Field(*d, "bypasses");
+    }
+    r.faultsInjected = u64Field(v, "faults_injected");
+    r.wallSeconds = numField(v, "wall_seconds");
+    return r;
+}
+
+obs::JsonValue
+multicoreResultToJson(const MulticoreRunResult &r)
+{
+    obs::JsonValue v = obs::JsonValue::object();
+    v.set("mix", r.mix);
+    v.set("policy", r.policy);
+    v.set("benchmarks", stringArray(r.benchmarks));
+    obs::JsonValue ipc = obs::JsonValue::array();
+    for (const double d : r.ipc)
+        ipc.push(d);
+    v.set("ipc", std::move(ipc));
+    v.set("llc_misses", r.llcMisses);
+    v.set("total_instructions", std::uint64_t{r.totalInstructions});
+    v.set("mpki", r.mpki);
+    v.set("faults_injected", r.faultsInjected);
+    v.set("wall_seconds", r.wallSeconds);
+    return v;
+}
+
+MulticoreRunResult
+multicoreResultFromJson(const obs::JsonValue &v)
+{
+    MulticoreRunResult r;
+    r.mix = strField(v, "mix");
+    r.policy = strField(v, "policy");
+    if (const obs::JsonValue *b = v.find("benchmarks");
+        b && b->isArray())
+        for (std::size_t i = 0; i < b->size(); ++i)
+            r.benchmarks.push_back(b->at(i).asString());
+    if (const obs::JsonValue *ipc = v.find("ipc");
+        ipc && ipc->isArray())
+        for (std::size_t i = 0; i < ipc->size(); ++i)
+            r.ipc.push_back(ipc->at(i).asNumber());
+    r.llcMisses = u64Field(v, "llc_misses");
+    r.totalInstructions = u64Field(v, "total_instructions");
+    r.mpki = numField(v, "mpki");
+    r.faultsInjected = u64Field(v, "faults_injected");
+    r.wallSeconds = numField(v, "wall_seconds");
+    return r;
+}
+
+} // namespace sdbp::sweep

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Sweep checkpoint manifest: a JSON sidecar recording the outcome of
+ * every (run, policy) cell of a sweep, written atomically after each
+ * cell completes.  A crashed or interrupted sweep can be re-launched
+ * with SDBP_RESUME=1 and only the failed or missing cells re-execute;
+ * completed cells restore their metrics from the manifest.
+ *
+ * The manifest stores metrics only (the scalar RunResult payload).
+ * In-memory artifacts — the LLC reference trace, per-frame
+ * efficiency, RunArtifacts — are not persisted, so sweeps that need
+ * them (recordLlcTrace / trackEfficiency) are non-resumable and
+ * always re-run their cells.
+ */
+
+#ifndef SDBP_SIM_SWEEP_MANIFEST_HH
+#define SDBP_SIM_SWEEP_MANIFEST_HH
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "sim/runner.hh"
+
+namespace sdbp::sweep
+{
+
+/** Outcome of one failed sweep cell (also serialized to the
+ *  manifest, so a partial sweep is diagnosable from disk alone). */
+struct CellError
+{
+    /** Row-major cell index in its grid. */
+    std::size_t index = 0;
+    /** Benchmark or mix name. */
+    std::string run;
+    std::string policy;
+    /** what() of the last failing attempt. */
+    std::string message;
+    /** Attempts made (1 + retries actually used). */
+    unsigned attempts = 0;
+    /** The last failure was a SimulationTimeout. */
+    bool timedOut = false;
+};
+
+enum class CellStatus { Pending, Completed, Failed, Skipped };
+
+/**
+ * One sweep's checkpoint file.  All mutators are thread-safe (sweep
+ * workers complete cells concurrently) and every mutation rewrites
+ * the manifest via an atomic tmp+rename, so the on-disk file is a
+ * well-formed JSON document at every instant — even across SIGKILL.
+ */
+class SweepManifest
+{
+  public:
+    static constexpr std::uint64_t kSchemaVersion = 1;
+
+    /**
+     * Describe a grid about to run: @p kind is "grid" or "mix_grid",
+     * @p runs the row labels (benchmarks or mix names), @p policies
+     * the column labels.  Together with the instruction budget these
+     * form the fingerprint that a resume must match.
+     */
+    SweepManifest(std::string path, std::string kind,
+                  std::vector<std::string> runs,
+                  std::vector<std::string> policies,
+                  InstCount warmup, InstCount measure);
+
+    /**
+     * Restore completed cells from the file at path(), if present.
+     * A missing file is a fresh start (returns 0).  A malformed file
+     * or one whose fingerprint (kind, runs, policies, instruction
+     * budget) differs is fatal(): resuming a *different* sweep would
+     * silently mix experiments.
+     *
+     * @return number of cells restored to Completed
+     */
+    std::size_t loadCompleted();
+
+    bool isCompleted(std::size_t index) const;
+    /** Stored metrics of a completed cell; Null JSON otherwise. */
+    obs::JsonValue completedMetrics(std::size_t index) const;
+
+    void markCompleted(std::size_t index, obs::JsonValue metrics);
+    void markFailed(const CellError &err);
+    void markSkipped(std::size_t index);
+
+    /** Write the current state (atomic tmp+rename). */
+    void flush();
+
+    const std::string &path() const { return path_; }
+    std::size_t cellCount() const { return cells_.size(); }
+
+  private:
+    struct Cell
+    {
+        CellStatus status = CellStatus::Pending;
+        obs::JsonValue metrics;
+        std::string error;
+        unsigned attempts = 0;
+        bool timedOut = false;
+    };
+
+    void flushLocked() const;
+    obs::JsonValue toJsonLocked() const;
+
+    mutable std::mutex mutex_;
+    std::string path_;
+    std::string kind_;
+    std::vector<std::string> runs_;
+    std::vector<std::string> policies_;
+    InstCount warmup_ = 0;
+    InstCount measure_ = 0;
+    std::vector<Cell> cells_;
+};
+
+/**
+ * Scalar (checkpointable) payload of a RunResult as JSON.  The
+ * llcTrace / frameEfficiency / artifacts members are deliberately
+ * omitted — see the file comment.
+ */
+obs::JsonValue runResultToJson(const RunResult &r);
+RunResult runResultFromJson(const obs::JsonValue &v);
+
+obs::JsonValue multicoreResultToJson(const MulticoreRunResult &r);
+MulticoreRunResult multicoreResultFromJson(const obs::JsonValue &v);
+
+} // namespace sdbp::sweep
+
+#endif // SDBP_SIM_SWEEP_MANIFEST_HH

@@ -1,0 +1,56 @@
+#include "util/env.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/logging.hh"
+
+namespace sdbp::env
+{
+
+std::uint64_t
+u64(const char *name, std::uint64_t fallback, std::uint64_t min,
+    std::uint64_t max)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    // strtoull silently accepts a leading '-' (wrapping the value);
+    // reject it up front.
+    const char *p = value;
+    while (*p == ' ' || *p == '\t')
+        ++p;
+    if (*p == '-' || *p == '+')
+        fatal(std::string(name) + "='" + value +
+              "' is not an unsigned integer");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0' || errno == ERANGE)
+        fatal(std::string(name) + "='" + value +
+              "' is not an unsigned integer");
+    if (parsed < min || parsed > max)
+        fatal(std::string(name) + "='" + value +
+              "' is out of range [" + std::to_string(min) + ", " +
+              std::to_string(max) + "]");
+    return parsed;
+}
+
+std::string
+outputPath(const char *name)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return {};
+    const std::filesystem::path parent =
+        std::filesystem::path(value).parent_path();
+    std::error_code ec;
+    if (!parent.empty() &&
+        !std::filesystem::is_directory(parent, ec))
+        fatal(std::string(name) + "='" + value +
+              "': parent directory does not exist");
+    return value;
+}
+
+} // namespace sdbp::env

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Hardened environment-variable parsing.
+ *
+ * Every SDBP_* knob goes through these helpers: an unset or empty
+ * variable yields the fallback, and a malformed or out-of-range value
+ * is a hard error (one-line message, exit 1) rather than a silent
+ * fallback — a sweep that quietly ignored SDBP_JOBS=4O would burn
+ * hours producing the wrong experiment.
+ */
+
+#ifndef SDBP_UTIL_ENV_HH
+#define SDBP_UTIL_ENV_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace sdbp::env
+{
+
+/**
+ * Parse @p name as an unsigned decimal integer in [@p min, @p max].
+ * Returns @p fallback when the variable is unset or empty; calls
+ * fatal() (exit 1) when it is malformed (non-numeric, trailing
+ * garbage, negative) or out of range.
+ */
+std::uint64_t u64(const char *name, std::uint64_t fallback,
+                  std::uint64_t min = 0,
+                  std::uint64_t max =
+                      std::numeric_limits<std::uint64_t>::max());
+
+/**
+ * Read @p name as a file path whose parent directory must exist (the
+ * file itself need not).  Returns the empty string when unset or
+ * empty; calls fatal() when the parent directory is missing, so a
+ * typo'd SDBP_STATS_JSON fails before the run instead of after it.
+ */
+std::string outputPath(const char *name);
+
+} // namespace sdbp::env
+
+#endif // SDBP_UTIL_ENV_HH

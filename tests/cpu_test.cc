@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 
 #include "cache/lru.hh"
 #include "cpu/core_model.hh"
@@ -149,6 +150,30 @@ TEST(SystemTest, SingleCoreRunsExactInstructionBudget)
     EXPECT_LE(results[0].instructions, 10002u);
     EXPECT_GT(results[0].ipc, 0.0);
     EXPECT_LE(results[0].ipc, 4.0);
+}
+
+TEST(SystemTest, ExpiredDeadlineThrowsSimulationTimeout)
+{
+    System sys(tinyHierarchy(1), CoreConfig{},
+               std::make_unique<LruPolicy>(64, 8));
+    sys.setDeadline(std::chrono::steady_clock::now() -
+                    std::chrono::seconds(1));
+    ScanGen gen(0, 1024);
+    // The deadline check strides every 2^15 steps, so give the run
+    // enough budget to hit it.
+    EXPECT_THROW(sys.run({&gen}, 0, 1000000), SimulationTimeout);
+}
+
+TEST(SystemTest, GenerousDeadlineDoesNotFire)
+{
+    System sys(tinyHierarchy(1), CoreConfig{},
+               std::make_unique<LruPolicy>(64, 8));
+    sys.setDeadline(std::chrono::steady_clock::now() +
+                    std::chrono::hours(1));
+    ScanGen gen(0, 1024);
+    const auto results = sys.run({&gen}, 0, 100000);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_GE(results[0].instructions, 100000u);
 }
 
 TEST(SystemTest, WarmupClearsStatsButKeepsContent)

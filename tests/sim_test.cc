@@ -121,11 +121,14 @@ TEST(RunConfigTest, EnvironmentOverridesInstructionCounts)
     unsetenv("SDBP_WARMUP");
 }
 
-TEST(RunConfigTest, InvalidEnvironmentIsIgnored)
+TEST(RunConfigDeathTest, InvalidEnvironmentIsFatal)
 {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    // A malformed knob is a one-line fatal diagnostic, never a
+    // silent fallback (README environment-variable table).
     setenv("SDBP_INSTRUCTIONS", "not-a-number", 1);
-    const RunConfig cfg = RunConfig::singleCore();
-    EXPECT_EQ(cfg.measureInstructions, 8'000'000u);
+    EXPECT_EXIT(RunConfig::singleCore(), testing::ExitedWithCode(1),
+                "not an unsigned integer");
     unsetenv("SDBP_INSTRUCTIONS");
 }
 

@@ -156,16 +156,51 @@ TEST(SweepEngine, DefaultJobsHonorsEnvironment)
     ::setenv("SDBP_JOBS", "1", 1);
     EXPECT_EQ(sweep::defaultJobs(), 1u);
 
-    // Invalid values fall back to hardware concurrency (>= 1).
-    ::setenv("SDBP_JOBS", "0", 1);
-    EXPECT_GE(sweep::defaultJobs(), 1u);
-    ::setenv("SDBP_JOBS", "banana", 1);
-    EXPECT_GE(sweep::defaultJobs(), 1u);
-    ::setenv("SDBP_JOBS", "12banana", 1);
-    EXPECT_GE(sweep::defaultJobs(), 1u);
-
     ::unsetenv("SDBP_JOBS");
     EXPECT_GE(sweep::defaultJobs(), 1u);
+}
+
+TEST(SweepEngineDeathTest, MalformedJobsEnvironmentIsFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    // Malformed or out-of-range SDBP_JOBS is a hard error with a
+    // one-line diagnostic, never a silent fallback.
+    ::setenv("SDBP_JOBS", "0", 1);
+    EXPECT_EXIT(sweep::defaultJobs(), testing::ExitedWithCode(1),
+                "SDBP_JOBS");
+    ::setenv("SDBP_JOBS", "banana", 1);
+    EXPECT_EXIT(sweep::defaultJobs(), testing::ExitedWithCode(1),
+                "not an unsigned integer");
+    ::setenv("SDBP_JOBS", "12banana", 1);
+    EXPECT_EXIT(sweep::defaultJobs(), testing::ExitedWithCode(1),
+                "not an unsigned integer");
+    ::setenv("SDBP_JOBS", "-2", 1);
+    EXPECT_EXIT(sweep::defaultJobs(), testing::ExitedWithCode(1),
+                "not an unsigned integer");
+    ::setenv("SDBP_JOBS", "5000", 1);
+    EXPECT_EXIT(sweep::defaultJobs(), testing::ExitedWithCode(1),
+                "out of range");
+    ::unsetenv("SDBP_JOBS");
+}
+
+TEST(SweepEngine, DefaultRetriesHonorsEnvironment)
+{
+    ::setenv("SDBP_RETRIES", "2", 1);
+    EXPECT_EQ(sweep::defaultRetries(), 2u);
+    ::unsetenv("SDBP_RETRIES");
+    EXPECT_EQ(sweep::defaultRetries(), 0u);
+}
+
+TEST(SweepEngineDeathTest, MalformedRetriesEnvironmentIsFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    ::setenv("SDBP_RETRIES", "17", 1);
+    EXPECT_EXIT(sweep::defaultRetries(), testing::ExitedWithCode(1),
+                "out of range");
+    ::setenv("SDBP_RETRIES", "two", 1);
+    EXPECT_EXIT(sweep::defaultRetries(), testing::ExitedWithCode(1),
+                "not an unsigned integer");
+    ::unsetenv("SDBP_RETRIES");
 }
 
 TEST(SweepEngine, CellArtifactPathDerivation)

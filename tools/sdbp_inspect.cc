@@ -61,6 +61,18 @@ usage(const char *prog)
            "grid\n"
         << "  --jobs <n>           sweep workers (default SDBP_JOBS "
            "or all cores)\n"
+        << "  --retries <n>        extra attempts per failing sweep "
+           "cell\n"
+        << "                       (default SDBP_RETRIES or 0)\n"
+        << "  --manifest <path>    checkpoint each cell outcome to "
+           "this JSON\n"
+        << "  --resume             restore completed cells from the "
+           "manifest\n"
+        << "                       instead of re-running them\n"
+        << "  --fault-rate <n>     inject n soft errors per million "
+           "predictor\n"
+        << "                       consultations (0..1000000)\n"
+        << "  --fault-seed <n>     seed of the fault injector\n"
         << "  --warmup <n>         warm-up instructions\n"
         << "  --instructions <n>   measured instructions\n"
         << "  --interval <n>       snapshot period in instructions\n"
@@ -216,7 +228,7 @@ main(int argc, char **argv)
     RunConfig cfg = RunConfig::singleCore();
     cfg.obs.collect = true;
     bool dump_stats = false;
-    unsigned jobs = sweep::defaultJobs();
+    sweep::SweepOptions opts = sweep::SweepOptions::fromEnvironment();
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -233,12 +245,30 @@ main(int argc, char **argv)
         } else if (arg == "--policy" || arg == "-p") {
             policy_name = next();
         } else if (arg == "--jobs" || arg == "-j") {
-            jobs = static_cast<unsigned>(
+            opts.jobs = static_cast<unsigned>(
                 std::strtoul(next(), nullptr, 10));
-            if (jobs == 0) {
+            if (opts.jobs == 0) {
                 std::cerr << "error: --jobs needs a positive count\n";
                 return 2;
             }
+        } else if (arg == "--retries") {
+            opts.retries = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--manifest") {
+            opts.manifestPath = next();
+        } else if (arg == "--resume") {
+            opts.resume = true;
+        } else if (arg == "--fault-rate") {
+            cfg.policy.dbrb.fault.faultsPerMillion =
+                std::strtoull(next(), nullptr, 10);
+            if (cfg.policy.dbrb.fault.faultsPerMillion > 1'000'000) {
+                std::cerr << "error: --fault-rate must be in "
+                             "[0, 1000000]\n";
+                return 2;
+            }
+        } else if (arg == "--fault-seed") {
+            cfg.policy.dbrb.fault.seed =
+                std::strtoull(next(), nullptr, 10);
         } else if (arg == "--warmup") {
             cfg.warmupInstructions =
                 std::strtoull(next(), nullptr, 10);
@@ -278,7 +308,9 @@ main(int argc, char **argv)
         const auto resolved = resolveBenchmark(name);
         if (!resolved) {
             std::cerr << "error: unknown benchmark '" << name
-                      << "' (try --list-benchmarks)\n";
+                      << "'; valid benchmarks are:\n";
+            for (const auto &b : allSpecBenchmarks())
+                std::cerr << "  " << b << "\n";
             return 2;
         }
         benchmarks.push_back(*resolved);
@@ -288,7 +320,9 @@ main(int argc, char **argv)
         const auto kind = parsePolicyKind(name);
         if (!kind) {
             std::cerr << "error: unknown policy '" << name
-                      << "' (try --list-policies)\n";
+                      << "'; valid policies are:\n";
+            for (const auto k : allPolicyKinds())
+                std::cerr << "  " << policyName(k) << "\n";
             return 2;
         }
         kinds.push_back(*kind);
@@ -298,6 +332,13 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (opts.resume && opts.manifestPath.empty()) {
+        std::cerr << "error: --resume requires --manifest\n";
+        return 2;
+    }
+
+    const unsigned jobs =
+        opts.jobs ? opts.jobs : sweep::defaultJobs();
     const std::size_t cells = benchmarks.size() * kinds.size();
     if (cells == 1)
         std::cout << "Running " << benchmarks[0] << " under "
@@ -313,11 +354,35 @@ main(int argc, char **argv)
                   << cfg.measureInstructions
                   << " measured instructions per run)...\n\n";
 
+    sweep::installShutdownHandler();
     const sweep::Grid grid =
-        sweep::runGrid(benchmarks, kinds, cfg, jobs);
+        sweep::runGrid(benchmarks, kinds, cfg, opts);
+
+    for (const auto &err : grid.errors)
+        std::cerr << "FAILED cell " << err.run << "/" << err.policy
+                  << " after " << err.attempts << " attempt(s)"
+                  << (err.timedOut ? " [timeout]" : "") << ": "
+                  << err.message << "\n";
+    if (grid.skipped > 0)
+        std::cerr << "interrupted: " << grid.skipped
+                  << " cell(s) skipped\n";
+    if (grid.resumed > 0)
+        std::cout << "[resumed " << grid.resumed
+                  << " cell(s) from " << opts.manifestPath << "]\n";
 
     if (cells == 1) {
+        if (!grid.ok())
+            return grid.skipped > 0 ? 130 : 1;
         const RunResult &res = grid.at(0, 0);
+        if (!res.artifacts && grid.resumed > 0) {
+            // Manifest checkpoints carry metrics, not artifacts.
+            std::cout << res.benchmark << " under " << res.policy
+                      << ": IPC " << formatDouble(res.ipc, 3)
+                      << ", MPKI " << formatDouble(res.mpki, 3)
+                      << " (restored from manifest; re-run without "
+                         "--resume for full artifacts)\n";
+            return 0;
+        }
         if (!res.artifacts) {
             std::cerr << "error: run produced no artifacts\n";
             return 1;
@@ -372,5 +437,7 @@ main(int argc, char **argv)
         !cfg.obs.traceJsonlPath.empty())
         std::cout << "Artifacts were written per cell "
                      "(base path + .<benchmark>.<policy>).\n";
-    return 0;
+    if (grid.skipped > 0)
+        return 130;
+    return grid.errors.empty() ? 0 : 1;
 }

@@ -23,6 +23,7 @@
 #include "cpu/system.hh"
 #include "predictor/counting.hh"
 #include "predictor/reftrace.hh"
+#include "sim/engine.hh"
 #include "sim/runner.hh"
 #include "trace/spec_profiles.hh"
 #include "util/rng.hh"
@@ -53,7 +54,8 @@ BM_SdbpAccessUnsampledSet(benchmark::State &state)
     for (auto _ : state) {
         addr += 64;
         benchmark::DoNotOptimize(
-            p.onAccess(1, addr, 0x400000 + (addr & 0xff), 0));
+            p.onAccess(1, Access::atBlock(addr,
+                                        0x400000 + (addr & 0xff))));
     }
 }
 BENCHMARK(BM_SdbpAccessUnsampledSet);
@@ -66,7 +68,8 @@ BM_SdbpAccessSampledSet(benchmark::State &state)
     for (auto _ : state) {
         addr += 2048; // stay in sampled set 0
         benchmark::DoNotOptimize(
-            p.onAccess(0, addr, 0x400000 + (addr & 0xff), 0));
+            p.onAccess(0, Access::atBlock(addr,
+                                        0x400000 + (addr & 0xff))));
     }
 }
 BENCHMARK(BM_SdbpAccessSampledSet);
@@ -78,9 +81,10 @@ BM_RefTraceAccess(benchmark::State &state)
     Addr addr = 0;
     for (auto _ : state) {
         addr = (addr + 1) & 0xfff;
-        p.onFill(0, addr, 0x400000);
-        benchmark::DoNotOptimize(p.onAccess(0, addr, 0x400004, 0));
-        p.onEvict(0, addr);
+        p.onFill(0, Access::atBlock(addr, 0x400000));
+        benchmark::DoNotOptimize(
+            p.onAccess(0, Access::atBlock(addr, 0x400004)));
+        p.onEvict(0, Access::atBlock(addr));
     }
 }
 BENCHMARK(BM_RefTraceAccess);
@@ -92,9 +96,10 @@ BM_CountingAccess(benchmark::State &state)
     Addr addr = 0;
     for (auto _ : state) {
         addr = (addr + 1) & 0xfff;
-        p.onFill(0, addr, 0x400000);
-        benchmark::DoNotOptimize(p.onAccess(0, addr, 0x400000, 0));
-        p.onEvict(0, addr);
+        p.onFill(0, Access::atBlock(addr, 0x400000));
+        benchmark::DoNotOptimize(
+            p.onAccess(0, Access::atBlock(addr, 0x400000)));
+        p.onEvict(0, Access::atBlock(addr));
     }
 }
 BENCHMARK(BM_CountingAccess);
@@ -109,31 +114,45 @@ BM_LruCacheAccess(benchmark::State &state)
     Rng rng(7);
     std::uint64_t now = 0;
     for (auto _ : state) {
-        AccessInfo info;
-        info.blockAddr = rng.below(1 << 16);
-        info.pc = 0x400000;
-        if (!cache.access(info, now))
-            cache.fill(info, now);
+        const Access a =
+            Access::atBlock(rng.below(1 << 16), 0x400000);
+        if (!cache.access(a, now))
+            cache.fill(a, now);
         ++now;
     }
 }
 BENCHMARK(BM_LruCacheAccess);
 
 void
-BM_SimulatedInstruction(benchmark::State &state)
+simulatedInstruction(benchmark::State &state, bool force_virtual)
 {
     HierarchyConfig hcfg;
-    System sys(hcfg, CoreConfig{},
-               makePolicy(PolicyKind::Sampler, hcfg.llc.numSets,
-                          hcfg.llc.assoc));
+    Engine eng = makeEngine(PolicyKind::Sampler, hcfg, CoreConfig{},
+                            {}, force_virtual);
     SyntheticWorkload workload(specProfile("456.hmmer"));
     // Use run() in chunks so the benchmark measures steady state.
     std::vector<AccessGenerator *> gens = {&workload};
     for (auto _ : state)
-        sys.run(gens, 0, 10000);
+        eng.system->run(gens, 0, 10000);
     state.SetItemsProcessed(state.iterations() * 10000);
 }
+
+/** The default (sealed fast-path) engine, as the runner uses it. */
+void
+BM_SimulatedInstruction(benchmark::State &state)
+{
+    simulatedInstruction(state, false);
+}
 BENCHMARK(BM_SimulatedInstruction)->Unit(benchmark::kMillisecond);
+
+/** The type-erased reference stack (SDBP_NO_FASTPATH route). */
+void
+BM_SimulatedInstructionVirtual(benchmark::State &state)
+{
+    simulatedInstruction(state, true);
+}
+BENCHMARK(BM_SimulatedInstructionVirtual)
+    ->Unit(benchmark::kMillisecond);
 
 } // anonymous namespace
 

@@ -77,9 +77,9 @@ doInfo(const std::string &path)
     std::map<PC, std::uint64_t> pcs;
     for (const auto &r : records) {
         instructions += r.gap + 1;
-        writes += r.access.isWrite;
-        dependent += r.access.dependsOnPrevLoad;
-        ++pcs[r.access.pc];
+        writes += r.isWrite;
+        dependent += r.dependsOnPrevLoad;
+        ++pcs[r.pc];
     }
     TextTable t({"metric", "value"});
     t.row().cell("records").cell(std::uint64_t(records.size()));

@@ -1,10 +1,6 @@
 #include "cache/cache.hh"
 
-#include <cassert>
-
 #include "obs/stat_registry.hh"
-#include "obs/trace_sink.hh"
-#include "trace/access.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -47,209 +43,97 @@ CacheStats::registerStats(obs::StatRegistry &reg,
 }
 
 void
-Cache::registerStats(obs::StatRegistry &reg,
-                     const std::string &prefix) const
+CacheBase::registerStats(obs::StatRegistry &reg,
+                         const std::string &prefix) const
 {
     stats_.registerStats(reg, prefix);
     reg.addGauge(obs::StatRegistry::join(prefix, "efficiency"),
                  [this] { return stats_.efficiency(); });
 }
 
-Cache::Cache(const CacheConfig &cfg,
-             std::unique_ptr<ReplacementPolicy> policy)
-    : cfg_(cfg), policy_(std::move(policy)),
-      blocks_(static_cast<std::size_t>(cfg.numSets) * cfg.assoc)
+CacheBase::CacheBase(const CacheConfig &cfg,
+                     ReplacementPolicy *policy_base)
+    : cfg_(cfg), policyBase_(policy_base)
 {
     if (!isPowerOfTwo(cfg_.numSets))
         fatal("cache '" + cfg_.name + "': numSets must be a power of 2");
     if (cfg_.assoc == 0)
         fatal("cache '" + cfg_.name + "': zero associativity");
-    assert(policy_->numSets() == cfg_.numSets);
-    assert(policy_->assoc() == cfg_.assoc);
+    assert(policyBase_ != nullptr);
+    assert(policyBase_->numSets() == cfg_.numSets);
+    assert(policyBase_->assoc() == cfg_.assoc);
+
+    const std::size_t frame_count =
+        static_cast<std::size_t>(cfg_.numSets) * cfg_.assoc;
+    tags_.assign(frame_count, SetView::kNoBlock);
+    state_.assign(frame_count, 0);
+    owner_.assign(frame_count, 0);
+    fillTick_.assign(frame_count, 0);
+    lastTouchTick_.assign(frame_count, 0);
     if (cfg_.trackEfficiency) {
-        frameLive_.assign(blocks_.size(), 0.0);
-        frameTotal_.assign(blocks_.size(), 0.0);
+        frameLive_.assign(frame_count, 0.0);
+        frameTotal_.assign(frame_count, 0.0);
     }
 }
 
-std::uint32_t
-Cache::setIndex(Addr block_addr) const
+CacheBlock
+CacheBase::blockAt(std::uint32_t set, std::uint32_t way) const
 {
-    return static_cast<std::uint32_t>(block_addr & (cfg_.numSets - 1));
-}
-
-int
-Cache::findWay(std::uint32_t set, Addr block_addr) const
-{
-    const auto *base = &blocks_[static_cast<std::size_t>(set) *
-                                cfg_.assoc];
-    for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
-        if (base[w].valid && base[w].blockAddr == block_addr)
-            return static_cast<int>(w);
-    return -1;
-}
-
-std::span<const CacheBlock>
-Cache::setBlocks(std::uint32_t set) const
-{
-    return {&blocks_[static_cast<std::size_t>(set) * cfg_.assoc],
-            cfg_.assoc};
+    const std::size_t idx =
+        static_cast<std::size_t>(set) * cfg_.assoc + way;
+    CacheBlock blk;
+    blk.valid = (state_[idx] & SetView::kValid) != 0;
+    blk.blockAddr = blk.valid ? tags_[idx] : 0;
+    blk.dirty = (state_[idx] & SetView::kDirty) != 0;
+    blk.predictedDead = (state_[idx] & SetView::kDead) != 0;
+    blk.owner = owner_[idx];
+    blk.fillTick = fillTick_[idx];
+    blk.lastTouchTick = lastTouchTick_[idx];
+    return blk;
 }
 
 bool
-Cache::probe(Addr block_addr) const
+CacheBase::probe(Addr block_addr) const
 {
     return findWay(setIndex(block_addr), block_addr) >= 0;
 }
 
 void
-Cache::invalidate(Addr block_addr)
+CacheBase::invalidate(Addr block_addr)
 {
     const std::uint32_t set = setIndex(block_addr);
     const int way = findWay(set, block_addr);
     if (way >= 0) {
-        auto &blk = blocks_[static_cast<std::size_t>(set) * cfg_.assoc +
-                            static_cast<std::uint32_t>(way)];
-        policy_->onEvict(set, static_cast<std::uint32_t>(way), blk);
-        blk.valid = false;
-    }
-}
-
-bool
-Cache::access(const AccessInfo &info, std::uint64_t now)
-{
-    const std::uint32_t set = setIndex(info.blockAddr);
-    const int way = findWay(set, info.blockAddr);
-
-    if (info.isWriteback) {
-        ++stats_.writebackAccesses;
-    } else {
-        ++stats_.demandAccesses;
-    }
-
-    CacheBlock *blk = nullptr;
-    if (way >= 0) {
-        blk = &blocks_[static_cast<std::size_t>(set) * cfg_.assoc +
-                       static_cast<std::uint32_t>(way)];
-        if (info.isWriteback) {
-            ++stats_.writebackHits;
-            blk->dirty = true;
-        } else {
-            ++stats_.demandHits;
-            blk->lastTouchTick = now;
-            if (info.isWrite)
-                blk->dirty = true;
-        }
-    } else {
-        if (!info.isWriteback)
-            ++stats_.demandMisses;
-    }
-
-    policy_->onAccess(set, way, blk, info);
-    return way >= 0;
-}
-
-void
-Cache::retireGeneration(std::uint32_t set, std::uint32_t way,
-                        const CacheBlock &blk, std::uint64_t now)
-{
-    if (!blk.valid || now < blk.fillTick)
-        return;
-    const double live =
-        static_cast<double>(blk.lastTouchTick - blk.fillTick);
-    const double total = static_cast<double>(now - blk.fillTick);
-    stats_.liveTime += live;
-    stats_.totalTime += total;
-    if (cfg_.trackEfficiency) {
         const std::size_t idx =
-            static_cast<std::size_t>(set) * cfg_.assoc + way;
-        frameLive_[idx] += live;
-        frameTotal_[idx] += total;
+            static_cast<std::size_t>(set) * cfg_.assoc +
+            static_cast<std::uint32_t>(way);
+        policyBase_->onEvict(set, static_cast<std::uint32_t>(way),
+                             frames(set));
+        tags_[idx] = SetView::kNoBlock;
+        state_[idx] = 0;
     }
-}
-
-EvictedBlock
-Cache::fill(const AccessInfo &info, std::uint64_t now)
-{
-    EvictedBlock evicted;
-    const std::uint32_t set = setIndex(info.blockAddr);
-    assert(findWay(set, info.blockAddr) < 0 && "fill of resident block");
-
-    if (policy_->shouldBypass(set, info)) {
-        ++stats_.bypasses;
-        SDBP_TRACE_EVENT(trace_, now, obs::TraceEventKind::Bypass, set,
-                         info.blockAddr, info.pc, true);
-        return evicted;
-    }
-
-    // Prefer an invalid frame.
-    auto *base = &blocks_[static_cast<std::size_t>(set) * cfg_.assoc];
-    std::uint32_t way = cfg_.assoc;
-    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
-        if (!base[w].valid) {
-            way = w;
-            break;
-        }
-    }
-    if (way == cfg_.assoc) {
-        way = policy_->victim(set, setBlocks(set), info);
-        assert(way < cfg_.assoc);
-        CacheBlock &victim_blk = base[way];
-        retireGeneration(set, way, victim_blk, now);
-        evicted.valid = true;
-        evicted.dirty = victim_blk.dirty;
-        evicted.blockAddr = victim_blk.blockAddr;
-        evicted.owner = victim_blk.owner;
-        ++stats_.evictions;
-        if (victim_blk.dirty)
-            ++stats_.dirtyEvictions;
-        SDBP_TRACE_EVENT(trace_, now, obs::TraceEventKind::Eviction,
-                         set, victim_blk.blockAddr, 0,
-                         victim_blk.predictedDead);
-        policy_->onEvict(set, way, victim_blk);
-    }
-
-    CacheBlock &blk = base[way];
-    blk.blockAddr = info.blockAddr;
-    blk.valid = true;
-    blk.dirty = info.isWrite || info.isWriteback;
-    blk.predictedDead = false;
-    blk.owner = info.thread;
-    blk.fillTick = now;
-    blk.lastTouchTick = now;
-    ++stats_.fills;
-    SDBP_TRACE_EVENT(trace_, now, obs::TraceEventKind::Fill, set,
-                     info.blockAddr, info.pc, false);
-    policy_->onFill(set, way, blk, info);
-
-#if SDBP_DCHECK_ENABLED
-    // Periodic full audit in debug builds (amortized over 64K fills).
-    if ((stats_.fills & 0xFFFFu) == 0)
-        auditInvariants();
-#endif
-    return evicted;
 }
 
 void
-Cache::finalizeEfficiency(std::uint64_t now)
+CacheBase::finalizeEfficiency(std::uint64_t now)
 {
     for (std::uint32_t s = 0; s < cfg_.numSets; ++s) {
         for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
-            auto &blk = blocks_[static_cast<std::size_t>(s) *
-                                cfg_.assoc + w];
-            retireGeneration(s, w, blk, now);
+            const std::size_t idx =
+                static_cast<std::size_t>(s) * cfg_.assoc + w;
+            retireGeneration(s, w, now);
             // Restart the generation so finalize is idempotent-ish
             // for continued simulation.
-            if (blk.valid) {
-                blk.fillTick = now;
-                blk.lastTouchTick = now;
+            if (state_[idx] & SetView::kValid) {
+                fillTick_[idx] = now;
+                lastTouchTick_[idx] = now;
             }
         }
     }
 }
 
 double
-Cache::frameEfficiency(std::uint32_t set, std::uint32_t way) const
+CacheBase::frameEfficiency(std::uint32_t set, std::uint32_t way) const
 {
     if (!cfg_.trackEfficiency)
         return 0.0;
@@ -260,23 +144,32 @@ Cache::frameEfficiency(std::uint32_t set, std::uint32_t way) const
 }
 
 void
-Cache::auditInvariants() const
+CacheBase::auditInvariants() const
 {
 #if SDBP_DCHECK_ENABLED
     for (std::uint32_t s = 0; s < cfg_.numSets; ++s) {
-        const auto *base =
-            &blocks_[static_cast<std::size_t>(s) * cfg_.assoc];
+        const std::size_t base =
+            static_cast<std::size_t>(s) * cfg_.assoc;
         for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
-            const CacheBlock &blk = base[w];
-            if (!blk.valid)
+            const bool valid =
+                (state_[base + w] & SetView::kValid) != 0;
+            // SoA layout invariant: the tag sentinel and the valid
+            // bit always agree, so the single-compare probe in
+            // access() and the state-bit scan in fill() see the same
+            // occupancy.
+            SDBP_DCHECK_EQ(valid,
+                           tags_[base + w] != SetView::kNoBlock,
+                           "tag sentinel disagrees with valid bit");
+            if (!valid)
                 continue;
-            SDBP_DCHECK_EQ(setIndex(blk.blockAddr), s,
+            SDBP_DCHECK_EQ(setIndex(tags_[base + w]), s,
                            "resident block maps to a different set");
-            SDBP_DCHECK_LE(blk.fillTick, blk.lastTouchTick,
+            SDBP_DCHECK_LE(fillTick_[base + w],
+                           lastTouchTick_[base + w],
                            "block generation timestamps inverted");
             for (std::uint32_t o = w + 1; o < cfg_.assoc; ++o)
-                SDBP_DCHECK(!base[o].valid ||
-                                base[o].blockAddr != blk.blockAddr,
+                SDBP_DCHECK(!(state_[base + o] & SetView::kValid) ||
+                                tags_[base + o] != tags_[base + w],
                             "duplicate resident block in one set");
         }
     }
@@ -284,12 +177,12 @@ Cache::auditInvariants() const
 }
 
 void
-Cache::clearStats()
+CacheBase::clearStats()
 {
     stats_ = CacheStats{};
     if (cfg_.trackEfficiency) {
-        frameLive_.assign(blocks_.size(), 0.0);
-        frameTotal_.assign(blocks_.size(), 0.0);
+        frameLive_.assign(frameLive_.size(), 0.0);
+        frameTotal_.assign(frameTotal_.size(), 0.0);
     }
 }
 

@@ -2,20 +2,38 @@
  * @file
  * Set-associative cache model with pluggable replacement/bypass
  * policy, writeback handling and live/dead-time accounting.
+ *
+ * Block storage is structure-of-arrays: a contiguous tag lane (the
+ * sentinel SetView::kNoBlock encodes "invalid") and a packed
+ * valid/dirty/predicted-dead state lane are the only data the
+ * per-access path touches, so a set probe is one cache-line scan;
+ * the cold lanes (owner, fill/last-touch ticks, per-frame efficiency
+ * accounting) live in separate arrays that only the miss path and
+ * end-of-run reporting read.
+ *
+ * The class splits into a non-template CacheBase (geometry, stats,
+ * cold operations) and BasicCache<P>, which binds the policy type at
+ * compile time: with a final policy class the per-access hook calls
+ * devirtualize and inline.  `Cache` is the type-erased alias
+ * BasicCache<ReplacementPolicy> — the extension point and slow-path
+ * fallback (DESIGN.md §12).
  */
 
 #ifndef SDBP_CACHE_CACHE_HH
 #define SDBP_CACHE_CACHE_HH
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
-#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "cache/block.hh"
 #include "cache/policy.hh"
+#include "obs/trace_sink.hh"
+#include "trace/access.hh"
+#include "util/logging.hh"
 
 namespace sdbp
 {
@@ -23,7 +41,6 @@ namespace sdbp
 namespace obs
 {
 class StatRegistry;
-class TraceSink;
 } // namespace obs
 
 /** Static geometry of one cache. */
@@ -81,37 +98,18 @@ struct EvictedBlock
 };
 
 /**
- * The cache.  The caller (the hierarchy) drives it with the
- * protocol:
- *
- *   if (!cache.access(info, now))      // miss
- *       ... service miss below ...
- *       evicted = cache.fill(info, now);  // may bypass
- *       ... write back evicted.dirty ...
+ * Policy-type-erased part of the cache: storage lanes, statistics
+ * and every operation off the per-access path.  The hierarchy and
+ * tools hold CacheBase references when they only need geometry,
+ * stats or probes; driving accesses requires the typed BasicCache.
  */
-class Cache
+class CacheBase
 {
   public:
-    Cache(const CacheConfig &cfg,
-          std::unique_ptr<ReplacementPolicy> policy);
+    virtual ~CacheBase() = default;
 
-    /**
-     * Demand or writeback lookup; updates policy and stats.
-     *
-     * @param now a monotonically increasing tick used for live/dead
-     *        accounting (the driver passes the instruction count)
-     * @return true on hit
-     */
-    bool access(const AccessInfo &info, std::uint64_t now);
-
-    /**
-     * Install the block after a miss was serviced.  The policy may
-     * decline the fill (bypass).
-     *
-     * @return the block that was evicted to make room (valid=false
-     *         if an empty way was used or the fill was bypassed)
-     */
-    EvictedBlock fill(const AccessInfo &info, std::uint64_t now);
+    CacheBase(const CacheBase &) = delete;
+    CacheBase &operator=(const CacheBase &) = delete;
 
     /** True if the block is present (no state change). */
     bool probe(Addr block_addr) const;
@@ -128,7 +126,12 @@ class Cache
      */
     double frameEfficiency(std::uint32_t set, std::uint32_t way) const;
 
-    std::uint32_t setIndex(Addr block_addr) const;
+    std::uint32_t
+    setIndex(Addr block_addr) const
+    {
+        return static_cast<std::uint32_t>(block_addr &
+                                          (cfg_.numSets - 1));
+    }
 
     const CacheConfig &config() const { return cfg_; }
     const CacheStats &stats() const { return stats_; }
@@ -144,35 +147,243 @@ class Cache
      */
     void setTraceSink(obs::TraceSink *sink) { trace_ = sink; }
 
-    ReplacementPolicy &policy() { return *policy_; }
-    const ReplacementPolicy &policy() const { return *policy_; }
+    ReplacementPolicy &policy() { return *policyBase_; }
+    const ReplacementPolicy &policy() const { return *policyBase_; }
 
-    std::span<const CacheBlock> setBlocks(std::uint32_t set) const;
+    /** Hot-lane view of one set (what the policy hooks receive). */
+    SetView
+    frames(std::uint32_t set)
+    {
+        const std::size_t base =
+            static_cast<std::size_t>(set) * cfg_.assoc;
+        return {&tags_[base], &state_[base], cfg_.assoc};
+    }
+
+    /** Materialized snapshot of frame (set, way) for inspection. */
+    CacheBlock blockAt(std::uint32_t set, std::uint32_t way) const;
 
     /** Reset all content and statistics (policy state persists). */
     void clearStats();
 
     /**
      * Panic (via SDBP_DCHECK) unless every valid block maps to the
-     * set that holds it, no set holds the same block twice, and no
-     * block's generation timestamps are inverted.
+     * set that holds it, no set holds the same block twice, no
+     * block's generation timestamps are inverted, and the tag
+     * sentinel agrees with the valid bit in every frame (the SoA
+     * layout invariant).
      */
     void auditInvariants() const;
 
-  private:
-    int findWay(std::uint32_t set, Addr block_addr) const;
-    void retireGeneration(std::uint32_t set, std::uint32_t way,
-                          const CacheBlock &blk, std::uint64_t now);
+    /** Linear probe of one set; -1 when absent. */
+    int
+    findWay(std::uint32_t set, Addr block_addr) const
+    {
+        const Addr *tags =
+            &tags_[static_cast<std::size_t>(set) * cfg_.assoc];
+        for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
+            if (tags[w] == block_addr)
+                return static_cast<int>(w);
+        return -1;
+    }
+
+  protected:
+    CacheBase(const CacheConfig &cfg, ReplacementPolicy *policy_base);
+
+    /** Close the live/dead generation of a frame about to turn over. */
+    void
+    retireGeneration(std::uint32_t set, std::uint32_t way,
+                     std::uint64_t now)
+    {
+        const std::size_t idx =
+            static_cast<std::size_t>(set) * cfg_.assoc + way;
+        if (!(state_[idx] & SetView::kValid) || now < fillTick_[idx])
+            return;
+        const double live =
+            static_cast<double>(lastTouchTick_[idx] - fillTick_[idx]);
+        const double total =
+            static_cast<double>(now - fillTick_[idx]);
+        stats_.liveTime += live;
+        stats_.totalTime += total;
+        if (cfg_.trackEfficiency) {
+            frameLive_[idx] += live;
+            frameTotal_[idx] += total;
+        }
+    }
 
     CacheConfig cfg_;
-    std::unique_ptr<ReplacementPolicy> policy_;
-    std::vector<CacheBlock> blocks_;
     CacheStats stats_;
+    /** Hot lanes: tag (kNoBlock = invalid) and packed state bits. */
+    std::vector<Addr> tags_;
+    std::vector<std::uint8_t> state_;
+    /** Cold lanes: miss-path / reporting data only. */
+    std::vector<ThreadId> owner_;
+    std::vector<std::uint64_t> fillTick_;
+    std::vector<std::uint64_t> lastTouchTick_;
     obs::TraceSink *trace_ = nullptr;
     /** Per-frame accumulated live/total time (trackEfficiency). */
     std::vector<double> frameLive_;
     std::vector<double> frameTotal_;
+
+  private:
+    /** The policy as seen through the virtual interface (cold ops). */
+    ReplacementPolicy *policyBase_;
 };
+
+/**
+ * The cache, with the policy type bound at compile time.  The caller
+ * (the hierarchy) drives it with the protocol:
+ *
+ *   if (!cache.access(a, now))          // miss
+ *       ... service miss below ...
+ *       evicted = cache.fill(a, now);   // may bypass
+ *       ... write back evicted.dirty ...
+ */
+template <class P>
+class BasicCache final : public CacheBase
+{
+  public:
+    BasicCache(const CacheConfig &cfg, std::unique_ptr<P> policy)
+        : CacheBase(cfg, policy.get()), policy_(std::move(policy))
+    {
+    }
+
+    P &typedPolicy() { return *policy_; }
+    const P &typedPolicy() const { return *policy_; }
+
+    /**
+     * Demand or writeback lookup; updates policy and stats.
+     *
+     * @param now a monotonically increasing tick used for live/dead
+     *        accounting (the driver passes the instruction count)
+     * @return true on hit
+     */
+    bool
+    access(const Access &a, std::uint64_t now)
+    {
+        const Addr block = a.blockAddr();
+        const std::uint32_t set = setIndex(block);
+        const std::size_t base =
+            static_cast<std::size_t>(set) * cfg_.assoc;
+
+        // One contiguous scan of the tag lane; the sentinel encoding
+        // makes invalid frames compare unequal for free.  No early
+        // exit: the branchless full scan vectorizes, and the set
+        // invariant (no duplicate tags) makes it equivalent.
+        const Addr *tags = &tags_[base];
+        int way = -1;
+        for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
+            way = tags[w] == block ? static_cast<int>(w) : way;
+
+        if (a.isWriteback)
+            ++stats_.writebackAccesses;
+        else
+            ++stats_.demandAccesses;
+
+        if (way >= 0) {
+            const std::size_t idx =
+                base + static_cast<std::uint32_t>(way);
+            if (a.isWriteback) {
+                ++stats_.writebackHits;
+                state_[idx] =
+                    static_cast<std::uint8_t>(state_[idx] |
+                                              SetView::kDirty);
+            } else {
+                ++stats_.demandHits;
+                lastTouchTick_[idx] = now;
+                if (a.isWrite)
+                    state_[idx] =
+                        static_cast<std::uint8_t>(state_[idx] |
+                                                  SetView::kDirty);
+            }
+        } else if (!a.isWriteback) {
+            ++stats_.demandMisses;
+        }
+
+        policy_->onAccess(set, way, frames(set), a);
+        return way >= 0;
+    }
+
+    /**
+     * Install the block after a miss was serviced.  The policy may
+     * decline the fill (bypass).
+     *
+     * @return the block that was evicted to make room (valid=false
+     *         if an empty way was used or the fill was bypassed)
+     */
+    EvictedBlock
+    fill(const Access &a, std::uint64_t now)
+    {
+        EvictedBlock evicted;
+        const Addr block = a.blockAddr();
+        const std::uint32_t set = setIndex(block);
+        assert(findWay(set, block) < 0 && "fill of resident block");
+        assert(block != SetView::kNoBlock && "fill of sentinel tag");
+
+        if (policy_->shouldBypass(set, a)) {
+            ++stats_.bypasses;
+            SDBP_TRACE_EVENT(trace_, now, obs::TraceEventKind::Bypass,
+                             set, block, a.pc, true);
+            return evicted;
+        }
+
+        const std::size_t base =
+            static_cast<std::size_t>(set) * cfg_.assoc;
+
+        // Prefer an invalid frame.
+        std::uint32_t way = cfg_.assoc;
+        for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+            if (!(state_[base + w] & SetView::kValid)) {
+                way = w;
+                break;
+            }
+        }
+        if (way == cfg_.assoc) {
+            way = policy_->victim(set, frames(set), a);
+            assert(way < cfg_.assoc);
+            const std::size_t idx = base + way;
+            retireGeneration(set, way, now);
+            evicted.valid = true;
+            evicted.dirty = (state_[idx] & SetView::kDirty) != 0;
+            evicted.blockAddr = tags_[idx];
+            evicted.owner = owner_[idx];
+            ++stats_.evictions;
+            if (evicted.dirty)
+                ++stats_.dirtyEvictions;
+            SDBP_TRACE_EVENT(trace_, now,
+                             obs::TraceEventKind::Eviction, set,
+                             tags_[idx], 0,
+                             (state_[idx] & SetView::kDead) != 0);
+            policy_->onEvict(set, way, frames(set));
+        }
+
+        const std::size_t idx = base + way;
+        tags_[idx] = block;
+        state_[idx] = static_cast<std::uint8_t>(
+            SetView::kValid |
+            ((a.isWrite || a.isWriteback) ? SetView::kDirty : 0));
+        owner_[idx] = a.thread;
+        fillTick_[idx] = now;
+        lastTouchTick_[idx] = now;
+        ++stats_.fills;
+        SDBP_TRACE_EVENT(trace_, now, obs::TraceEventKind::Fill, set,
+                         block, a.pc, false);
+        policy_->onFill(set, way, frames(set), a);
+
+#if SDBP_DCHECK_ENABLED
+        // Periodic full audit in debug builds (amortized over 64K
+        // fills).
+        if ((stats_.fills & 0xFFFFu) == 0)
+            auditInvariants();
+#endif
+        return evicted;
+    }
+
+  private:
+    std::unique_ptr<P> policy_;
+};
+
+/** The type-erased cache: virtual policy dispatch per access. */
+using Cache = BasicCache<ReplacementPolicy>;
 
 } // namespace sdbp
 

@@ -1,10 +1,6 @@
 #include "cache/dead_block_policy.hh"
 
-#include <algorithm>
-#include <cassert>
-
 #include "obs/stat_registry.hh"
-#include "obs/trace_sink.hh"
 #include "util/stats.hh"
 
 namespace sdbp
@@ -24,26 +20,25 @@ DbrbStats::falsePositiveRate() const
                  static_cast<double>(predictions));
 }
 
-DeadBlockPolicy::DeadBlockPolicy(
-    std::unique_ptr<ReplacementPolicy> inner,
-    std::unique_ptr<DeadBlockPredictor> predictor,
+DeadBlockPolicyBase::DeadBlockPolicyBase(
+    ReplacementPolicy *inner_base, DeadBlockPredictor *pred_base,
     const DeadBlockPolicyConfig &cfg)
-    : ReplacementPolicy(inner->numSets(), inner->assoc()),
-      inner_(std::move(inner)), predictor_(std::move(predictor)),
-      cfg_(cfg)
+    : ReplacementPolicy(inner_base->numSets(), inner_base->assoc()),
+      cfg_(cfg), innerBase_(inner_base), predictorBase_(pred_base),
+      liveness_(pred_base->livenessProbe())
 {
-    assert(predictor_);
+    assert(innerBase_ && predictorBase_);
     bypassWindow_ = cfg_.bypassReuseWindow
         ? cfg_.bypassReuseWindow
         : static_cast<std::uint64_t>(numSets_) * assoc_;
     if (cfg_.fault.enabled()) {
         faults_ = std::make_unique<fault::FaultInjector>(cfg_.fault);
-        predictor_->registerFaultTargets(*faults_);
+        predictorBase_->registerFaultTargets(*faults_);
     }
 }
 
 void
-DeadBlockPolicy::noteBypass(Addr block_addr)
+DeadBlockPolicyBase::noteBypass(Addr block_addr)
 {
     // Bound the tracking map; a sweep every so often is cheap
     // relative to the accesses that grew it.
@@ -60,7 +55,7 @@ DeadBlockPolicy::noteBypass(Addr block_addr)
 }
 
 void
-DeadBlockPolicy::checkBypassReuse(Addr block_addr)
+DeadBlockPolicyBase::checkBypassReuse(Addr block_addr)
 {
     auto it = recentBypasses_.find(block_addr);
     if (it == recentBypasses_.end())
@@ -71,148 +66,8 @@ DeadBlockPolicy::checkBypassReuse(Addr block_addr)
 }
 
 void
-DeadBlockPolicy::onAccess(std::uint32_t set, int hit_way,
-                          CacheBlock *blk, const AccessInfo &info)
-{
-    if (info.isWriteback) {
-        // Writebacks update recency but never touch the predictor.
-        inner_->onAccess(set, hit_way, blk, info);
-        lastPrediction_ = false;
-        return;
-    }
-
-    ++stats_.predictions;
-    // One injector tick per consultation — the rate is defined in
-    // faults per million consultations, and tying the draw to this
-    // (scheduling-independent) event keeps sweeps deterministic
-    // across SDBP_JOBS values.
-    if (faults_)
-        faults_->onAccess();
-    const bool dead = predictor_->onAccess(set, info.blockAddr,
-                                           info.pc, info.thread);
-    if (dead)
-        ++stats_.positives;
-    // The policy has no notion of time, so Prediction events are
-    // keyed by the consultation index.
-    SDBP_TRACE_EVENT(trace_, stats_.predictions,
-                     obs::TraceEventKind::Prediction, set,
-                     info.blockAddr, info.pc, dead);
-
-    if (hit_way >= 0) {
-        assert(blk != nullptr);
-        // A demand hit proves the block was live; classify the
-        // prediction bit it was carrying before re-predicting.
-        if (blk->predictedDead) {
-            ++stats_.falsePositiveHits;
-            ++confusion_.deadHit;
-        } else {
-            ++confusion_.liveHit;
-        }
-        blk->predictedDead = dead;
-    } else {
-        lastPrediction_ = dead;
-        checkBypassReuse(info.blockAddr);
-    }
-    inner_->onAccess(set, hit_way, blk, info);
-}
-
-bool
-DeadBlockPolicy::shouldBypass(std::uint32_t set, const AccessInfo &info)
-{
-    (void)set;
-    if (info.isWriteback || !cfg_.enableBypass || !lastPrediction_)
-        return false;
-    ++stats_.bypasses;
-    noteBypass(info.blockAddr);
-    return true;
-}
-
-std::uint32_t
-DeadBlockPolicy::victim(std::uint32_t set,
-                        std::span<const CacheBlock> blocks,
-                        const AccessInfo &info)
-{
-    if (cfg_.enableDeadReplacement) {
-        // Pick the predicted-dead block closest to eviction by the
-        // default policy's own ranking.  Interval/time-based
-        // predictors additionally report blocks that have become
-        // dead since their last access.
-        //
-        // A recency grace period protects against mispredictions:
-        // when the default policy exposes a meaningful recency
-        // ranking (LRU and friends), only dead-marked blocks in the
-        // colder half of the stack are preferred — a freshly touched
-        // block whose mark is wrong gets a chance to prove itself,
-        // while a genuinely dead block migrates into the cold half
-        // within a few fills anyway.  Rank-less defaults (random)
-        // keep the unconditional preference.
-        const bool liveness = predictor_->hasLiveness();
-        std::uint32_t max_rank = 0;
-        for (std::uint32_t w = 0; w < assoc_; ++w)
-            max_rank = std::max(max_rank, inner_->rank(set, w));
-        const std::uint32_t grace =
-            max_rank >= assoc_ / 2 ? assoc_ / 2 : 0;
-        int best = -1;
-        std::uint32_t best_rank = 0;
-        for (std::uint32_t w = 0; w < assoc_; ++w) {
-            if (!blocks[w].valid)
-                continue;
-            const bool dead = blocks[w].predictedDead ||
-                (liveness &&
-                 predictor_->isDeadNow(set, blocks[w].blockAddr));
-            if (!dead)
-                continue;
-            const std::uint32_t r = inner_->rank(set, w);
-            if (r < grace)
-                continue;
-            if (best < 0 || r > best_rank) {
-                best = static_cast<int>(w);
-                best_rank = r;
-            }
-        }
-        if (best >= 0) {
-            ++stats_.deadEvictions;
-            return static_cast<std::uint32_t>(best);
-        }
-    }
-    return inner_->victim(set, blocks, info);
-}
-
-void
-DeadBlockPolicy::onEvict(std::uint32_t set, std::uint32_t way,
-                         const CacheBlock &blk)
-{
-    // Eviction without reuse proves the block was dead.
-    if (blk.predictedDead)
-        ++confusion_.deadEvicted;
-    else
-        ++confusion_.liveEvicted;
-    predictor_->onEvict(set, blk.blockAddr);
-    inner_->onEvict(set, way, blk);
-}
-
-void
-DeadBlockPolicy::onFill(std::uint32_t set, std::uint32_t way,
-                        CacheBlock &blk, const AccessInfo &info)
-{
-    if (!info.isWriteback) {
-        predictor_->onFill(set, info.blockAddr, info.pc);
-        // With bypass disabled a dead-on-arrival block is installed
-        // but marked so it is the next preferred victim.
-        blk.predictedDead = lastPrediction_;
-    }
-    inner_->onFill(set, way, blk, info);
-}
-
-std::uint32_t
-DeadBlockPolicy::rank(std::uint32_t set, std::uint32_t way) const
-{
-    return inner_->rank(set, way);
-}
-
-void
-DeadBlockPolicy::registerStats(obs::StatRegistry &reg,
-                               const std::string &prefix) const
+DeadBlockPolicyBase::registerStats(obs::StatRegistry &reg,
+                                   const std::string &prefix) const
 {
     using obs::StatRegistry;
     reg.addCounter(StatRegistry::join(prefix, "predictions"),
@@ -229,16 +84,17 @@ DeadBlockPolicy::registerStats(obs::StatRegistry &reg,
                    &stats_.bypasses);
     confusion_.registerStats(reg,
                              StatRegistry::join(prefix, "confusion"));
-    predictor_->registerStats(reg, StatRegistry::join(prefix, "pred"));
+    predictorBase_->registerStats(reg,
+                                  StatRegistry::join(prefix, "pred"));
     if (faults_)
         faults_->registerStats(reg,
                                StatRegistry::join(prefix, "faults"));
 }
 
 std::string
-DeadBlockPolicy::name() const
+DeadBlockPolicyBase::name() const
 {
-    return "dbrb-" + predictor_->name() + "-" + inner_->name();
+    return "dbrb-" + predictorBase_->name() + "-" + innerBase_->name();
 }
 
 } // namespace sdbp

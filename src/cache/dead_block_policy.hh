@@ -9,17 +9,29 @@
  *  - A block predicted dead on arrival bypasses the cache.
  *  - Every demand access re-predicts and stores the single
  *    predicted-dead metadata bit in the block.
+ *
+ * The class splits into DeadBlockPolicyBase (stats, configuration,
+ * fault injection, everything the runner and tools touch through the
+ * virtual interface) and BasicDeadBlockPolicy<Inner, Pred>, which
+ * binds the wrapped policy and predictor types at compile time so
+ * the sealed engine compositions (DESIGN.md §12) run the whole
+ * onAccess -> predictor -> inner chain without a virtual dispatch.
+ * `DeadBlockPolicy` is the type-erased alias used by the factory's
+ * slow path.
  */
 
 #ifndef SDBP_CACHE_DEAD_BLOCK_POLICY_HH
 #define SDBP_CACHE_DEAD_BLOCK_POLICY_HH
 
+#include <algorithm>
+#include <cassert>
 #include <memory>
 #include <unordered_map>
 
 #include "cache/policy.hh"
 #include "fault/fault_injector.hh"
 #include "obs/confusion.hh"
+#include "obs/trace_sink.hh"
 #include "predictor/dead_block_predictor.hh"
 
 namespace sdbp
@@ -28,7 +40,6 @@ namespace sdbp
 namespace obs
 {
 class StatRegistry;
-class TraceSink;
 } // namespace obs
 
 /** Accuracy/coverage accounting for Fig. 9. */
@@ -70,36 +81,25 @@ struct DeadBlockPolicyConfig
     fault::FaultInjectorConfig fault;
 };
 
-class DeadBlockPolicy : public ReplacementPolicy
+/**
+ * Type-erased face of every DBRB instantiation: stats access,
+ * registration, tracing and fault accounting.  The runner, sweeps
+ * and tools hold a DeadBlockPolicyBase*; the access hooks live in
+ * the typed subclass.
+ */
+class DeadBlockPolicyBase : public ReplacementPolicy
 {
   public:
-    /**
-     * @param inner the default replacement policy (LRU or random)
-     * @param predictor the dead block predictor to consult
-     */
-    DeadBlockPolicy(std::unique_ptr<ReplacementPolicy> inner,
-                    std::unique_ptr<DeadBlockPredictor> predictor,
-                    const DeadBlockPolicyConfig &cfg = {});
-
-    void onAccess(std::uint32_t set, int hit_way, CacheBlock *blk,
-                  const AccessInfo &info) override;
-    bool shouldBypass(std::uint32_t set, const AccessInfo &info) override;
-    std::uint32_t victim(std::uint32_t set,
-                         std::span<const CacheBlock> blocks,
-                         const AccessInfo &info) override;
-    void onEvict(std::uint32_t set, std::uint32_t way,
-                 const CacheBlock &blk) override;
-    void onFill(std::uint32_t set, std::uint32_t way, CacheBlock &blk,
-                const AccessInfo &info) override;
-    std::uint32_t rank(std::uint32_t set, std::uint32_t way)
-        const override;
-    std::string name() const override;
-
     const DbrbStats &dbrbStats() const { return stats_; }
     const obs::ConfusionMatrix &confusion() const { return confusion_; }
-    DeadBlockPredictor &predictor() { return *predictor_; }
-    const DeadBlockPredictor &predictor() const { return *predictor_; }
-    ReplacementPolicy &inner() { return *inner_; }
+    DeadBlockPredictor &predictor() { return *predictorBase_; }
+    const DeadBlockPredictor &predictor() const
+    {
+        return *predictorBase_;
+    }
+    ReplacementPolicy &inner() { return *innerBase_; }
+
+    const DeadBlockPolicyConfig &config() const { return cfg_; }
 
     /**
      * Register the DBRB counters under "<prefix>.*", the confusion
@@ -122,24 +122,218 @@ class DeadBlockPolicy : public ReplacementPolicy
         return faults_.get();
     }
 
-  private:
+    std::uint32_t
+    rank(std::uint32_t set, std::uint32_t way) const override
+    {
+        return innerBase_->rank(set, way);
+    }
+
+    std::string name() const override;
+
+  protected:
+    /**
+     * @param inner_base the wrapped policy (owned by the subclass)
+     * @param pred_base the wrapped predictor (owned by the subclass)
+     */
+    DeadBlockPolicyBase(ReplacementPolicy *inner_base,
+                        DeadBlockPredictor *pred_base,
+                        const DeadBlockPolicyConfig &cfg);
+
     void noteBypass(Addr block_addr);
     void checkBypassReuse(Addr block_addr);
 
-    std::unique_ptr<ReplacementPolicy> inner_;
-    std::unique_ptr<DeadBlockPredictor> predictor_;
-    std::unique_ptr<fault::FaultInjector> faults_;
     DeadBlockPolicyConfig cfg_;
     DbrbStats stats_;
     obs::ConfusionMatrix confusion_;
+    std::unique_ptr<fault::FaultInjector> faults_;
     obs::TraceSink *trace_ = nullptr;
 
     /** Prediction computed for the in-flight miss. */
     bool lastPrediction_ = false;
     /** Recently bypassed blocks -> consultation tick. */
     std::unordered_map<Addr, std::uint64_t> recentBypasses_;
-    std::uint64_t bypassWindow_;
+    std::uint64_t bypassWindow_ = 0;
+
+    /** The wrapped components as seen through their interfaces. */
+    ReplacementPolicy *innerBase_;
+    DeadBlockPredictor *predictorBase_;
+    /** Hoisted livenessProbe() capability (nullptr for most). */
+    const LivenessProbe *liveness_;
 };
+
+/**
+ * DBRB with the wrapped policy and predictor types bound at compile
+ * time.  With final Inner/Pred classes every hook below devirtualizes
+ * into direct calls; with the interface types it is exactly the old
+ * virtual chain (the factory's slow path).
+ */
+template <class Inner, class Pred>
+class BasicDeadBlockPolicy final : public DeadBlockPolicyBase
+{
+  public:
+    /**
+     * @param inner the default replacement policy (LRU or random)
+     * @param predictor the dead block predictor to consult
+     */
+    BasicDeadBlockPolicy(std::unique_ptr<Inner> inner,
+                         std::unique_ptr<Pred> predictor,
+                         const DeadBlockPolicyConfig &cfg = {})
+        : DeadBlockPolicyBase(inner.get(), predictor.get(), cfg),
+          inner_(std::move(inner)), predictor_(std::move(predictor))
+    {
+    }
+
+    Inner &typedInner() { return *inner_; }
+    Pred &typedPredictor() { return *predictor_; }
+
+    void
+    onAccess(std::uint32_t set, int hit_way, SetView frames,
+             const Access &a) override
+    {
+        if (a.isWriteback) {
+            // Writebacks update recency but never touch the
+            // predictor.
+            inner_->onAccess(set, hit_way, frames, a);
+            lastPrediction_ = false;
+            return;
+        }
+
+        ++stats_.predictions;
+        // One injector tick per consultation — the rate is defined
+        // in faults per million consultations, and tying the draw to
+        // this (scheduling-independent) event keeps sweeps
+        // deterministic across SDBP_JOBS values.
+        if (faults_)
+            faults_->onAccess();
+        const bool dead = predictor_->onAccess(set, a);
+        if (dead)
+            ++stats_.positives;
+        // The policy has no notion of time, so Prediction events are
+        // keyed by the consultation index.
+        SDBP_TRACE_EVENT(trace_, stats_.predictions,
+                         obs::TraceEventKind::Prediction, set,
+                         a.blockAddr(), a.pc, dead);
+
+        if (hit_way >= 0) {
+            const auto way = static_cast<std::uint32_t>(hit_way);
+            // A demand hit proves the block was live; classify the
+            // prediction bit it was carrying before re-predicting.
+            if (frames.predictedDead(way)) {
+                ++stats_.falsePositiveHits;
+                ++confusion_.deadHit;
+            } else {
+                ++confusion_.liveHit;
+            }
+            frames.setPredictedDead(way, dead);
+        } else {
+            lastPrediction_ = dead;
+            checkBypassReuse(a.blockAddr());
+        }
+        inner_->onAccess(set, hit_way, frames, a);
+    }
+
+    bool
+    shouldBypass(std::uint32_t set, const Access &a) override
+    {
+        (void)set;
+        if (a.isWriteback || !cfg_.enableBypass || !lastPrediction_)
+            return false;
+        ++stats_.bypasses;
+        noteBypass(a.blockAddr());
+        return true;
+    }
+
+    std::uint32_t
+    victim(std::uint32_t set, SetView frames, const Access &a) override
+    {
+        if (cfg_.enableDeadReplacement) {
+            // Pick the predicted-dead block closest to eviction by
+            // the default policy's own ranking.  Interval/time-based
+            // predictors additionally report blocks that have become
+            // dead since their last access.
+            //
+            // A recency grace period protects against
+            // mispredictions: when the default policy exposes a
+            // meaningful recency ranking (LRU and friends), only
+            // dead-marked blocks in the colder half of the stack are
+            // preferred — a freshly touched block whose mark is
+            // wrong gets a chance to prove itself, while a genuinely
+            // dead block migrates into the cold half within a few
+            // fills anyway.  Rank-less defaults (random) keep the
+            // unconditional preference.
+            std::uint32_t max_rank = 0;
+            for (std::uint32_t w = 0; w < assoc_; ++w)
+                max_rank = std::max(max_rank, inner_->rank(set, w));
+            const std::uint32_t grace =
+                max_rank >= assoc_ / 2 ? assoc_ / 2 : 0;
+            int best = -1;
+            std::uint32_t best_rank = 0;
+            for (std::uint32_t w = 0; w < assoc_; ++w) {
+                if (!frames.valid(w))
+                    continue;
+                const bool dead = frames.predictedDead(w) ||
+                    (liveness_ &&
+                     liveness_->isDeadNow(set, frames.blockAddr(w)));
+                if (!dead)
+                    continue;
+                const std::uint32_t r = inner_->rank(set, w);
+                if (r < grace)
+                    continue;
+                if (best < 0 || r > best_rank) {
+                    best = static_cast<int>(w);
+                    best_rank = r;
+                }
+            }
+            if (best >= 0) {
+                ++stats_.deadEvictions;
+                return static_cast<std::uint32_t>(best);
+            }
+        }
+        return inner_->victim(set, frames, a);
+    }
+
+    void
+    onEvict(std::uint32_t set, std::uint32_t way,
+            SetView frames) override
+    {
+        // Eviction without reuse proves the block was dead.
+        if (frames.predictedDead(way))
+            ++confusion_.deadEvicted;
+        else
+            ++confusion_.liveEvicted;
+        predictor_->onEvict(set,
+                            Access::atBlock(frames.blockAddr(way)));
+        inner_->onEvict(set, way, frames);
+    }
+
+    void
+    onFill(std::uint32_t set, std::uint32_t way, SetView frames,
+           const Access &a) override
+    {
+        if (!a.isWriteback) {
+            predictor_->onFill(set, a);
+            // With bypass disabled a dead-on-arrival block is
+            // installed but marked so it is the next preferred
+            // victim.
+            frames.setPredictedDead(way, lastPrediction_);
+        }
+        inner_->onFill(set, way, frames, a);
+    }
+
+    std::uint32_t
+    rank(std::uint32_t set, std::uint32_t way) const override
+    {
+        return inner_->rank(set, way);
+    }
+
+  private:
+    std::unique_ptr<Inner> inner_;
+    std::unique_ptr<Pred> predictor_;
+};
+
+/** The type-erased DBRB: virtual inner/predictor dispatch. */
+using DeadBlockPolicy =
+    BasicDeadBlockPolicy<ReplacementPolicy, DeadBlockPredictor>;
 
 } // namespace sdbp
 

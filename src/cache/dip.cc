@@ -39,10 +39,10 @@ DipPolicy::followerUsesBip(ThreadId t) const
 }
 
 void
-DipPolicy::onAccess(std::uint32_t set, int hit_way, CacheBlock *blk,
-                    const AccessInfo &info)
+DipPolicy::onAccess(std::uint32_t set, int hit_way, SetView frames,
+                    const Access &a)
 {
-    if (hit_way < 0 && !info.isWriteback) {
+    if (hit_way < 0 && !a.isWriteback) {
         // Set dueling: a miss in a leader set votes against that
         // set's insertion policy.  The vote goes to the PSEL of the
         // thread that OWNS the leader set, regardless of which
@@ -62,22 +62,22 @@ DipPolicy::onAccess(std::uint32_t set, int hit_way, CacheBlock *blk,
             }
         }
     }
-    lru_.onAccess(set, hit_way, blk, info);
+    lru_.onAccess(set, hit_way, frames, a);
 }
 
 std::uint32_t
-DipPolicy::victim(std::uint32_t set, std::span<const CacheBlock> blocks,
-                  const AccessInfo &info)
+DipPolicy::victim(std::uint32_t set, SetView frames,
+                  const Access &a)
 {
-    return lru_.victim(set, blocks, info);
+    return lru_.victim(set, frames, a);
 }
 
 void
-DipPolicy::onFill(std::uint32_t set, std::uint32_t way, CacheBlock &blk,
-                  const AccessInfo &info)
+DipPolicy::onFill(std::uint32_t set, std::uint32_t way, SetView frames,
+                  const Access &a)
 {
-    (void)blk;
-    const ThreadId t = std::min<ThreadId>(info.thread,
+    (void)frames;
+    const ThreadId t = std::min<ThreadId>(a.thread,
                                           cfg_.numThreads - 1);
     bool use_bip;
     if (cfg_.staticBip)

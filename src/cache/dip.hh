@@ -39,19 +39,19 @@ struct DipConfig
     std::uint64_t seed = 0xd1b;
 };
 
-class DipPolicy : public ReplacementPolicy
+class DipPolicy final : public ReplacementPolicy
 {
   public:
     DipPolicy(std::uint32_t num_sets, std::uint32_t assoc,
               const DipConfig &cfg = {});
 
-    void onAccess(std::uint32_t set, int hit_way, CacheBlock *blk,
-                  const AccessInfo &info) override;
+    void onAccess(std::uint32_t set, int hit_way, SetView frames,
+                  const Access &a) override;
     std::uint32_t victim(std::uint32_t set,
-                         std::span<const CacheBlock> blocks,
-                         const AccessInfo &info) override;
-    void onFill(std::uint32_t set, std::uint32_t way, CacheBlock &blk,
-                const AccessInfo &info) override;
+                         SetView frames,
+                         const Access &a) override;
+    void onFill(std::uint32_t set, std::uint32_t way, SetView frames,
+                const Access &a) override;
     std::uint32_t rank(std::uint32_t set, std::uint32_t way)
         const override;
     std::string name() const override;

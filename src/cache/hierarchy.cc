@@ -1,140 +1,39 @@
 #include "cache/hierarchy.hh"
 
-#include <cassert>
-
-#include "cache/lru.hh"
 #include "obs/stat_registry.hh"
 #include "util/logging.hh"
 
 namespace sdbp
 {
 
-Hierarchy::Hierarchy(const HierarchyConfig &cfg,
-                     std::unique_ptr<ReplacementPolicy> llc_policy)
-    : cfg_(cfg)
+HierarchyBase::HierarchyBase(const HierarchyConfig &cfg)
+    : cfg_(cfg), prefetcher_(cfg.prefetch)
 {
     if (cfg_.numCores == 0)
         fatal("hierarchy needs at least one core");
-    for (std::uint32_t c = 0; c < cfg_.numCores; ++c) {
-        l1_.push_back(std::make_unique<Cache>(
-            cfg_.l1, std::make_unique<LruPolicy>(cfg_.l1.numSets,
-                                                 cfg_.l1.assoc)));
-        l2_.push_back(std::make_unique<Cache>(
-            cfg_.l2, std::make_unique<LruPolicy>(cfg_.l2.numSets,
-                                                 cfg_.l2.assoc)));
-    }
-    assert(llc_policy->numSets() == cfg_.llc.numSets);
-    llc_ = std::make_unique<Cache>(cfg_.llc, std::move(llc_policy));
-    prefetcher_ = Prefetcher(cfg_.prefetch);
 }
 
 void
-Hierarchy::writebackTo(int level, ThreadId core, Addr block_addr,
-                       ThreadId owner, std::uint64_t now)
-{
-    // level: 2 = L2, 3 = LLC, 4 = memory.
-    if (level >= 4) {
-        ++memWrites_;
-        return;
-    }
-    Cache &target = level == 2 ? *l2_[core] : *llc_;
-    AccessInfo info;
-    info.blockAddr = block_addr;
-    info.thread = owner;
-    info.isWrite = true;
-    info.isWriteback = true;
-    // Writebacks update a present copy but never allocate: a miss
-    // forwards the data down a level.  Keeping cache content purely
-    // demand-driven is what makes the recorded LLC demand stream a
-    // sound input for the optimal-policy replay (Sec. VI-B).
-    if (!target.access(info, now))
-        writebackTo(level + 1, core, block_addr, owner, now);
-}
-
-HierarchyResult
-Hierarchy::access(ThreadId core, const MemAccess &acc, std::uint64_t now)
-{
-    assert(core < cfg_.numCores);
-    HierarchyResult res;
-
-    AccessInfo info;
-    info.pc = acc.pc;
-    info.blockAddr = acc.blockAddr();
-    info.thread = core;
-    info.isWrite = acc.isWrite;
-
-    // L1
-    res.latency = cfg_.l1.latency;
-    if (l1_[core]->access(info, now)) {
-        res.level = ServiceLevel::L1;
-        return res;
-    }
-
-    // L2
-    res.latency += cfg_.l2.latency;
-    const bool l2_hit = l2_[core]->access(info, now);
-
-    bool llc_hit = true;
-    if (!l2_hit) {
-        // LLC (shared)
-        res.latency += cfg_.llc.latency;
-        res.llcAccess = true;
-        if (llcTrace_) {
-            llcTrace_->push_back({info.blockAddr, info.pc, core,
-                                  info.isWrite});
-        }
-        llc_hit = llc_->access(info, now);
-        if (!llc_hit) {
-            // Memory
-            res.latency += cfg_.memLatency;
-            res.llcMiss = true;
-            ++memReads_;
-            const EvictedBlock ev = llc_->fill(info, now);
-            if (ev.valid && ev.dirty)
-                writebackTo(4, core, ev.blockAddr, ev.owner, now);
-            if (prefetcher_.enabled()) {
-                prefetcher_.onDemandMiss(*llc_, info.blockAddr,
-                                         info.pc, core, now);
-            }
-        }
-
-        // Fill L2 on the way back up.
-        const EvictedBlock ev2 = l2_[core]->fill(info, now);
-        if (ev2.valid && ev2.dirty)
-            writebackTo(3, core, ev2.blockAddr, ev2.owner, now);
-    }
-
-    // Fill L1.
-    const EvictedBlock ev1 = l1_[core]->fill(info, now);
-    if (ev1.valid && ev1.dirty)
-        writebackTo(2, core, ev1.blockAddr, ev1.owner, now);
-
-    res.level = l2_hit ? ServiceLevel::L2
-        : llc_hit ? ServiceLevel::Llc : ServiceLevel::Memory;
-    return res;
-}
-
-void
-Hierarchy::registerStats(obs::StatRegistry &reg) const
+HierarchyBase::registerStats(obs::StatRegistry &reg) const
 {
     for (std::uint32_t c = 0; c < cfg_.numCores; ++c) {
         const std::string core = "core" + std::to_string(c);
-        l1_[c]->registerStats(reg, core + ".l1");
-        l2_[c]->registerStats(reg, core + ".l2");
+        l1View_[c]->registerStats(reg, core + ".l1");
+        l2View_[c]->registerStats(reg, core + ".l2");
     }
-    llc_->registerStats(reg, "llc");
+    llcView_->registerStats(reg, "llc");
     reg.addCounter("mem.reads", &memReads_);
     reg.addCounter("mem.writes", &memWrites_);
 }
 
 void
-Hierarchy::clearStats()
+HierarchyBase::clearStats()
 {
-    for (auto &c : l1_)
+    for (CacheBase *c : l1View_)
         c->clearStats();
-    for (auto &c : l2_)
+    for (CacheBase *c : l2View_)
         c->clearStats();
-    llc_->clearStats();
+    llcView_->clearStats();
     memReads_ = 0;
     memWrites_ = 0;
     if (llcTrace_)

@@ -1,78 +1,54 @@
 #include "cache/lru.hh"
 
+#include <algorithm>
 #include <cassert>
+#include <numeric>
 
 namespace sdbp
 {
 
 LruPolicy::LruPolicy(std::uint32_t num_sets, std::uint32_t assoc)
-    : ReplacementPolicy(num_sets, assoc), pos_(num_sets * assoc)
+    : ReplacementPolicy(num_sets, assoc), stamp_(num_sets * assoc),
+      high_(num_sets, 0), low_(num_sets)
 {
-    assert(assoc <= 255);
-    for (std::uint32_t s = 0; s < num_sets; ++s)
+    // Initial order: way w sits at stack position w, i.e. way 0 is
+    // MRU.  Stamps within a set must be distinct.
+    for (std::uint32_t s = 0; s < num_sets; ++s) {
         for (std::uint32_t w = 0; w < assoc; ++w)
-            pos_[s * assoc + w] = static_cast<std::uint8_t>(w);
+            stamp_[s * assoc + w] = -static_cast<std::int64_t>(w);
+        low_[s] = -static_cast<std::int64_t>(assoc - 1);
+    }
 }
 
 void
 LruPolicy::moveTo(std::uint32_t set, std::uint32_t way,
                   std::uint32_t target_pos)
 {
-    auto *base = &pos_[set * assoc_];
-    const std::uint8_t old_pos = base[way];
-    const auto target = static_cast<std::uint8_t>(target_pos);
-    if (old_pos == target)
+    auto *base = &stamp_[set * assoc_];
+    if (target_pos == 0) {
+        base[way] = ++high_[set];
         return;
-    if (old_pos > target) {
-        // Moving toward MRU: ways between target and old shift down.
-        for (std::uint32_t w = 0; w < assoc_; ++w)
-            if (base[w] >= target && base[w] < old_pos)
-                ++base[w];
-    } else {
-        // Moving toward LRU: ways between old and target shift up.
-        for (std::uint32_t w = 0; w < assoc_; ++w)
-            if (base[w] > old_pos && base[w] <= target)
-                --base[w];
     }
-    base[way] = target;
-}
+    if (target_pos == assoc_ - 1) {
+        base[way] = --low_[set];
+        return;
+    }
 
-void
-LruPolicy::onAccess(std::uint32_t set, int hit_way, CacheBlock *blk,
-                    const AccessInfo &info)
-{
-    (void)blk;
-    (void)info;
-    if (hit_way >= 0)
-        moveTo(set, static_cast<std::uint32_t>(hit_way), 0);
-}
-
-std::uint32_t
-LruPolicy::victim(std::uint32_t set, std::span<const CacheBlock> blocks,
-                  const AccessInfo &info)
-{
-    (void)blocks;
-    (void)info;
-    const auto *base = &pos_[set * assoc_];
-    for (std::uint32_t w = 0; w < assoc_; ++w)
-        if (base[w] == assoc_ - 1)
-            return w;
-    return 0; // unreachable with consistent state
-}
-
-void
-LruPolicy::onFill(std::uint32_t set, std::uint32_t way, CacheBlock &blk,
-                  const AccessInfo &info)
-{
-    (void)blk;
-    (void)info;
-    moveTo(set, way, 0);
-}
-
-std::uint32_t
-LruPolicy::rank(std::uint32_t set, std::uint32_t way) const
-{
-    return pos_[set * assoc_ + way];
+    // Interior insertion: rebuild the set's order with `way` at
+    // `target_pos` and re-stamp every frame.
+    assert(target_pos < assoc_);
+    std::vector<std::uint32_t> order(assoc_);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  return base[a] > base[b];
+              });
+    order.erase(std::find(order.begin(), order.end(), way));
+    order.insert(order.begin() + target_pos, way);
+    for (std::uint32_t r = 0; r < assoc_; ++r)
+        base[order[r]] = high_[set] - static_cast<std::int64_t>(r);
+    low_[set] = std::min(low_[set],
+                         high_[set] - static_cast<std::int64_t>(assoc_));
 }
 
 } // namespace sdbp

@@ -41,21 +41,21 @@ TreePlruPolicy::touch(std::uint32_t set, std::uint32_t way)
 
 void
 TreePlruPolicy::onAccess(std::uint32_t set, int hit_way,
-                         CacheBlock *blk, const AccessInfo &info)
+                         SetView frames, const Access &a)
 {
-    (void)blk;
-    (void)info;
+    (void)frames;
+    (void)a;
     if (hit_way >= 0)
         touch(set, static_cast<std::uint32_t>(hit_way));
 }
 
 std::uint32_t
 TreePlruPolicy::victim(std::uint32_t set,
-                       std::span<const CacheBlock> blocks,
-                       const AccessInfo &info)
+                       SetView frames,
+                       const Access &a)
 {
-    (void)blocks;
-    (void)info;
+    (void)frames;
+    (void)a;
     // Follow the cold pointers from the root.
     const auto *base =
         &bits_[static_cast<std::size_t>(set) * (assoc_ - 1)];
@@ -76,10 +76,10 @@ TreePlruPolicy::victim(std::uint32_t set,
 
 void
 TreePlruPolicy::onFill(std::uint32_t set, std::uint32_t way,
-                       CacheBlock &blk, const AccessInfo &info)
+                       SetView frames, const Access &a)
 {
-    (void)blk;
-    (void)info;
+    (void)frames;
+    (void)a;
     touch(set, way);
 }
 
@@ -127,21 +127,21 @@ NruPolicy::markReferenced(std::uint32_t set, std::uint32_t way)
 }
 
 void
-NruPolicy::onAccess(std::uint32_t set, int hit_way, CacheBlock *blk,
-                    const AccessInfo &info)
+NruPolicy::onAccess(std::uint32_t set, int hit_way, SetView frames,
+                    const Access &a)
 {
-    (void)blk;
-    (void)info;
+    (void)frames;
+    (void)a;
     if (hit_way >= 0)
         markReferenced(set, static_cast<std::uint32_t>(hit_way));
 }
 
 std::uint32_t
-NruPolicy::victim(std::uint32_t set, std::span<const CacheBlock> blocks,
-                  const AccessInfo &info)
+NruPolicy::victim(std::uint32_t set, SetView frames,
+                  const Access &a)
 {
-    (void)blocks;
-    (void)info;
+    (void)frames;
+    (void)a;
     const auto *base = &ref_[static_cast<std::size_t>(set) * assoc_];
     for (std::uint32_t w = 0; w < assoc_; ++w)
         if (!base[w])
@@ -150,11 +150,11 @@ NruPolicy::victim(std::uint32_t set, std::span<const CacheBlock> blocks,
 }
 
 void
-NruPolicy::onFill(std::uint32_t set, std::uint32_t way, CacheBlock &blk,
-                  const AccessInfo &info)
+NruPolicy::onFill(std::uint32_t set, std::uint32_t way, SetView frames,
+                  const Access &a)
 {
-    (void)blk;
-    (void)info;
+    (void)frames;
+    (void)a;
     markReferenced(set, way);
 }
 

@@ -26,18 +26,18 @@ namespace sdbp
 {
 
 /** Tree-based pseudo-LRU (binary decision tree, assoc-1 bits/set). */
-class TreePlruPolicy : public ReplacementPolicy
+class TreePlruPolicy final : public ReplacementPolicy
 {
   public:
     TreePlruPolicy(std::uint32_t num_sets, std::uint32_t assoc);
 
-    void onAccess(std::uint32_t set, int hit_way, CacheBlock *blk,
-                  const AccessInfo &info) override;
+    void onAccess(std::uint32_t set, int hit_way, SetView frames,
+                  const Access &a) override;
     std::uint32_t victim(std::uint32_t set,
-                         std::span<const CacheBlock> blocks,
-                         const AccessInfo &info) override;
-    void onFill(std::uint32_t set, std::uint32_t way, CacheBlock &blk,
-                const AccessInfo &info) override;
+                         SetView frames,
+                         const Access &a) override;
+    void onFill(std::uint32_t set, std::uint32_t way, SetView frames,
+                const Access &a) override;
     std::uint32_t rank(std::uint32_t set, std::uint32_t way)
         const override;
     std::string name() const override { return "tree-plru"; }
@@ -53,18 +53,18 @@ class TreePlruPolicy : public ReplacementPolicy
 };
 
 /** Not-recently-used: one reference bit per way. */
-class NruPolicy : public ReplacementPolicy
+class NruPolicy final : public ReplacementPolicy
 {
   public:
     NruPolicy(std::uint32_t num_sets, std::uint32_t assoc);
 
-    void onAccess(std::uint32_t set, int hit_way, CacheBlock *blk,
-                  const AccessInfo &info) override;
+    void onAccess(std::uint32_t set, int hit_way, SetView frames,
+                  const Access &a) override;
     std::uint32_t victim(std::uint32_t set,
-                         std::span<const CacheBlock> blocks,
-                         const AccessInfo &info) override;
-    void onFill(std::uint32_t set, std::uint32_t way, CacheBlock &blk,
-                const AccessInfo &info) override;
+                         SetView frames,
+                         const Access &a) override;
+    void onFill(std::uint32_t set, std::uint32_t way, SetView frames,
+                const Access &a) override;
     std::uint32_t rank(std::uint32_t set, std::uint32_t way)
         const override;
     std::string name() const override { return "nru"; }

@@ -9,36 +9,97 @@
  * onAccess fires on every access (hit or miss) so recency state and
  * dead block predictors see the full reference stream; the remaining
  * hooks fire only on the fill path.
+ *
+ * Hooks receive the unified Access record plus a SetView: a zero-copy
+ * window onto the cache's structure-of-arrays hot lanes for the set
+ * being touched (tags + packed valid/dirty/predicted-dead state).
+ * Policies read frame state and flip the predicted-dead bit through
+ * the view; they never see the cache's cold lanes (owner, tick
+ * accounting).
  */
 
 #ifndef SDBP_CACHE_POLICY_HH
 #define SDBP_CACHE_POLICY_HH
 
 #include <cstdint>
-#include <span>
 #include <string>
 
-#include "cache/block.hh"
+#include "trace/access.hh"
 #include "util/types.hh"
 
 namespace sdbp
 {
 
-/** Everything a policy may want to know about one access. */
-struct AccessInfo
+/**
+ * Mutable window onto the hot lanes of one cache set.
+ *
+ * The tag lane doubles as the valid encoding: an invalid frame holds
+ * SetView::kNoBlock, so a set probe is a single contiguous scan of
+ * assoc() tags.  The state lane packs the dirty and predicted-dead
+ * bits (plus a redundant valid bit kept in sync with the tag
+ * sentinel; auditInvariants checks the pairing).
+ */
+class SetView
 {
-    PC pc = 0;
-    /** Block-aligned address >> 6. */
-    Addr blockAddr = 0;
-    ThreadId thread = 0;
-    bool isWrite = false;
-    /** True for writebacks arriving from the level above. */
-    bool isWriteback = false;
+  public:
+    /** Tag of an invalid frame. */
+    static constexpr Addr kNoBlock = ~Addr(0);
+
+    /** State-lane bits. */
+    static constexpr std::uint8_t kValid = 1u << 0;
+    static constexpr std::uint8_t kDirty = 1u << 1;
+    static constexpr std::uint8_t kDead = 1u << 2;
+
+    SetView(Addr *tags, std::uint8_t *state, std::uint32_t assoc)
+        : tags_(tags), state_(state), assoc_(assoc)
+    {
+    }
+
+    std::uint32_t assoc() const { return assoc_; }
+
+    /** Block address of frame @p way (kNoBlock when invalid). */
+    Addr blockAddr(std::uint32_t way) const { return tags_[way]; }
+
+    bool valid(std::uint32_t way) const
+    {
+        return (state_[way] & kValid) != 0;
+    }
+
+    bool dirty(std::uint32_t way) const
+    {
+        return (state_[way] & kDirty) != 0;
+    }
+
+    /** The one bit of dead-block metadata per frame (Sec. III-C). */
+    bool predictedDead(std::uint32_t way) const
+    {
+        return (state_[way] & kDead) != 0;
+    }
+
+    void
+    setPredictedDead(std::uint32_t way, bool dead)
+    {
+        if (dead)
+            state_[way] = static_cast<std::uint8_t>(state_[way] | kDead);
+        else
+            state_[way] =
+                static_cast<std::uint8_t>(state_[way] & ~kDead);
+    }
+
+  private:
+    Addr *tags_;
+    std::uint8_t *state_;
+    std::uint32_t assoc_;
 };
 
 /**
  * Abstract replacement (and bypass) policy for a set-associative
  * cache.
+ *
+ * This virtual interface is the extension point and the slow-path
+ * fallback; the common policy stacks are also instantiated as sealed
+ * compile-time compositions by sim/engine (DESIGN.md §12), which
+ * calls the same hooks without the vtable.
  */
 class ReplacementPolicy
 {
@@ -59,21 +120,21 @@ class ReplacementPolicy
      *
      * @param set the set index
      * @param hit_way way that hit, or -1 on a miss
-     * @param blk the hit block (mutable, e.g. to set the
-     *        predicted-dead bit), or nullptr on a miss
+     * @param frames hot-lane view of the set (mutable, e.g. to set
+     *        the predicted-dead bit of the hit frame)
      */
     virtual void onAccess(std::uint32_t set, int hit_way,
-                          CacheBlock *blk, const AccessInfo &info) = 0;
+                          SetView frames, const Access &a) = 0;
 
     /**
      * After a miss: should the incoming block bypass the cache?
      * Policies without bypass keep the default.
      */
     virtual bool
-    shouldBypass(std::uint32_t set, const AccessInfo &info)
+    shouldBypass(std::uint32_t set, const Access &a)
     {
         (void)set;
-        (void)info;
+        (void)a;
         return false;
     }
 
@@ -81,22 +142,21 @@ class ReplacementPolicy
      * Choose a victim in a full set.  May mutate policy state (e.g.
      * RRIP aging).
      */
-    virtual std::uint32_t victim(std::uint32_t set,
-                                 std::span<const CacheBlock> blocks,
-                                 const AccessInfo &info) = 0;
+    virtual std::uint32_t victim(std::uint32_t set, SetView frames,
+                                 const Access &a) = 0;
 
-    /** A valid block is being removed from the cache. */
+    /** A valid block is being removed from frame (set, way). */
     virtual void
-    onEvict(std::uint32_t set, std::uint32_t way, const CacheBlock &blk)
+    onEvict(std::uint32_t set, std::uint32_t way, SetView frames)
     {
         (void)set;
         (void)way;
-        (void)blk;
+        (void)frames;
     }
 
     /** A new block was just installed in (set, way). */
     virtual void onFill(std::uint32_t set, std::uint32_t way,
-                        CacheBlock &blk, const AccessInfo &info) = 0;
+                        SetView frames, const Access &a) = 0;
 
     /**
      * Eviction preference of a resident block: larger means closer

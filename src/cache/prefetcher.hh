@@ -45,24 +45,68 @@ struct PrefetcherStats
 
 /**
  * Next-N-line LLC prefetcher with dead-block-directed placement.
- * Driven by the hierarchy on every demand LLC miss.
+ * Driven by the hierarchy on every demand LLC miss.  The methods are
+ * templates over the concrete cache type so a devirtualized LLC
+ * keeps its fill path inline through the prefetcher too.
  */
 class Prefetcher
 {
   public:
-    explicit Prefetcher(const PrefetcherConfig &cfg = {});
+    explicit Prefetcher(const PrefetcherConfig &cfg = {}) : cfg_(cfg) {}
 
     /** A demand miss for @p block_addr was serviced; prefetch ahead. */
-    void onDemandMiss(Cache &llc, Addr block_addr, PC pc,
-                      ThreadId thread, std::uint64_t now);
+    template <class C>
+    void
+    onDemandMiss(C &llc, Addr block_addr, PC pc, ThreadId thread,
+                 std::uint64_t now)
+    {
+        for (unsigned i = 1; i <= cfg_.degree; ++i) {
+            ++stats_.issued;
+            tryInstall(llc, block_addr + i, pc, thread, now);
+        }
+    }
 
     const PrefetcherConfig &config() const { return cfg_; }
     const PrefetcherStats &stats() const { return stats_; }
     bool enabled() const { return cfg_.degree > 0; }
 
   private:
-    bool tryInstall(Cache &llc, Addr block_addr, PC pc,
-                    ThreadId thread, std::uint64_t now);
+    template <class C>
+    bool
+    tryInstall(C &llc, Addr block_addr, PC pc, ThreadId thread,
+               std::uint64_t now)
+    {
+        if (llc.probe(block_addr)) {
+            ++stats_.redundant;
+            return false;
+        }
+
+        if (cfg_.deadBlockDirected) {
+            // Only install when an invalid or predicted-dead frame
+            // can absorb the speculation.
+            const std::uint32_t set = llc.setIndex(block_addr);
+            SetView frames = llc.frames(set);
+            bool has_frame = false;
+            for (std::uint32_t w = 0; w < frames.assoc(); ++w) {
+                if (!frames.valid(w) || frames.predictedDead(w)) {
+                    has_frame = true;
+                    break;
+                }
+            }
+            if (!has_frame) {
+                ++stats_.noDeadFrame;
+                return false;
+            }
+        }
+
+        llc.fill(Access::atBlock(block_addr, pc, thread), now);
+        // The policy may still decline (bypass); only count real
+        // installs.
+        if (!llc.probe(block_addr))
+            return false;
+        ++stats_.installed;
+        return true;
+    }
 
     PrefetcherConfig cfg_;
     PrefetcherStats stats_;

@@ -10,12 +10,12 @@ RandomPolicy::RandomPolicy(std::uint32_t num_sets, std::uint32_t assoc,
 }
 
 std::uint32_t
-RandomPolicy::victim(std::uint32_t set, std::span<const CacheBlock> blocks,
-                     const AccessInfo &info)
+RandomPolicy::victim(std::uint32_t set, SetView frames,
+                     const Access &a)
 {
     (void)set;
-    (void)blocks;
-    (void)info;
+    (void)frames;
+    (void)a;
     return static_cast<std::uint32_t>(rng_.below(assoc_));
 }
 

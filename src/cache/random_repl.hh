@@ -13,34 +13,34 @@
 namespace sdbp
 {
 
-class RandomPolicy : public ReplacementPolicy
+class RandomPolicy final : public ReplacementPolicy
 {
   public:
     RandomPolicy(std::uint32_t num_sets, std::uint32_t assoc,
                  std::uint64_t seed = 0x7a9f);
 
     void
-    onAccess(std::uint32_t set, int hit_way, CacheBlock *blk,
-             const AccessInfo &info) override
+    onAccess(std::uint32_t set, int hit_way, SetView frames,
+             const Access &a) override
     {
         (void)set;
         (void)hit_way;
-        (void)blk;
-        (void)info;
+        (void)frames;
+        (void)a;
     }
 
     std::uint32_t victim(std::uint32_t set,
-                         std::span<const CacheBlock> blocks,
-                         const AccessInfo &info) override;
+                         SetView frames,
+                         const Access &a) override;
 
     void
-    onFill(std::uint32_t set, std::uint32_t way, CacheBlock &blk,
-           const AccessInfo &info) override
+    onFill(std::uint32_t set, std::uint32_t way, SetView frames,
+           const Access &a) override
     {
         (void)set;
         (void)way;
-        (void)blk;
-        (void)info;
+        (void)frames;
+        (void)a;
     }
 
     std::string name() const override { return "random"; }

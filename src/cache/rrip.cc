@@ -42,14 +42,14 @@ RripPolicy::followerUsesBrrip(ThreadId t) const
 }
 
 void
-RripPolicy::onAccess(std::uint32_t set, int hit_way, CacheBlock *blk,
-                     const AccessInfo &info)
+RripPolicy::onAccess(std::uint32_t set, int hit_way, SetView frames,
+                     const Access &a)
 {
-    (void)blk;
+    (void)frames;
     if (hit_way >= 0) {
         // Hit promotion (HP variant): predict near re-reference.
         rrpv_[set * assoc_ + static_cast<std::uint32_t>(hit_way)] = 0;
-    } else if (cfg_.mode == RripMode::DRrip && !info.isWriteback) {
+    } else if (cfg_.mode == RripMode::DRrip && !a.isWriteback) {
         // As with TADIP, any thread's miss in a leader set votes on
         // the PSEL of the thread that owns the set.
         const auto threads = static_cast<ThreadId>(psel_.size());
@@ -69,11 +69,11 @@ RripPolicy::onAccess(std::uint32_t set, int hit_way, CacheBlock *blk,
 }
 
 std::uint32_t
-RripPolicy::victim(std::uint32_t set, std::span<const CacheBlock> blocks,
-                   const AccessInfo &info)
+RripPolicy::victim(std::uint32_t set, SetView frames,
+                   const Access &a)
 {
-    (void)blocks;
-    (void)info;
+    (void)frames;
+    (void)a;
     auto *base = &rrpv_[set * assoc_];
     for (;;) {
         for (std::uint32_t w = 0; w < assoc_; ++w)
@@ -85,12 +85,12 @@ RripPolicy::victim(std::uint32_t set, std::span<const CacheBlock> blocks,
 }
 
 void
-RripPolicy::onFill(std::uint32_t set, std::uint32_t way, CacheBlock &blk,
-                   const AccessInfo &info)
+RripPolicy::onFill(std::uint32_t set, std::uint32_t way, SetView frames,
+                   const Access &a)
 {
-    (void)blk;
+    (void)frames;
     const ThreadId t =
-        std::min<ThreadId>(info.thread,
+        std::min<ThreadId>(a.thread,
                            static_cast<ThreadId>(psel_.size() - 1));
     bool bimodal;
     switch (cfg_.mode) {

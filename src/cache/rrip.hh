@@ -38,19 +38,19 @@ struct RripConfig
     std::uint64_t seed = 0x5217;
 };
 
-class RripPolicy : public ReplacementPolicy
+class RripPolicy final : public ReplacementPolicy
 {
   public:
     RripPolicy(std::uint32_t num_sets, std::uint32_t assoc,
                const RripConfig &cfg = {});
 
-    void onAccess(std::uint32_t set, int hit_way, CacheBlock *blk,
-                  const AccessInfo &info) override;
+    void onAccess(std::uint32_t set, int hit_way, SetView frames,
+                  const Access &a) override;
     std::uint32_t victim(std::uint32_t set,
-                         std::span<const CacheBlock> blocks,
-                         const AccessInfo &info) override;
-    void onFill(std::uint32_t set, std::uint32_t way, CacheBlock &blk,
-                const AccessInfo &info) override;
+                         SetView frames,
+                         const Access &a) override;
+    void onFill(std::uint32_t set, std::uint32_t way, SetView frames,
+                const Access &a) override;
     std::uint32_t rank(std::uint32_t set, std::uint32_t way)
         const override;
     std::string name() const override;

@@ -26,12 +26,14 @@ SamplingDeadBlockPredictor::isSampledSet(std::uint32_t set) const
 }
 
 bool
-SamplingDeadBlockPredictor::onAccess(std::uint32_t set, Addr block_addr,
-                                     PC pc, ThreadId thread)
+SamplingDeadBlockPredictor::onAccess(std::uint32_t set,
+                                     const Access &a)
 {
-    (void)thread; // the predictor is thread-oblivious (Sec. III-F)
+    // a.thread is ignored: the predictor is thread-oblivious
+    // (Sec. III-F).
     ++lookups_;
-    const std::uint64_t sig = signature(pc);
+    const Addr block_addr = a.blockAddr();
+    const std::uint64_t sig = signature(a.pc);
 
     if (cfg_.useSampler) {
         if (isSampledSet(set)) {
@@ -60,20 +62,20 @@ SamplingDeadBlockPredictor::onAccess(std::uint32_t set, Addr block_addr,
 }
 
 void
-SamplingDeadBlockPredictor::onFill(std::uint32_t set, Addr block_addr,
-                                   PC pc)
+SamplingDeadBlockPredictor::onFill(std::uint32_t set, const Access &a)
 {
     (void)set;
     if (!cfg_.useSampler)
-        lastSig_[block_addr] = static_cast<std::uint16_t>(signature(pc));
+        lastSig_[a.blockAddr()] =
+            static_cast<std::uint16_t>(signature(a.pc));
 }
 
 void
-SamplingDeadBlockPredictor::onEvict(std::uint32_t set, Addr block_addr)
+SamplingDeadBlockPredictor::onEvict(std::uint32_t set, const Access &a)
 {
     (void)set;
     if (!cfg_.useSampler) {
-        auto it = lastSig_.find(block_addr);
+        auto it = lastSig_.find(a.blockAddr());
         if (it != lastSig_.end()) {
             table_.increment(it->second);
             lastSig_.erase(it);

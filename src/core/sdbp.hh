@@ -88,16 +88,15 @@ struct SdbpConfig
     }
 };
 
-class SamplingDeadBlockPredictor : public DeadBlockPredictor
+class SamplingDeadBlockPredictor final : public DeadBlockPredictor
 {
   public:
     explicit SamplingDeadBlockPredictor(
         const SdbpConfig &cfg = SdbpConfig::paperDefault());
 
-    bool onAccess(std::uint32_t set, Addr block_addr, PC pc,
-                  ThreadId thread) override;
-    void onFill(std::uint32_t set, Addr block_addr, PC pc) override;
-    void onEvict(std::uint32_t set, Addr block_addr) override;
+    bool onAccess(std::uint32_t set, const Access &a) override;
+    void onFill(std::uint32_t set, const Access &a) override;
+    void onEvict(std::uint32_t set, const Access &a) override;
 
     std::string name() const override { return "sampler"; }
     std::uint64_t storageBits() const override;

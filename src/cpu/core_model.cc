@@ -1,6 +1,5 @@
 #include "cpu/core_model.hh"
 
-#include <algorithm>
 #include <cassert>
 
 #include "obs/stat_registry.hh"
@@ -26,65 +25,6 @@ CoreModel::reset()
     maxCompletion_ = 0;
     head_ = 0;
     count_ = 0;
-}
-
-void
-CoreModel::dispatch(Cycle completion)
-{
-    if (count_ == window_.size()) {
-        // Window full: dispatch stalls until the oldest instruction
-        // retires.
-        const Cycle oldest = window_[head_];
-        if (oldest > dispatchCycle_) {
-            dispatchCycle_ = oldest;
-            slotInCycle_ = 0;
-        }
-        head_ = (head_ + 1) % window_.size();
-        --count_;
-    }
-    const std::size_t tail = (head_ + count_) % window_.size();
-    // Retirement is in order: an instruction cannot leave the window
-    // before its predecessors, so clamp to the running maximum.
-    const Cycle retire = std::max(completion, maxCompletion_);
-    window_[tail] = retire;
-    ++count_;
-    maxCompletion_ = retire;
-
-    ++instructions_;
-    if (++slotInCycle_ >= cfg_.width) {
-        slotInCycle_ = 0;
-        ++dispatchCycle_;
-    }
-}
-
-void
-CoreModel::executeNonMem(unsigned n)
-{
-    for (unsigned i = 0; i < n; ++i)
-        dispatch(dispatchCycle_ + 1);
-}
-
-void
-CoreModel::executeMem(Cycle latency, bool is_load,
-                      bool depends_on_prev_load)
-{
-    if (!is_load) {
-        // Stores retire via the write buffer.
-        dispatch(dispatchCycle_ + 1);
-        return;
-    }
-    Cycle issue = dispatchCycle_;
-    if (depends_on_prev_load)
-        issue = std::max(issue, lastLoadComplete_);
-    const Cycle completion = issue + latency;
-    lastLoadComplete_ = completion;
-    dispatch(completion);
-}
-
-Cycle
-CoreModel::cycles() const
-{
-    return std::max(dispatchCycle_, maxCompletion_);
 }
 
 void

@@ -11,11 +11,16 @@
  *  - a full window stalls dispatch until the oldest instruction
  *    completes (in-order retirement backpressure);
  *  - address-dependent loads (pointer chasing) serialize.
+ *
+ * The per-instruction methods are inline: they run once per
+ * simulated instruction, which makes them the hottest code in the
+ * simulator after the L1 lookup.
  */
 
 #ifndef SDBP_CPU_CORE_MODEL_HH
 #define SDBP_CPU_CORE_MODEL_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -43,7 +48,12 @@ class CoreModel
     explicit CoreModel(const CoreConfig &cfg = {});
 
     /** Execute @p n single-cycle non-memory instructions. */
-    void executeNonMem(unsigned n);
+    void
+    executeNonMem(unsigned n)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            dispatch(dispatchCycle_ + 1);
+    }
 
     /**
      * Execute one memory instruction.
@@ -53,14 +63,31 @@ class CoreModel
      *        not stall the core
      * @param depends_on_prev_load serialize behind the previous load
      */
-    void executeMem(Cycle latency, bool is_load,
-                    bool depends_on_prev_load);
+    void
+    executeMem(Cycle latency, bool is_load, bool depends_on_prev_load)
+    {
+        if (!is_load) {
+            // Stores retire via the write buffer.
+            dispatch(dispatchCycle_ + 1);
+            return;
+        }
+        Cycle issue = dispatchCycle_;
+        if (depends_on_prev_load)
+            issue = std::max(issue, lastLoadComplete_);
+        const Cycle completion = issue + latency;
+        lastLoadComplete_ = completion;
+        dispatch(completion);
+    }
 
     /** Instructions executed so far. */
     InstCount instructions() const { return instructions_; }
 
     /** Current cycle count, including draining in-flight work. */
-    Cycle cycles() const;
+    Cycle
+    cycles() const
+    {
+        return std::max(dispatchCycle_, maxCompletion_);
+    }
 
     /** Restart counters (window state is cleared too). */
     void reset();
@@ -74,7 +101,39 @@ class CoreModel
                        const std::string &prefix) const;
 
   private:
-    void dispatch(Cycle completion);
+    void
+    dispatch(Cycle completion)
+    {
+        const std::size_t size = window_.size();
+        if (count_ == size) {
+            // Window full: dispatch stalls until the oldest
+            // instruction retires.
+            const Cycle oldest = window_[head_];
+            if (oldest > dispatchCycle_) {
+                dispatchCycle_ = oldest;
+                slotInCycle_ = 0;
+            }
+            if (++head_ == size)
+                head_ = 0;
+            --count_;
+        }
+        std::size_t tail = head_ + count_;
+        if (tail >= size)
+            tail -= size;
+        // Retirement is in order: an instruction cannot leave the
+        // window before its predecessors, so clamp to the running
+        // maximum.
+        const Cycle retire = std::max(completion, maxCompletion_);
+        window_[tail] = retire;
+        ++count_;
+        maxCompletion_ = retire;
+
+        ++instructions_;
+        if (++slotInCycle_ >= cfg_.width) {
+            slotInCycle_ = 0;
+            ++dispatchCycle_;
+        }
+    }
 
     CoreConfig cfg_;
     InstCount instructions_ = 0;

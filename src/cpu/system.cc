@@ -1,53 +1,20 @@
 #include "cpu/system.hh"
 
-#include <cassert>
-#include <limits>
-#include <optional>
-
-#include "obs/profiler.hh"
 #include "obs/stat_registry.hh"
-#include "util/logging.hh"
-#include "util/stats.hh"
 
 namespace sdbp
 {
 
-System::System(const HierarchyConfig &hcfg, const CoreConfig &ccfg,
-               std::unique_ptr<ReplacementPolicy> llc_policy)
+SystemBase::SystemBase(const HierarchyConfig &hcfg,
+                       const CoreConfig &ccfg)
     : hcfg_(hcfg), ccfg_(ccfg),
-      hierarchy_(hcfg, std::move(llc_policy)),
-      cores_(hcfg.numCores, CoreModel(ccfg))
+      cores_(hcfg.numCores, CoreModel(ccfg)), batch_(hcfg.numCores)
 {
 }
 
 void
-System::step(std::uint32_t c, AccessGenerator &gen)
+SystemBase::checkDeadlineSlow(const char *phase)
 {
-    const TraceRecord rec = gen.next();
-    cores_[c].executeNonMem(rec.gap);
-    HierarchyResult res = hierarchy_.access(c, rec.access, tick_);
-    if (res.level == ServiceLevel::Memory &&
-        hcfg_.memServiceInterval > 0) {
-        // Shared DRAM channel: back-to-back misses queue behind the
-        // service interval.
-        const Cycle request = cores_[c].cycles();
-        const Cycle start = std::max(request, memFree_);
-        res.latency += start - request;
-        memFree_ = start + hcfg_.memServiceInterval;
-    }
-    cores_[c].executeMem(res.latency, !rec.access.isWrite,
-                         rec.access.dependsOnPrevLoad);
-    tick_ += rec.gap + 1;
-}
-
-void
-System::checkDeadline(const char *phase)
-{
-    // One branch per step in the common case; the clock is only read
-    // every 32Ki steps.
-    constexpr std::uint64_t kDeadlineStride = 1u << 15;
-    if (!hasDeadline_ || ++deadlineTick_ % kDeadlineStride != 0)
-        return;
     if (std::chrono::steady_clock::now() >= deadline_)
         throw SimulationTimeout(
             std::string("simulation deadline exceeded during ") +
@@ -55,116 +22,14 @@ System::checkDeadline(const char *phase)
 }
 
 void
-System::registerStats(obs::StatRegistry &reg) const
+SystemBase::registerStats(obs::StatRegistry &reg) const
 {
     reg.addCounter("sys.instructions", &tick_);
     for (std::uint32_t c = 0; c < hcfg_.numCores; ++c) {
         cores_[c].registerStats(reg,
                                 "core" + std::to_string(c));
     }
-    hierarchy_.registerStats(reg);
-}
-
-std::vector<ThreadRunResult>
-System::run(const std::vector<AccessGenerator *> &gens,
-            InstCount warmup, InstCount measure)
-{
-    const std::uint32_t n = hcfg_.numCores;
-    if (gens.size() != n)
-        fatal("System::run: need one generator per core");
-    assert(measure > 0);
-
-    // Interleave cores by advancing whichever has the smallest local
-    // clock, so a stalled core naturally issues fewer accesses.
-    auto next_core = [&](const std::vector<bool> &eligible) {
-        std::uint32_t best = 0;
-        Cycle best_cycles = std::numeric_limits<Cycle>::max();
-        for (std::uint32_t c = 0; c < n; ++c) {
-            if (eligible[c] && cores_[c].cycles() < best_cycles) {
-                best = c;
-                best_cycles = cores_[c].cycles();
-            }
-        }
-        return best;
-    };
-
-    // --- Warm-up phase ---
-    if (warmup > 0) {
-        std::optional<obs::Profiler::Scope> prof;
-        if (profiler_)
-            prof.emplace(profiler_->scope("warmup"));
-        const std::uint64_t warmup_start = tick_;
-        std::vector<bool> warming(n, true);
-        std::uint32_t still_warming = n;
-        while (still_warming > 0) {
-            const std::uint32_t c = next_core(warming);
-            step(c, *gens[c]);
-            checkDeadline("warmup");
-            if (cores_[c].instructions() >= warmup) {
-                warming[c] = false;
-                --still_warming;
-            }
-        }
-        hierarchy_.clearStats();
-        if (profiler_)
-            profiler_->addEvents("warmup", tick_ - warmup_start);
-    }
-
-    // --- Measurement phase ---
-    std::vector<InstCount> start_insts(n);
-    std::vector<Cycle> start_cycles(n);
-    for (std::uint32_t c = 0; c < n; ++c) {
-        start_insts[c] = cores_[c].instructions();
-        start_cycles[c] = cores_[c].cycles();
-    }
-
-    std::optional<obs::Profiler::Scope> prof;
-    if (profiler_)
-        prof.emplace(profiler_->scope("measure"));
-    const std::uint64_t measure_start = tick_;
-
-    // Heartbeats only fire in this phase: warmup stats were just
-    // cleared, so from here on every registered counter is monotone
-    // across snapshots.  The baseline sample anchors interval 0.
-    std::uint64_t next_beat =
-        std::numeric_limits<std::uint64_t>::max();
-    if (heartbeatInterval_ > 0 && heartbeat_) {
-        heartbeat_(tick_);
-        next_beat = tick_ + heartbeatInterval_;
-    }
-
-    std::vector<ThreadRunResult> results(n);
-    std::vector<bool> running(n, true);
-    std::uint32_t unfinished = n;
-    std::vector<bool> all(n, true);
-    while (unfinished > 0) {
-        // Finished cores keep running (restarted) to preserve
-        // contention, so everyone is eligible.
-        const std::uint32_t c = next_core(all);
-        step(c, *gens[c]);
-        checkDeadline("measure");
-        if (tick_ >= next_beat) {
-            heartbeat_(tick_);
-            next_beat = tick_ + heartbeatInterval_;
-        }
-        if (running[c] &&
-            cores_[c].instructions() - start_insts[c] >= measure) {
-            running[c] = false;
-            --unfinished;
-            auto &r = results[c];
-            r.instructions = cores_[c].instructions() - start_insts[c];
-            r.cycles = cores_[c].cycles() - start_cycles[c];
-            r.ipc = ratio(static_cast<double>(r.instructions),
-                          static_cast<double>(r.cycles));
-            // Restart the program (Sec. VI-A2).
-            gens[c]->reset();
-        }
-    }
-    if (heartbeatInterval_ > 0 && heartbeat_)
-        heartbeat_(tick_); // final partial interval
-    if (profiler_)
-        profiler_->addEvents("measure", tick_ - measure_start);
-    return results;
+    hierView_->registerStats(reg);
 }
 
 } // namespace sdbp

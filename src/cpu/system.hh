@@ -6,6 +6,21 @@
  * simultaneously, and a program that finishes its instruction quota
  * restarts and keeps generating contention until every program has
  * finished; per-thread statistics freeze at first completion.
+ *
+ * Split into SystemBase (the type-erased face: one virtual call per
+ * run(), not per access) and BasicSystem<LlcP>, which stacks the
+ * matching BasicHierarchy so the whole per-instruction loop —
+ * generator batch, core timing, L1/L2/LLC walk, policy and predictor
+ * hooks — compiles as one devirtualized unit.  `System` is the
+ * type-erased alias.
+ *
+ * Generators are consumed in ~1 KiB batches to amortize the virtual
+ * next() dispatch; after run() returns, a generator's position is
+ * whatever the read-ahead left it at (callers that reuse a generator
+ * must reset() it).  Batching changes no simulated outcome: records
+ * are consumed in exactly the order a record-at-a-time loop would,
+ * and pending read-ahead is discarded when a finished program
+ * restarts.
  */
 
 #ifndef SDBP_CPU_SYSTEM_HH
@@ -13,20 +28,25 @@
 
 #include <chrono>
 #include <functional>
+#include <limits>
 #include <memory>
+#include <optional>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
 #include "cache/hierarchy.hh"
 #include "cpu/core_model.hh"
+#include "obs/profiler.hh"
 #include "trace/access.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
 
 namespace sdbp
 {
 
 namespace obs
 {
-class Profiler;
 class StatRegistry;
 } // namespace obs
 
@@ -51,16 +71,18 @@ struct ThreadRunResult
     double ipc = 0;
 };
 
-class System
+/**
+ * LLC-policy-type-erased part of the system.  The engine holds a
+ * SystemBase and pays one virtual dispatch per run()/simulate()
+ * call; everything underneath is bound in the subclass.
+ */
+class SystemBase
 {
   public:
-    /**
-     * @param hcfg hierarchy geometry (hcfg.numCores cores)
-     * @param ccfg core model parameters
-     * @param llc_policy replacement policy for the shared LLC
-     */
-    System(const HierarchyConfig &hcfg, const CoreConfig &ccfg,
-           std::unique_ptr<ReplacementPolicy> llc_policy);
+    virtual ~SystemBase() = default;
+
+    SystemBase(const SystemBase &) = delete;
+    SystemBase &operator=(const SystemBase &) = delete;
 
     /**
      * Run every core for @p measure instructions after a @p warmup
@@ -68,12 +90,20 @@ class System
      *
      * @param gens one generator per core (not owned)
      */
-    std::vector<ThreadRunResult>
+    virtual std::vector<ThreadRunResult>
     run(const std::vector<AccessGenerator *> &gens, InstCount warmup,
-        InstCount measure);
+        InstCount measure) = 0;
 
-    Hierarchy &hierarchy() { return hierarchy_; }
-    const Hierarchy &hierarchy() const { return hierarchy_; }
+    /**
+     * Drive core 0 through a pre-materialized trace from the current
+     * state — the batched entry point for callers that already hold
+     * records (replay tools, micro-benchmarks).  No warmup, no stats
+     * clear, no generator involved.
+     */
+    virtual ThreadRunResult simulate(std::span<const Access> trace) = 0;
+
+    HierarchyBase &hierarchy() { return *hierView_; }
+    const HierarchyBase &hierarchy() const { return *hierView_; }
 
     /** Global tick (total instructions executed by all cores). */
     std::uint64_t tick() const { return tick_; }
@@ -118,17 +148,53 @@ class System
         hasDeadline_ = true;
     }
 
-  private:
+  protected:
+    SystemBase(const HierarchyConfig &hcfg, const CoreConfig &ccfg);
+
     /** Throw SimulationTimeout if the deadline passed (amortized:
      *  only looks at the clock every kDeadlineStride steps). */
-    void checkDeadline(const char *phase);
-    /** Advance core @p c by one trace record. */
-    void step(std::uint32_t c, AccessGenerator &gen);
+    void
+    checkDeadline(const char *phase)
+    {
+        // One branch per step in the common case; the clock is only
+        // read every 32Ki steps.
+        constexpr std::uint64_t kDeadlineStride = 1u << 15;
+        if (!hasDeadline_ || ++deadlineTick_ % kDeadlineStride != 0)
+            return;
+        checkDeadlineSlow(phase);
+    }
+
+    /** Per-core read-ahead over the generator (see file comment). */
+    struct Batch
+    {
+        static constexpr std::size_t kSize = 1024;
+        std::vector<Access> records;
+        std::size_t pos = 0;
+        std::size_t fill = 0;
+    };
+
+    const Access &
+    fetch(std::uint32_t c, AccessGenerator &gen)
+    {
+        Batch &b = batch_[c];
+        if (b.pos == b.fill) {
+            if (b.records.size() != Batch::kSize)
+                b.records.resize(Batch::kSize);
+            gen.nextBatch(std::span<Access>(b.records));
+            // Stamp the issuing core once per batch; the hierarchy
+            // and every policy hook read the core from the record.
+            for (Access &r : b.records)
+                r.thread = static_cast<ThreadId>(c);
+            b.pos = 0;
+            b.fill = Batch::kSize;
+        }
+        return b.records[b.pos++];
+    }
 
     HierarchyConfig hcfg_;
     CoreConfig ccfg_;
-    Hierarchy hierarchy_;
     std::vector<CoreModel> cores_;
+    std::vector<Batch> batch_;
     std::uint64_t tick_ = 0;
     /** Cycle at which the shared DRAM channel is next free. */
     Cycle memFree_ = 0;
@@ -140,7 +206,202 @@ class System
     bool hasDeadline_ = false;
     std::chrono::steady_clock::time_point deadline_;
     std::uint64_t deadlineTick_ = 0;
+
+    /** Type-erased view of the subclass-owned hierarchy. */
+    HierarchyBase *hierView_ = nullptr;
+
+  private:
+    void checkDeadlineSlow(const char *phase);
 };
+
+/**
+ * The system with the LLC policy type bound at compile time.
+ */
+template <class LlcP>
+class BasicSystem final : public SystemBase
+{
+  public:
+    /**
+     * @param hcfg hierarchy geometry (hcfg.numCores cores)
+     * @param ccfg core model parameters
+     * @param llc_policy replacement policy for the shared LLC
+     */
+    BasicSystem(const HierarchyConfig &hcfg, const CoreConfig &ccfg,
+                std::unique_ptr<LlcP> llc_policy)
+        : SystemBase(hcfg, ccfg),
+          hierarchy_(hcfg, std::move(llc_policy))
+    {
+        hierView_ = &hierarchy_;
+    }
+
+    /** Typed accessor (shadows the HierarchyBase view). */
+    BasicHierarchy<LlcP> &hierarchy() { return hierarchy_; }
+    const BasicHierarchy<LlcP> &hierarchy() const
+    {
+        return hierarchy_;
+    }
+
+    std::vector<ThreadRunResult>
+    run(const std::vector<AccessGenerator *> &gens, InstCount warmup,
+        InstCount measure) override
+    {
+        const std::uint32_t n = hcfg_.numCores;
+        if (gens.size() != n)
+            fatal("System::run: need one generator per core");
+        assert(measure > 0);
+
+        // Fresh read-ahead: records buffered for a previous run()'s
+        // generators must not leak into this one.
+        batch_.assign(n, Batch{});
+
+        // Interleave cores by advancing whichever has the smallest
+        // local clock, so a stalled core naturally issues fewer
+        // accesses.  Single-core runs — the common case — skip the
+        // scan entirely.
+        auto next_core = [&](const std::vector<bool> &eligible) {
+            if (n == 1)
+                return 0u;
+            std::uint32_t best = 0;
+            Cycle best_cycles = std::numeric_limits<Cycle>::max();
+            for (std::uint32_t c = 0; c < n; ++c) {
+                if (eligible[c] && cores_[c].cycles() < best_cycles) {
+                    best = c;
+                    best_cycles = cores_[c].cycles();
+                }
+            }
+            return best;
+        };
+
+        // --- Warm-up phase ---
+        if (warmup > 0) {
+            std::optional<obs::Profiler::Scope> prof;
+            if (profiler_)
+                prof.emplace(profiler_->scope("warmup"));
+            const std::uint64_t warmup_start = tick_;
+            std::vector<bool> warming(n, true);
+            std::uint32_t still_warming = n;
+            while (still_warming > 0) {
+                const std::uint32_t c = next_core(warming);
+                step(c, fetch(c, *gens[c]));
+                checkDeadline("warmup");
+                if (cores_[c].instructions() >= warmup) {
+                    warming[c] = false;
+                    --still_warming;
+                }
+            }
+            hierarchy_.clearStats();
+            if (profiler_)
+                profiler_->addEvents("warmup", tick_ - warmup_start);
+        }
+
+        // --- Measurement phase ---
+        std::vector<InstCount> start_insts(n);
+        std::vector<Cycle> start_cycles(n);
+        for (std::uint32_t c = 0; c < n; ++c) {
+            start_insts[c] = cores_[c].instructions();
+            start_cycles[c] = cores_[c].cycles();
+        }
+
+        std::optional<obs::Profiler::Scope> prof;
+        if (profiler_)
+            prof.emplace(profiler_->scope("measure"));
+        const std::uint64_t measure_start = tick_;
+
+        // Heartbeats only fire in this phase: warmup stats were just
+        // cleared, so from here on every registered counter is
+        // monotone across snapshots.  The baseline sample anchors
+        // interval 0.
+        std::uint64_t next_beat =
+            std::numeric_limits<std::uint64_t>::max();
+        if (heartbeatInterval_ > 0 && heartbeat_) {
+            heartbeat_(tick_);
+            next_beat = tick_ + heartbeatInterval_;
+        }
+
+        std::vector<ThreadRunResult> results(n);
+        std::vector<bool> running(n, true);
+        std::uint32_t unfinished = n;
+        std::vector<bool> all(n, true);
+        while (unfinished > 0) {
+            // Finished cores keep running (restarted) to preserve
+            // contention, so everyone is eligible.
+            const std::uint32_t c = next_core(all);
+            step(c, fetch(c, *gens[c]));
+            checkDeadline("measure");
+            if (tick_ >= next_beat) {
+                heartbeat_(tick_);
+                next_beat = tick_ + heartbeatInterval_;
+            }
+            if (running[c] &&
+                cores_[c].instructions() - start_insts[c] >= measure) {
+                running[c] = false;
+                --unfinished;
+                auto &r = results[c];
+                r.instructions =
+                    cores_[c].instructions() - start_insts[c];
+                r.cycles = cores_[c].cycles() - start_cycles[c];
+                r.ipc = ratio(static_cast<double>(r.instructions),
+                              static_cast<double>(r.cycles));
+                // Restart the program (Sec. VI-A2); drop the
+                // read-ahead so the restarted stream begins at its
+                // beginning, exactly as a record-at-a-time loop
+                // would see it.
+                gens[c]->reset();
+                batch_[c].pos = batch_[c].fill = 0;
+            }
+        }
+        if (heartbeatInterval_ > 0 && heartbeat_)
+            heartbeat_(tick_); // final partial interval
+        if (profiler_)
+            profiler_->addEvents("measure", tick_ - measure_start);
+        return results;
+    }
+
+    ThreadRunResult
+    simulate(std::span<const Access> trace) override
+    {
+        const InstCount start_insts = cores_[0].instructions();
+        const Cycle start_cycles = cores_[0].cycles();
+        for (const Access &rec : trace) {
+            Access stamped = rec;
+            stamped.thread = 0;
+            step(0, stamped);
+            checkDeadline("simulate");
+        }
+        ThreadRunResult r;
+        r.instructions = cores_[0].instructions() - start_insts;
+        r.cycles = cores_[0].cycles() - start_cycles;
+        r.ipc = ratio(static_cast<double>(r.instructions),
+                      static_cast<double>(r.cycles));
+        return r;
+    }
+
+  private:
+    /** Advance core @p c by one trace record (rec.thread == c). */
+    void
+    step(std::uint32_t c, const Access &rec)
+    {
+        cores_[c].executeNonMem(rec.gap);
+        HierarchyResult res = hierarchy_.access(rec, tick_);
+        if (res.level == ServiceLevel::Memory &&
+            hcfg_.memServiceInterval > 0) {
+            // Shared DRAM channel: back-to-back misses queue behind
+            // the service interval.
+            const Cycle request = cores_[c].cycles();
+            const Cycle start = std::max(request, memFree_);
+            res.latency += start - request;
+            memFree_ = start + hcfg_.memServiceInterval;
+        }
+        cores_[c].executeMem(res.latency, !rec.isWrite,
+                             rec.dependsOnPrevLoad);
+        tick_ += rec.gap + 1;
+    }
+
+    BasicHierarchy<LlcP> hierarchy_;
+};
+
+/** The type-erased system: virtual LLC policy dispatch. */
+using System = BasicSystem<ReplacementPolicy>;
 
 } // namespace sdbp
 

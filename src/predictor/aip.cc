@@ -36,18 +36,16 @@ AipPredictor::entryIndexOf(PC pc, Addr block_addr) const
 }
 
 bool
-AipPredictor::onAccess(std::uint32_t set, Addr block_addr, PC pc,
-                       ThreadId thread)
+AipPredictor::onAccess(std::uint32_t set, const Access &a)
 {
-    (void)thread;
     assert(set < cfg_.llcSets);
     const std::uint32_t now = ++setTicks_[set];
 
-    auto it = meta_.find(block_addr);
+    auto it = meta_.find(a.blockAddr());
     if (it == meta_.end()) {
         // Dead-on-arrival: confident single-touch generations (a
         // learned max interval of zero means "never re-touched").
-        const TableEntry &e = table_[entryIndexOf(pc, block_addr)];
+        const TableEntry &e = table_[entryIndexOf(a.pc, a.blockAddr())];
         return e.confident && e.maxInterval == 0;
     }
 
@@ -76,23 +74,23 @@ AipPredictor::isDeadNow(std::uint32_t set, Addr block_addr) const
 }
 
 void
-AipPredictor::onFill(std::uint32_t set, Addr block_addr, PC pc)
+AipPredictor::onFill(std::uint32_t set, const Access &a)
 {
     BlockMeta m;
-    m.entryIndex = entryIndexOf(pc, block_addr);
+    m.entryIndex = entryIndexOf(a.pc, a.blockAddr());
     m.lastTouch = setTicks_[set];
     m.maxInterval = 0;
     const TableEntry &e = table_[m.entryIndex];
     m.threshold = e.maxInterval;
     m.confident = e.confident;
-    meta_[block_addr] = m;
+    meta_[a.blockAddr()] = m;
 }
 
 void
-AipPredictor::onEvict(std::uint32_t set, Addr block_addr)
+AipPredictor::onEvict(std::uint32_t set, const Access &a)
 {
     (void)set;
-    auto it = meta_.find(block_addr);
+    auto it = meta_.find(a.blockAddr());
     if (it == meta_.end())
         return;
     const BlockMeta &m = it->second;

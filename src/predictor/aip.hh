@@ -54,17 +54,20 @@ struct AipConfig
     }
 };
 
-class AipPredictor : public DeadBlockPredictor
+class AipPredictor final : public DeadBlockPredictor,
+                           public LivenessProbe
 {
   public:
     explicit AipPredictor(const AipConfig &cfg = {});
 
-    bool onAccess(std::uint32_t set, Addr block_addr, PC pc,
-                  ThreadId thread) override;
-    void onFill(std::uint32_t set, Addr block_addr, PC pc) override;
-    void onEvict(std::uint32_t set, Addr block_addr) override;
+    bool onAccess(std::uint32_t set, const Access &a) override;
+    void onFill(std::uint32_t set, const Access &a) override;
+    void onEvict(std::uint32_t set, const Access &a) override;
     bool isDeadNow(std::uint32_t set, Addr block_addr) const override;
-    bool hasLiveness() const override { return true; }
+    const LivenessProbe *livenessProbe() const override
+    {
+        return this;
+    }
 
     std::string name() const override { return "aip"; }
     std::uint64_t storageBits() const override;

@@ -16,20 +16,18 @@ BurstTracePredictor::BurstTracePredictor(const BurstTraceConfig &cfg)
 }
 
 bool
-BurstTracePredictor::onAccess(std::uint32_t set, Addr block_addr,
-                              PC pc, ThreadId thread)
+BurstTracePredictor::onAccess(std::uint32_t set, const Access &a)
 {
-    (void)thread;
     assert(set < cfg_.llcSets);
-    const std::uint64_t pc_sig = pcSignature(pc);
+    const std::uint64_t pc_sig = pcSignature(a.pc);
 
-    auto it = sig_.find(block_addr);
+    auto it = sig_.find(a.blockAddr());
     if (it == sig_.end()) {
-        lastBlock_[set] = block_addr;
+        lastBlock_[set] = a.blockAddr();
         return table_[pc_sig] >= cfg_.threshold;
     }
 
-    if (lastBlock_[set] == block_addr) {
+    if (lastBlock_[set] == a.blockAddr()) {
         // Same burst: fold the access without touching the tables.
         ++filtered_;
         return table_[it->second] >= cfg_.threshold;
@@ -37,7 +35,7 @@ BurstTracePredictor::onAccess(std::uint32_t set, Addr block_addr,
 
     // Burst boundary: the previous burst's signature was not final.
     ++bursts_;
-    lastBlock_[set] = block_addr;
+    lastBlock_[set] = a.blockAddr();
     auto &c = table_[it->second];
     if (c > 0)
         --c;
@@ -48,23 +46,23 @@ BurstTracePredictor::onAccess(std::uint32_t set, Addr block_addr,
 }
 
 void
-BurstTracePredictor::onFill(std::uint32_t set, Addr block_addr, PC pc)
+BurstTracePredictor::onFill(std::uint32_t set, const Access &a)
 {
     (void)set;
-    sig_[block_addr] = static_cast<std::uint16_t>(pcSignature(pc));
+    sig_[a.blockAddr()] = static_cast<std::uint16_t>(pcSignature(a.pc));
 }
 
 void
-BurstTracePredictor::onEvict(std::uint32_t set, Addr block_addr)
+BurstTracePredictor::onEvict(std::uint32_t set, const Access &a)
 {
-    auto it = sig_.find(block_addr);
+    auto it = sig_.find(a.blockAddr());
     if (it == sig_.end())
         return;
     auto &c = table_[it->second];
     if (c < counterMax_)
         ++c;
     sig_.erase(it);
-    if (set < cfg_.llcSets && lastBlock_[set] == block_addr)
+    if (set < cfg_.llcSets && lastBlock_[set] == a.blockAddr())
         lastBlock_[set] = ~Addr(0);
 }
 

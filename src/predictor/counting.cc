@@ -28,16 +28,14 @@ CountingPredictor::entryIndexOf(PC pc, Addr block_addr) const
 }
 
 bool
-CountingPredictor::onAccess(std::uint32_t set, Addr block_addr, PC pc,
-                            ThreadId thread)
+CountingPredictor::onAccess(std::uint32_t set, const Access &a)
 {
     (void)set;
-    (void)thread;
-    auto it = meta_.find(block_addr);
+    auto it = meta_.find(a.blockAddr());
     if (it == meta_.end()) {
         // Dead-on-arrival query: dead if this <PC, block> pair's
         // generations reliably consist of a single access.
-        const TableEntry &e = table_[entryIndexOf(pc, block_addr)];
+        const TableEntry &e = table_[entryIndexOf(a.pc, a.blockAddr())];
         return e.confident && e.count <= 1;
     }
 
@@ -48,24 +46,24 @@ CountingPredictor::onAccess(std::uint32_t set, Addr block_addr, PC pc,
 }
 
 void
-CountingPredictor::onFill(std::uint32_t set, Addr block_addr, PC pc)
+CountingPredictor::onFill(std::uint32_t set, const Access &a)
 {
     (void)set;
-    const std::uint32_t idx = entryIndexOf(pc, block_addr);
+    const std::uint32_t idx = entryIndexOf(a.pc, a.blockAddr());
     const TableEntry &e = table_[idx];
     BlockMeta m;
     m.entryIndex = idx;
     m.count = 1; // the fill access itself
     m.threshold = e.count;
     m.confident = e.confident;
-    meta_[block_addr] = m;
+    meta_[a.blockAddr()] = m;
 }
 
 void
-CountingPredictor::onEvict(std::uint32_t set, Addr block_addr)
+CountingPredictor::onEvict(std::uint32_t set, const Access &a)
 {
     (void)set;
-    auto it = meta_.find(block_addr);
+    auto it = meta_.find(a.blockAddr());
     if (it == meta_.end())
         return;
     const BlockMeta &m = it->second;

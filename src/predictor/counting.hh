@@ -53,15 +53,14 @@ struct CountingConfig
     }
 };
 
-class CountingPredictor : public DeadBlockPredictor
+class CountingPredictor final : public DeadBlockPredictor
 {
   public:
     explicit CountingPredictor(const CountingConfig &cfg = {});
 
-    bool onAccess(std::uint32_t set, Addr block_addr, PC pc,
-                  ThreadId thread) override;
-    void onFill(std::uint32_t set, Addr block_addr, PC pc) override;
-    void onEvict(std::uint32_t set, Addr block_addr) override;
+    bool onAccess(std::uint32_t set, const Access &a) override;
+    void onFill(std::uint32_t set, const Access &a) override;
+    void onEvict(std::uint32_t set, const Access &a) override;
 
     std::string name() const override { return "counting"; }
     std::uint64_t storageBits() const override;

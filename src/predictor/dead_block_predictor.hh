@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "trace/access.hh"
 #include "util/types.hh"
 
 namespace sdbp
@@ -26,6 +27,22 @@ class FaultInjector;
 } // namespace fault
 
 /**
+ * Capability interface of predictors that can answer "is this
+ * resident block dead *right now*?".  Interval- and time-based
+ * predictors (AIP, IATAC) express deadness as "too long since the
+ * last touch", which only becomes true between accesses; the
+ * replacement policy consults the probe during victim selection.
+ */
+class LivenessProbe
+{
+  public:
+    virtual ~LivenessProbe() = default;
+
+    virtual bool isDeadNow(std::uint32_t set,
+                           Addr block_addr) const = 0;
+};
+
+/**
  * A dead block predictor, as driven by the dead-block replacement
  * and bypass policy (Sec. V).
  *
@@ -39,52 +56,47 @@ class DeadBlockPredictor
     virtual ~DeadBlockPredictor() = default;
 
     /**
-     * A demand access (hit or miss) to LLC set @p set.
+     * A demand access (hit or miss) to LLC set @p set.  The
+     * predictor reads the block address, PC and thread from @p a.
      *
      * @return true if the block is predicted dead *after* this
      *         access; on a miss this doubles as the dead-on-arrival
      *         (bypass) prediction.
      */
-    virtual bool onAccess(std::uint32_t set, Addr block_addr, PC pc,
-                          ThreadId thread) = 0;
+    virtual bool onAccess(std::uint32_t set, const Access &a) = 0;
 
     /** The LLC installed the block (not called when bypassed). */
     virtual void
-    onFill(std::uint32_t set, Addr block_addr, PC pc)
+    onFill(std::uint32_t set, const Access &a)
     {
         (void)set;
-        (void)block_addr;
-        (void)pc;
+        (void)a;
     }
 
-    /** The LLC evicted the (previously resident) block. */
+    /**
+     * The LLC evicted the (previously resident) block.  The wrapper
+     * synthesizes an Access naming the victim's block address; pc
+     * and thread are not meaningful here.
+     */
     virtual void
-    onEvict(std::uint32_t set, Addr block_addr)
+    onEvict(std::uint32_t set, const Access &a)
     {
         (void)set;
-        (void)block_addr;
+        (void)a;
     }
 
     /**
-     * Is the (resident) block dead *right now*?  Interval- and
-     * time-based predictors (AIP, IATAC) express deadness as "too
-     * long since the last touch", which only becomes true between
-     * accesses; the replacement policy consults this during victim
-     * selection.  PC-trace predictors leave the default.
+     * The predictor's liveness capability, or nullptr when deadness
+     * is only known at access time (PC-trace predictors).  Folding
+     * the old isDeadNow/hasLiveness pair into one accessor lets the
+     * replacement policy hoist the capability check out of the
+     * per-way victim loop and keeps the probe itself a single
+     * virtual call.
      */
-    virtual bool
-    isDeadNow(std::uint32_t set, Addr block_addr) const
+    virtual const LivenessProbe *livenessProbe() const
     {
-        (void)set;
-        (void)block_addr;
-        return false;
+        return nullptr;
     }
-
-    /**
-     * True when the predictor implements isDeadNow(); lets the
-     * replacement policy skip per-way virtual calls otherwise.
-     */
-    virtual bool hasLiveness() const { return false; }
 
     virtual std::string name() const = 0;
 

@@ -18,13 +18,11 @@ RefTracePredictor::RefTracePredictor(const RefTraceConfig &cfg)
 }
 
 bool
-RefTracePredictor::onAccess(std::uint32_t set, Addr block_addr, PC pc,
-                            ThreadId thread)
+RefTracePredictor::onAccess(std::uint32_t set, const Access &a)
 {
     (void)set;
-    (void)thread;
-    const std::uint64_t pc_sig = pcSignature(pc);
-    auto it = sig_.find(block_addr);
+    const std::uint64_t pc_sig = pcSignature(a.pc);
+    auto it = sig_.find(a.blockAddr());
     if (it == sig_.end()) {
         // Dead-on-arrival query: the trace so far is just this PC.
         return table_[pc_sig] >= cfg_.threshold;
@@ -42,17 +40,17 @@ RefTracePredictor::onAccess(std::uint32_t set, Addr block_addr, PC pc,
 }
 
 void
-RefTracePredictor::onFill(std::uint32_t set, Addr block_addr, PC pc)
+RefTracePredictor::onFill(std::uint32_t set, const Access &a)
 {
     (void)set;
-    sig_[block_addr] = static_cast<std::uint16_t>(pcSignature(pc));
+    sig_[a.blockAddr()] = static_cast<std::uint16_t>(pcSignature(a.pc));
 }
 
 void
-RefTracePredictor::onEvict(std::uint32_t set, Addr block_addr)
+RefTracePredictor::onEvict(std::uint32_t set, const Access &a)
 {
     (void)set;
-    auto it = sig_.find(block_addr);
+    auto it = sig_.find(a.blockAddr());
     if (it == sig_.end())
         return;
     // The final signature ended a generation: train toward "dead".

@@ -50,15 +50,14 @@ struct RefTraceConfig
     }
 };
 
-class RefTracePredictor : public DeadBlockPredictor
+class RefTracePredictor final : public DeadBlockPredictor
 {
   public:
     explicit RefTracePredictor(const RefTraceConfig &cfg = {});
 
-    bool onAccess(std::uint32_t set, Addr block_addr, PC pc,
-                  ThreadId thread) override;
-    void onFill(std::uint32_t set, Addr block_addr, PC pc) override;
-    void onEvict(std::uint32_t set, Addr block_addr) override;
+    bool onAccess(std::uint32_t set, const Access &a) override;
+    void onFill(std::uint32_t set, const Access &a) override;
+    void onEvict(std::uint32_t set, const Access &a) override;
 
     std::string name() const override { return "reftrace"; }
     std::uint64_t storageBits() const override;

@@ -94,19 +94,17 @@ SamplingCountingPredictor::samplerAccess(std::uint32_t sampler_set,
 }
 
 bool
-SamplingCountingPredictor::onAccess(std::uint32_t set, Addr block_addr,
-                                    PC pc, ThreadId thread)
+SamplingCountingPredictor::onAccess(std::uint32_t set, const Access &a)
 {
-    (void)thread;
-    const auto sig = static_cast<std::uint16_t>(signature(pc));
+    const auto sig = static_cast<std::uint16_t>(signature(a.pc));
 
     if (isSampledSet(set)) {
         const auto partial_tag = static_cast<std::uint16_t>(
-            mix64(block_addr) & mask(cfg_.tagBits));
+            mix64(a.blockAddr()) & mask(cfg_.tagBits));
         samplerAccess(set / setStride_, partial_tag, sig);
     }
 
-    auto it = meta_.find(block_addr);
+    auto it = meta_.find(a.blockAddr());
     if (it == meta_.end()) {
         // Dead-on-arrival query: single-access generations bypass.
         const TableEntry &e = table_[sig];
@@ -120,22 +118,21 @@ SamplingCountingPredictor::onAccess(std::uint32_t set, Addr block_addr,
 }
 
 void
-SamplingCountingPredictor::onFill(std::uint32_t set, Addr block_addr,
-                                  PC pc)
+SamplingCountingPredictor::onFill(std::uint32_t set, const Access &a)
 {
     (void)set;
     BlockMeta m;
-    m.fillSig = static_cast<std::uint16_t>(signature(pc));
+    m.fillSig = static_cast<std::uint16_t>(signature(a.pc));
     m.count = 1;
-    meta_[block_addr] = m;
+    meta_[a.blockAddr()] = m;
 }
 
 void
-SamplingCountingPredictor::onEvict(std::uint32_t set, Addr block_addr)
+SamplingCountingPredictor::onEvict(std::uint32_t set, const Access &a)
 {
     (void)set;
     // The decoupling: cache evictions do NOT train the table.
-    meta_.erase(block_addr);
+    meta_.erase(a.blockAddr());
 }
 
 std::uint64_t

@@ -67,16 +67,15 @@ struct SamplingCountingConfig
     }
 };
 
-class SamplingCountingPredictor : public DeadBlockPredictor
+class SamplingCountingPredictor final : public DeadBlockPredictor
 {
   public:
     explicit SamplingCountingPredictor(
         const SamplingCountingConfig &cfg = {});
 
-    bool onAccess(std::uint32_t set, Addr block_addr, PC pc,
-                  ThreadId thread) override;
-    void onFill(std::uint32_t set, Addr block_addr, PC pc) override;
-    void onEvict(std::uint32_t set, Addr block_addr) override;
+    bool onAccess(std::uint32_t set, const Access &a) override;
+    void onFill(std::uint32_t set, const Access &a) override;
+    void onEvict(std::uint32_t set, const Access &a) override;
 
     std::string name() const override { return "sampling-counting"; }
     std::uint64_t storageBits() const override;

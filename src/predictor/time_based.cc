@@ -18,17 +18,15 @@ TimeBasedPredictor::TimeBasedPredictor(const TimeBasedConfig &cfg)
 }
 
 bool
-TimeBasedPredictor::onAccess(std::uint32_t set, Addr block_addr, PC pc,
-                             ThreadId thread)
+TimeBasedPredictor::onAccess(std::uint32_t set, const Access &a)
 {
-    (void)thread;
     assert(set < cfg_.llcSets);
     const std::uint32_t now = ++setTicks_[set];
-    auto it = meta_.find(block_addr);
+    auto it = meta_.find(a.blockAddr());
     if (it == meta_.end()) {
         // Dead-on-arrival: a learned live time of zero with history
         // means "never re-touched".  Use the table directly.
-        return liveTime_[tableIndexOf(pc)] == 1;
+        return liveTime_[tableIndexOf(a.pc)] == 1;
     }
     it->second.lastTouch = now;
     return false;
@@ -49,20 +47,20 @@ TimeBasedPredictor::isDeadNow(std::uint32_t set, Addr block_addr) const
 }
 
 void
-TimeBasedPredictor::onFill(std::uint32_t set, Addr block_addr, PC pc)
+TimeBasedPredictor::onFill(std::uint32_t set, const Access &a)
 {
     BlockMeta m;
-    m.tableIndex = tableIndexOf(pc);
+    m.tableIndex = tableIndexOf(a.pc);
     m.fillTick = setTicks_[set];
     m.lastTouch = m.fillTick;
-    meta_[block_addr] = m;
+    meta_[a.blockAddr()] = m;
 }
 
 void
-TimeBasedPredictor::onEvict(std::uint32_t set, Addr block_addr)
+TimeBasedPredictor::onEvict(std::uint32_t set, const Access &a)
 {
     (void)set;
-    auto it = meta_.find(block_addr);
+    auto it = meta_.find(a.blockAddr());
     if (it == meta_.end())
         return;
     const BlockMeta &m = it->second;

@@ -51,17 +51,20 @@ struct TimeBasedConfig
     }
 };
 
-class TimeBasedPredictor : public DeadBlockPredictor
+class TimeBasedPredictor final : public DeadBlockPredictor,
+                                 public LivenessProbe
 {
   public:
     explicit TimeBasedPredictor(const TimeBasedConfig &cfg = {});
 
-    bool onAccess(std::uint32_t set, Addr block_addr, PC pc,
-                  ThreadId thread) override;
-    void onFill(std::uint32_t set, Addr block_addr, PC pc) override;
-    void onEvict(std::uint32_t set, Addr block_addr) override;
+    bool onAccess(std::uint32_t set, const Access &a) override;
+    void onFill(std::uint32_t set, const Access &a) override;
+    void onEvict(std::uint32_t set, const Access &a) override;
     bool isDeadNow(std::uint32_t set, Addr block_addr) const override;
-    bool hasLiveness() const override { return true; }
+    const LivenessProbe *livenessProbe() const override
+    {
+        return this;
+    }
 
     std::string name() const override { return "time-based"; }
     std::uint64_t storageBits() const override;

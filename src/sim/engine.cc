@@ -1,0 +1,95 @@
+#include "sim/engine.hh"
+
+#include "cache/lru.hh"
+#include "cache/random_repl.hh"
+#include "core/sdbp.hh"
+
+namespace sdbp
+{
+
+namespace
+{
+
+template <class P>
+Engine
+sealedPlain(const HierarchyConfig &hcfg, const CoreConfig &ccfg,
+            std::unique_ptr<P> policy)
+{
+    Engine e;
+    e.system = std::make_unique<BasicSystem<P>>(hcfg, ccfg,
+                                                std::move(policy));
+    e.fastPath = true;
+    return e;
+}
+
+template <class Inner>
+Engine
+sealedSampler(const HierarchyConfig &hcfg, const CoreConfig &ccfg,
+              std::unique_ptr<Inner> inner, const PolicyOptions &opts)
+{
+    using Dbrb =
+        BasicDeadBlockPolicy<Inner, SamplingDeadBlockPredictor>;
+    auto pred = std::make_unique<SamplingDeadBlockPredictor>(
+        resolveSdbpConfig(hcfg.llc.numSets, opts));
+    auto dbrb = std::make_unique<Dbrb>(std::move(inner),
+                                       std::move(pred), opts.dbrb);
+    Engine e;
+    e.dbrb = dbrb.get();
+    e.predictor = &dbrb->predictor();
+    e.faults = dbrb->faultInjector();
+    e.system = std::make_unique<BasicSystem<Dbrb>>(hcfg, ccfg,
+                                                   std::move(dbrb));
+    e.fastPath = true;
+    return e;
+}
+
+} // anonymous namespace
+
+Engine
+makeEngine(PolicyKind kind, const HierarchyConfig &hcfg,
+           const CoreConfig &ccfg, const PolicyOptions &opts,
+           bool force_virtual)
+{
+    const std::uint32_t sets = hcfg.llc.numSets;
+    const std::uint32_t assoc = hcfg.llc.assoc;
+
+    if (!force_virtual) {
+        switch (kind) {
+          case PolicyKind::Lru:
+            return sealedPlain(
+                hcfg, ccfg,
+                std::make_unique<LruPolicy>(sets, assoc));
+          case PolicyKind::Random:
+            return sealedPlain(
+                hcfg, ccfg,
+                std::make_unique<RandomPolicy>(sets, assoc,
+                                               opts.seed));
+          case PolicyKind::Sampler:
+            return sealedSampler(
+                hcfg, ccfg,
+                std::make_unique<LruPolicy>(sets, assoc), opts);
+          case PolicyKind::RandomSampler:
+            return sealedSampler(
+                hcfg, ccfg,
+                std::make_unique<RandomPolicy>(sets, assoc,
+                                               opts.seed),
+                opts);
+          default:
+            break;
+        }
+    }
+
+    // Type-erased stack: the extension point, and the reference the
+    // sealed compositions are tested against.
+    PolicyBundle b = makeBundle(kind, sets, assoc, opts);
+    Engine e;
+    e.dbrb = b.dbrb;
+    e.predictor = b.predictor;
+    e.faults = b.faultInjector;
+    e.system = std::make_unique<System>(hcfg, ccfg,
+                                        std::move(b.policy));
+    e.fastPath = false;
+    return e;
+}
+
+} // namespace sdbp

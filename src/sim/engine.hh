@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The hot-path engine: maps a PolicyKind onto a sealed, fully
+ * devirtualized System composition when one exists, or onto the
+ * type-erased (virtual-dispatch) stack otherwise (DESIGN.md §12).
+ *
+ * The sealed compositions cover the configurations the paper's
+ * figures spend almost all their simulation time in:
+ *
+ *   LRU                  -> BasicSystem<LruPolicy>
+ *   Random               -> BasicSystem<RandomPolicy>
+ *   Sampler (DBRB/SDBP)  -> BasicSystem<BasicDeadBlockPolicy<
+ *                               LruPolicy, SamplingDeadBlockPredictor>>
+ *   Random Sampler       -> same with RandomPolicy inside
+ *
+ * Every other kind — and every kind when the caller forces the
+ * virtual path — runs on BasicSystem<ReplacementPolicy>, the
+ * extension point where user-supplied policies and predictors plug
+ * in through the virtual interfaces.  Both paths execute the same
+ * template code, so their simulated outcomes are bit-identical
+ * (pinned by tests/fastpath_test.cc).
+ */
+
+#ifndef SDBP_SIM_ENGINE_HH
+#define SDBP_SIM_ENGINE_HH
+
+#include <memory>
+
+#include "cpu/system.hh"
+#include "sim/policy_factory.hh"
+
+namespace sdbp
+{
+
+/**
+ * A ready-to-run System plus typed views into its LLC policy stack
+ * (same contract as PolicyBundle's views: non-owning, nullptr when
+ * the stack has no such part).
+ */
+struct Engine
+{
+    std::unique_ptr<SystemBase> system;
+    /** The DBRB wrapper, when `kind` is a DBRB technique. */
+    DeadBlockPolicyBase *dbrb = nullptr;
+    /** The wrapped dead block predictor, when DBRB. */
+    DeadBlockPredictor *predictor = nullptr;
+    /** The fault injector, when fault injection is configured. */
+    const fault::FaultInjector *faults = nullptr;
+    /** True when a sealed composition was selected. */
+    bool fastPath = false;
+};
+
+/**
+ * Build the System for @p kind.
+ *
+ * @param force_virtual route even sealed kinds through the
+ *        type-erased stack (equivalence testing, SDBP_NO_FASTPATH)
+ */
+Engine makeEngine(PolicyKind kind, const HierarchyConfig &hcfg,
+                  const CoreConfig &ccfg,
+                  const PolicyOptions &opts = {},
+                  bool force_virtual = false);
+
+} // namespace sdbp
+
+#endif // SDBP_SIM_ENGINE_HH

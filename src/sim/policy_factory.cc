@@ -108,26 +108,47 @@ parsePolicyKind(const std::string &name)
     return std::nullopt;
 }
 
+SdbpConfig
+resolveSdbpConfig(std::uint32_t num_sets, const PolicyOptions &opts)
+{
+    SdbpConfig cfg = opts.sdbp ? *opts.sdbp
+                               : SdbpConfig::paperDefault(num_sets);
+    cfg.llcSets = num_sets;
+    return cfg;
+}
+
 namespace
 {
 
 std::unique_ptr<DeadBlockPredictor>
 makeSdbp(std::uint32_t num_sets, const PolicyOptions &opts)
 {
-    SdbpConfig cfg = opts.sdbp ? *opts.sdbp
-                               : SdbpConfig::paperDefault(num_sets);
-    cfg.llcSets = num_sets;
-    return std::make_unique<SamplingDeadBlockPredictor>(cfg);
+    return std::make_unique<SamplingDeadBlockPredictor>(
+        resolveSdbpConfig(num_sets, opts));
 }
 
-std::unique_ptr<ReplacementPolicy>
+PolicyBundle
+plain(std::unique_ptr<ReplacementPolicy> policy)
+{
+    PolicyBundle b;
+    b.policy = std::move(policy);
+    return b;
+}
+
+PolicyBundle
 wrapDbrb(std::unique_ptr<ReplacementPolicy> inner,
          std::unique_ptr<DeadBlockPredictor> predictor,
          const PolicyOptions &opts)
 {
-    return std::make_unique<DeadBlockPolicy>(std::move(inner),
-                                             std::move(predictor),
-                                             opts.dbrb);
+    auto dbrb = std::make_unique<DeadBlockPolicy>(std::move(inner),
+                                                  std::move(predictor),
+                                                  opts.dbrb);
+    PolicyBundle b;
+    b.dbrb = dbrb.get();
+    b.predictor = &dbrb->predictor();
+    b.faultInjector = dbrb->faultInjector();
+    b.policy = std::move(dbrb);
+    return b;
 }
 
 } // anonymous namespace
@@ -136,28 +157,38 @@ std::unique_ptr<ReplacementPolicy>
 makePolicy(PolicyKind kind, std::uint32_t num_sets, std::uint32_t assoc,
            const PolicyOptions &opts)
 {
+    return makeBundle(kind, num_sets, assoc, opts).policy;
+}
+
+PolicyBundle
+makeBundle(PolicyKind kind, std::uint32_t num_sets,
+           std::uint32_t assoc, const PolicyOptions &opts)
+{
     switch (kind) {
       case PolicyKind::Lru:
-        return std::make_unique<LruPolicy>(num_sets, assoc);
+        return plain(std::make_unique<LruPolicy>(num_sets, assoc));
       case PolicyKind::Random:
-        return std::make_unique<RandomPolicy>(num_sets, assoc,
-                                              opts.seed);
+        return plain(std::make_unique<RandomPolicy>(num_sets, assoc,
+                                                    opts.seed));
       case PolicyKind::Dip: {
         DipConfig cfg;
         cfg.seed = opts.seed;
-        return std::make_unique<DipPolicy>(num_sets, assoc, cfg);
+        return plain(std::make_unique<DipPolicy>(num_sets, assoc,
+                                                 cfg));
       }
       case PolicyKind::Tadip: {
         DipConfig cfg;
         cfg.numThreads = std::max<std::uint32_t>(2, opts.numThreads);
         cfg.seed = opts.seed;
-        return std::make_unique<DipPolicy>(num_sets, assoc, cfg);
+        return plain(std::make_unique<DipPolicy>(num_sets, assoc,
+                                                 cfg));
       }
       case PolicyKind::Rrip: {
         RripConfig cfg;
         cfg.numThreads = opts.numThreads;
         cfg.seed = opts.seed;
-        return std::make_unique<RripPolicy>(num_sets, assoc, cfg);
+        return plain(std::make_unique<RripPolicy>(num_sets, assoc,
+                                                  cfg));
       }
       case PolicyKind::Sampler:
         return wrapDbrb(std::make_unique<LruPolicy>(num_sets, assoc),
@@ -184,16 +215,19 @@ makePolicy(PolicyKind kind, std::uint32_t num_sets, std::uint32_t assoc,
             std::make_unique<SamplingCountingPredictor>(cfg), opts);
       }
       case PolicyKind::TreePlru:
-        return std::make_unique<TreePlruPolicy>(num_sets, assoc);
+        return plain(std::make_unique<TreePlruPolicy>(num_sets,
+                                                      assoc));
       case PolicyKind::Nru:
-        return std::make_unique<NruPolicy>(num_sets, assoc);
+        return plain(std::make_unique<NruPolicy>(num_sets,
+                                                 assoc));
       case PolicyKind::Lip: {
         // LIP: every fill goes to the LRU position.
         DipConfig cfg;
         cfg.seed = opts.seed;
         cfg.staticBip = true;
         cfg.bipEpsilonDenom = 1u << 30; // never insert at MRU
-        return std::make_unique<DipPolicy>(num_sets, assoc, cfg);
+        return plain(std::make_unique<DipPolicy>(num_sets, assoc,
+                                                 cfg));
       }
       case PolicyKind::Aip: {
         AipConfig cfg;
@@ -216,7 +250,7 @@ makePolicy(PolicyKind kind, std::uint32_t num_sets, std::uint32_t assoc,
             std::make_unique<BurstTracePredictor>(cfg), opts);
       }
     }
-    fatal("makePolicy: unknown policy kind");
+    fatal("makeBundle: unknown policy kind");
 }
 
 const std::vector<PolicyKind> &

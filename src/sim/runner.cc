@@ -1,5 +1,7 @@
 #include "sim/runner.hh"
 
+#include "sim/engine.hh"
+
 #include <chrono>
 #include <cstdlib>
 #include <map>
@@ -48,19 +50,18 @@ struct ObsHarness
     }
 };
 
-/** Attach registry/heartbeat/profiler/trace to @p sys. */
+/** Attach registry/heartbeat/profiler/trace to the engine. */
 std::unique_ptr<ObsHarness>
-attachObs(System &sys, const ObsOptions &opt)
+attachObs(Engine &eng, const ObsOptions &opt)
 {
     if (!opt.collect)
         return nullptr;
     auto h = std::make_unique<ObsHarness>(opt);
+    SystemBase &sys = *eng.system;
     sys.registerStats(h->registry);
-    if (auto *dbrb =
-            dynamic_cast<DeadBlockPolicy *>(&sys.hierarchy().llc()
-                                                 .policy())) {
-        dbrb->registerStats(h->registry, "dbrb");
-        dbrb->setTraceSink(&h->trace);
+    if (eng.dbrb) {
+        eng.dbrb->registerStats(h->registry, "dbrb");
+        eng.dbrb->setTraceSink(&h->trace);
     }
     sys.setProfiler(&h->profiler);
     sys.setHeartbeat(opt.intervalInstructions,
@@ -80,7 +81,7 @@ attachObs(System &sys, const ObsOptions &opt)
  * System's registered counters are still alive.
  */
 std::shared_ptr<const obs::RunArtifacts>
-collectObs(ObsHarness &h, System &sys, const ObsOptions &opt,
+collectObs(ObsHarness &h, const Engine &eng, const ObsOptions &opt,
            const std::string &benchmark, const std::string &policy,
            const RunConfig &cfg)
 {
@@ -90,15 +91,12 @@ collectObs(ObsHarness &h, System &sys, const ObsOptions &opt,
     art->warmupInstructions = cfg.warmupInstructions;
     art->measureInstructions = cfg.measureInstructions;
     art->intervalInstructions = opt.intervalInstructions;
-    art->finalSnapshot = h.registry.snapshot(sys.tick());
+    art->finalSnapshot = h.registry.snapshot(eng.system->tick());
     art->intervals = h.timeline.snapshots();
     art->series = obs::standardSeries(h.timeline);
-    if (const auto *dbrb =
-            dynamic_cast<const DeadBlockPolicy *>(&sys.hierarchy()
-                                                       .llc()
-                                                       .policy())) {
+    if (eng.dbrb) {
         art->hasConfusion = true;
-        art->confusion = dbrb->confusion();
+        art->confusion = eng.dbrb->confusion();
     }
     art->profile = h.profiler.summary();
     art->traceEventsRecorded = h.trace.recorded();
@@ -119,7 +117,7 @@ collectObs(ObsHarness &h, System &sys, const ObsOptions &opt,
  * retry of a failed sweep cell gets a fresh budget.
  */
 void
-applyCellTimeout(System &sys)
+applyCellTimeout(SystemBase &sys)
 {
     const std::uint64_t secs = env::u64("SDBP_CELL_TIMEOUT", 0);
     if (secs > 0)
@@ -149,6 +147,8 @@ RunConfig::singleCore()
                  cfg.policy.dbrb.fault.faultsPerMillion, 0, 1'000'000);
     cfg.policy.dbrb.fault.seed =
         env::u64("SDBP_FAULT_SEED", cfg.policy.dbrb.fault.seed);
+    cfg.forceVirtualPath =
+        env::u64("SDBP_NO_FASTPATH", 0, 0, 1) != 0;
     return cfg;
 }
 
@@ -171,9 +171,9 @@ runSingleCore(const std::string &benchmark, PolicyKind kind,
     cfg.hierarchy.llc.trackEfficiency = cfg.trackEfficiency;
     cfg.policy.numThreads = 1;
 
-    auto policy = makePolicy(kind, cfg.hierarchy.llc.numSets,
-                             cfg.hierarchy.llc.assoc, cfg.policy);
-    System sys(cfg.hierarchy, cfg.core, std::move(policy));
+    Engine eng = makeEngine(kind, cfg.hierarchy, cfg.core,
+                            cfg.policy, cfg.forceVirtualPath);
+    SystemBase &sys = *eng.system;
 
     RunResult res;
     res.benchmark = benchmark;
@@ -181,18 +181,18 @@ runSingleCore(const std::string &benchmark, PolicyKind kind,
     if (cfg.recordLlcTrace)
         sys.hierarchy().recordLlcTrace(&res.llcTrace);
     applyCellTimeout(sys);
-    auto harness = attachObs(sys, cfg.obs);
+    auto harness = attachObs(eng, cfg.obs);
 
     SyntheticWorkload workload(specProfile(benchmark));
     std::vector<AccessGenerator *> gens = {&workload};
     const auto threads = sys.run(gens, cfg.warmupInstructions,
                                  cfg.measureInstructions);
     if (harness) {
-        res.artifacts = collectObs(*harness, sys, cfg.obs, benchmark,
+        res.artifacts = collectObs(*harness, eng, cfg.obs, benchmark,
                                    res.policy, cfg);
     }
 
-    const Cache &llc = sys.hierarchy().llc();
+    const CacheBase &llc = sys.hierarchy().llc();
     res.instructions = threads[0].instructions;
     res.cycles = threads[0].cycles;
     res.ipc = threads[0].ipc;
@@ -215,15 +215,14 @@ runSingleCore(const std::string &benchmark, PolicyKind kind,
                     llc.frameEfficiency(s, w));
     }
 
-    if (const auto *dbrb = dynamic_cast<const DeadBlockPolicy *>(
-            &llc.policy())) {
+    if (eng.dbrb) {
         res.hasDbrb = true;
-        res.dbrb = dbrb->dbrbStats();
-        if (const auto *fi = dbrb->faultInjector())
-            res.faultsInjected = fi->injected();
+        res.dbrb = eng.dbrb->dbrbStats();
+        if (eng.faults)
+            res.faultsInjected = eng.faults->injected();
         // Fault-injected or not, the predictor must end the run with
         // its invariants intact: corruption is confined to hints.
-        dbrb->predictor().auditInvariants();
+        eng.predictor->auditInvariants();
     }
     res.wallSeconds = secondsSince(wall_start);
     return res;
@@ -238,9 +237,9 @@ runMulticore(const MixProfile &mix, PolicyKind kind, RunConfig cfg)
     cfg.hierarchy.numCores = cores;
     cfg.policy.numThreads = cores;
 
-    auto policy = makePolicy(kind, cfg.hierarchy.llc.numSets,
-                             cfg.hierarchy.llc.assoc, cfg.policy);
-    System sys(cfg.hierarchy, cfg.core, std::move(policy));
+    Engine eng = makeEngine(kind, cfg.hierarchy, cfg.core,
+                            cfg.policy, cfg.forceVirtualPath);
+    SystemBase &sys = *eng.system;
 
     std::vector<SyntheticWorkload> workloads;
     workloads.reserve(cores);
@@ -250,7 +249,7 @@ runMulticore(const MixProfile &mix, PolicyKind kind, RunConfig cfg)
     for (auto &w : workloads)
         gens.push_back(&w);
     applyCellTimeout(sys);
-    auto harness = attachObs(sys, cfg.obs);
+    auto harness = attachObs(eng, cfg.obs);
 
     const auto threads = sys.run(gens, cfg.warmupInstructions,
                                  cfg.measureInstructions);
@@ -259,7 +258,7 @@ runMulticore(const MixProfile &mix, PolicyKind kind, RunConfig cfg)
     res.mix = mix.name;
     res.policy = policyName(kind);
     if (harness) {
-        res.artifacts = collectObs(*harness, sys, cfg.obs, mix.name,
+        res.artifacts = collectObs(*harness, eng, cfg.obs, mix.name,
                                    res.policy, cfg);
     }
     res.benchmarks = mix.benchmarks;
@@ -269,11 +268,10 @@ runMulticore(const MixProfile &mix, PolicyKind kind, RunConfig cfg)
     }
     res.llcMisses = sys.hierarchy().llc().stats().demandMisses;
     res.mpki = mpki(res.llcMisses, res.totalInstructions);
-    if (const auto *dbrb = dynamic_cast<const DeadBlockPolicy *>(
-            &sys.hierarchy().llc().policy())) {
-        if (const auto *fi = dbrb->faultInjector())
-            res.faultsInjected = fi->injected();
-        dbrb->predictor().auditInvariants();
+    if (eng.dbrb) {
+        if (eng.faults)
+            res.faultsInjected = eng.faults->injected();
+        eng.predictor->auditInvariants();
     }
     res.wallSeconds = secondsSince(wall_start);
     return res;

@@ -1,13 +1,17 @@
 /**
  * @file
- * The memory access record exchanged between workload generators,
- * the CPU timing model and the cache hierarchy.
+ * The single memory-access record threaded end-to-end through the
+ * simulator: workload generators produce it, the CPU timing model
+ * consumes the gap, the cache hierarchy and replacement/prediction
+ * hooks read the rest.  One struct, no per-layer repacking
+ * (DESIGN.md §12).
  */
 
 #ifndef SDBP_TRACE_ACCESS_HH
 #define SDBP_TRACE_ACCESS_HH
 
 #include <cstdint>
+#include <span>
 
 #include "util/types.hh"
 
@@ -18,15 +22,28 @@ namespace sdbp
 constexpr unsigned blockBytes = 64;
 constexpr unsigned blockOffsetBits = 6;
 
-/** One dynamic memory access. */
-struct MemAccess
+/**
+ * One dynamic memory reference.
+ *
+ * Replaces the former trio of MemAccess (generator output),
+ * TraceRecord (gap + access) and cache AccessInfo (policy hook
+ * argument): every layer reads the fields it cares about from the
+ * same record.
+ */
+struct Access
 {
     /** PC of the memory instruction. */
     PC pc = 0;
     /** Byte address accessed. */
     Addr addr = 0;
+    /** Non-memory instructions preceding this access. */
+    std::uint32_t gap = 0;
+    /** Core/thread issuing the access (the System stamps this). */
+    ThreadId thread = 0;
     /** True for stores. */
     bool isWrite = false;
+    /** True for writebacks travelling down the hierarchy. */
+    bool isWriteback = false;
     /**
      * True when this load's address depends on the value of the
      * previous load from the same stream (pointer chasing); the
@@ -36,17 +53,28 @@ struct MemAccess
 
     /** Block-aligned address. */
     Addr blockAddr() const { return addr >> blockOffsetBits; }
-};
 
-/**
- * One record of a trace: a memory access preceded by @c gap
- * non-memory instructions.
- */
-struct TraceRecord
-{
-    /** Number of non-memory instructions before the access. */
-    std::uint32_t gap = 0;
-    MemAccess access;
+    /** A demand access landing on block @p block_addr (tests,
+     *  prefetch fills, synthesized eviction notices). */
+    static constexpr Access
+    atBlock(Addr block_addr, PC pc = 0, ThreadId thread = 0)
+    {
+        Access a;
+        a.pc = pc;
+        a.addr = block_addr << blockOffsetBits;
+        a.thread = thread;
+        return a;
+    }
+
+    /** The writeback of @p block_addr issued by @p thread. */
+    static constexpr Access
+    writebackOf(Addr block_addr, ThreadId thread)
+    {
+        Access a = atBlock(block_addr, 0, thread);
+        a.isWrite = true;
+        a.isWriteback = true;
+        return a;
+    }
 };
 
 /**
@@ -62,10 +90,24 @@ class AccessGenerator
     virtual ~AccessGenerator() = default;
 
     /** Produce the next record. */
-    virtual TraceRecord next() = 0;
+    virtual Access next() = 0;
 
     /** Restart the stream from the beginning. */
     virtual void reset() = 0;
+
+    /**
+     * Fill @p out with the next out.size() records.  The default
+     * loops next(); generators with a cheap inner loop override it
+     * to amortize the virtual dispatch.  Callers that buffer ahead
+     * own the unconsumed tail: after a run that read ahead, the
+     * generator's position is whatever the batching left it at.
+     */
+    virtual void
+    nextBatch(std::span<Access> out)
+    {
+        for (auto &rec : out)
+            rec = next();
+    }
 };
 
 } // namespace sdbp

@@ -96,7 +96,7 @@ Stream::footprintBlocks() const
     return cfg_.regionBlocks;
 }
 
-MemAccess
+Access
 Stream::next()
 {
     std::uint64_t block = 0;
@@ -120,7 +120,7 @@ Stream::next()
         break;
     }
 
-    MemAccess acc;
+    Access acc;
     acc.addr = blockToAddr(block);
     acc.pc = basePc_ + pc_index * 4;
     acc.isWrite = rng_.uniform() < cfg_.writeFraction;

@@ -129,8 +129,8 @@ class Stream
     Stream(const StreamConfig &cfg, Addr base_addr, PC base_pc,
            std::uint64_t seed);
 
-    /** Produce the next access. */
-    MemAccess next();
+    /** Produce the next access (gap/thread left for the caller). */
+    Access next();
 
     /** Restart from the initial state. */
     void reset();

@@ -39,16 +39,16 @@ TraceWriter::~TraceWriter()
 }
 
 void
-TraceWriter::append(const TraceRecord &rec)
+TraceWriter::append(const Access &rec)
 {
     if (!file_)
         fatal("TraceWriter: append after close");
     TraceFileRecord r;
-    r.pc = rec.access.pc;
-    r.addr = rec.access.addr;
+    r.pc = rec.pc;
+    r.addr = rec.addr;
     r.gap = rec.gap;
-    r.isWrite = rec.access.isWrite ? 1 : 0;
-    r.dependsOnPrevLoad = rec.access.dependsOnPrevLoad ? 1 : 0;
+    r.isWrite = rec.isWrite ? 1 : 0;
+    r.dependsOnPrevLoad = rec.dependsOnPrevLoad ? 1 : 0;
     r.pad = 0;
     if (std::fwrite(&r, sizeof(r), 1, file_) != 1)
         fatal("TraceWriter: record write failed");
@@ -69,7 +69,7 @@ TraceWriter::close()
     file_ = nullptr;
 }
 
-std::vector<TraceRecord>
+std::vector<Access>
 readTraceFile(const std::string &path)
 {
     std::FILE *file = std::fopen(path.c_str(), "rb");
@@ -83,18 +83,18 @@ readTraceFile(const std::string &path)
     if (header.version != kVersion)
         fatal("readTraceFile: unsupported trace version");
 
-    std::vector<TraceRecord> records;
+    std::vector<Access> records;
     records.reserve(header.count);
     for (std::uint64_t i = 0; i < header.count; ++i) {
         TraceFileRecord r{};
         if (std::fread(&r, sizeof(r), 1, file) != 1)
             fatal("readTraceFile: truncated record in '" + path + "'");
-        TraceRecord rec;
+        Access rec;
         rec.gap = r.gap;
-        rec.access.pc = r.pc;
-        rec.access.addr = r.addr;
-        rec.access.isWrite = r.isWrite != 0;
-        rec.access.dependsOnPrevLoad = r.dependsOnPrevLoad != 0;
+        rec.pc = r.pc;
+        rec.addr = r.addr;
+        rec.isWrite = r.isWrite != 0;
+        rec.dependsOnPrevLoad = r.dependsOnPrevLoad != 0;
         records.push_back(rec);
     }
     std::fclose(file);
@@ -112,7 +112,7 @@ captureTrace(AccessGenerator &gen, std::uint64_t n,
 }
 
 TraceReplayGenerator::TraceReplayGenerator(
-    std::vector<TraceRecord> records)
+    std::vector<Access> records)
     : records_(std::move(records))
 {
     if (records_.empty())
@@ -124,15 +124,22 @@ TraceReplayGenerator::TraceReplayGenerator(const std::string &path)
 {
 }
 
-TraceRecord
+Access
 TraceReplayGenerator::next()
 {
-    const TraceRecord rec = records_[pos_];
+    const Access rec = records_[pos_];
     if (++pos_ == records_.size()) {
         pos_ = 0;
         ++loops_;
     }
     return rec;
+}
+
+void
+TraceReplayGenerator::nextBatch(std::span<Access> out)
+{
+    for (auto &rec : out)
+        rec = next();
 }
 
 void

@@ -44,7 +44,7 @@ class TraceWriter
     TraceWriter(const TraceWriter &) = delete;
     TraceWriter &operator=(const TraceWriter &) = delete;
 
-    void append(const TraceRecord &rec);
+    void append(const Access &rec);
 
     /** Finalize the header; called automatically by the destructor. */
     void close();
@@ -57,7 +57,7 @@ class TraceWriter
 };
 
 /** Loads a whole trace file into memory; fatal() on malformed input. */
-std::vector<TraceRecord> readTraceFile(const std::string &path);
+std::vector<Access> readTraceFile(const std::string &path);
 
 /** Capture @p n records from a generator into @p path. */
 void captureTrace(AccessGenerator &gen, std::uint64_t n,
@@ -70,12 +70,13 @@ void captureTrace(AccessGenerator &gen, std::uint64_t n,
 class TraceReplayGenerator : public AccessGenerator
 {
   public:
-    explicit TraceReplayGenerator(std::vector<TraceRecord> records);
+    explicit TraceReplayGenerator(std::vector<Access> records);
 
     /** Convenience: load from file. */
     explicit TraceReplayGenerator(const std::string &path);
 
-    TraceRecord next() override;
+    Access next() override;
+    void nextBatch(std::span<Access> out) override;
     void reset() override;
 
     std::size_t size() const { return records_.size(); }
@@ -83,7 +84,7 @@ class TraceReplayGenerator : public AccessGenerator
     std::uint64_t loops() const { return loops_; }
 
   private:
-    std::vector<TraceRecord> records_;
+    std::vector<Access> records_;
     std::size_t pos_ = 0;
     std::uint64_t loops_ = 0;
 };

@@ -57,21 +57,37 @@ SyntheticWorkload::reset()
         stream.reset();
 }
 
-TraceRecord
-SyntheticWorkload::next()
+Access
+SyntheticWorkload::generate()
 {
-    TraceRecord rec;
-    rec.gap = meanGap_ == 0
+    const std::uint32_t gap = meanGap_ == 0
         ? 0
         : static_cast<std::uint32_t>(rng_.below(2 * meanGap_ + 1));
 
+    // Weighted choice by linear scan: profiles have a handful of
+    // streams, where the scan beats a binary search.
     const std::uint64_t pick = rng_.below(cumWeights_.back());
-    const auto it = std::upper_bound(cumWeights_.begin(),
-                                     cumWeights_.end(), pick);
-    const auto idx = static_cast<std::size_t>(
-        std::distance(cumWeights_.begin(), it));
-    rec.access = streams_[idx].next();
+    std::size_t idx = 0;
+    while (cumWeights_[idx] <= pick)
+        ++idx;
+    Access rec = streams_[idx].next();
+    rec.gap = gap;
     return rec;
+}
+
+Access
+SyntheticWorkload::next()
+{
+    return generate();
+}
+
+void
+SyntheticWorkload::nextBatch(std::span<Access> out)
+{
+    // One virtual dispatch per batch instead of one per record; the
+    // record sequence is identical to repeated next() calls.
+    for (auto &rec : out)
+        rec = generate();
 }
 
 } // namespace sdbp

@@ -48,7 +48,8 @@ class SyntheticWorkload : public AccessGenerator
     explicit SyntheticWorkload(const WorkloadProfile &profile,
                                unsigned address_space = 0);
 
-    TraceRecord next() override;
+    Access next() override;
+    void nextBatch(std::span<Access> out) override;
     void reset() override;
 
     const std::string &name() const { return name_; }
@@ -56,6 +57,8 @@ class SyntheticWorkload : public AccessGenerator
     const Stream &stream(std::size_t i) const { return streams_[i]; }
 
   private:
+    Access generate();
+
     std::string name_;
     unsigned meanGap_;
     std::uint64_t seed_;

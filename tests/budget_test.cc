@@ -97,8 +97,7 @@ TEST(Invariants, CleanStructuresPassAudit)
     for (int i = 0; i < 200000; ++i) {
         const auto addr = rng.below(1 << 20);
         const auto pc = 0x400000 + rng.below(256) * 4;
-        p.onAccess(static_cast<std::uint32_t>(addr & 2047), addr, pc,
-                   0);
+        p.onAccess(static_cast<std::uint32_t>(addr & 2047), Access::atBlock(addr, pc, 0));
     }
     p.auditInvariants();
 }
@@ -112,11 +111,9 @@ TEST(Invariants, CacheAuditPassesUnderTraffic)
                                                  cfg.assoc));
     Rng rng(7);
     for (std::uint64_t now = 0; now < 50000; ++now) {
-        AccessInfo info;
-        info.blockAddr = rng.below(4096);
-        info.pc = 0x1000;
-        if (!cache.access(info, now))
-            cache.fill(info, now);
+        const Access a = Access::atBlock(rng.below(4096), 0x1000);
+        if (!cache.access(a, now))
+            cache.fill(a, now);
     }
     cache.auditInvariants();
 }

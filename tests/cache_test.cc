@@ -17,24 +17,19 @@ namespace sdbp
 namespace
 {
 
-AccessInfo
+Access
 demand(Addr block_addr, PC pc = 0x400000, bool write = false,
        ThreadId thread = 0)
 {
-    AccessInfo info;
-    info.pc = pc;
-    info.blockAddr = block_addr;
-    info.thread = thread;
-    info.isWrite = write;
-    return info;
+    Access a = Access::atBlock(block_addr, pc, thread);
+    a.isWrite = write;
+    return a;
 }
 
-AccessInfo
+Access
 writeback(Addr block_addr, ThreadId thread = 0)
 {
-    AccessInfo info = demand(block_addr, 0, true, thread);
-    info.isWriteback = true;
-    return info;
+    return Access::writebackOf(block_addr, thread);
 }
 
 std::unique_ptr<Cache>
@@ -56,24 +51,22 @@ class BypassAllPolicy : public ReplacementPolicy
   public:
     using ReplacementPolicy::ReplacementPolicy;
     void
-    onAccess(std::uint32_t, int, CacheBlock *, const AccessInfo &)
-        override
+    onAccess(std::uint32_t, int, SetView, const Access &) override
     {
     }
     bool
-    shouldBypass(std::uint32_t, const AccessInfo &info) override
+    shouldBypass(std::uint32_t, const Access &a) override
     {
-        return !info.isWriteback;
+        return !a.isWriteback;
     }
     std::uint32_t
-    victim(std::uint32_t, std::span<const CacheBlock>,
-           const AccessInfo &) override
+    victim(std::uint32_t, SetView, const Access &) override
     {
         return 0;
     }
     void
-    onFill(std::uint32_t, std::uint32_t, CacheBlock &,
-           const AccessInfo &) override
+    onFill(std::uint32_t, std::uint32_t, SetView,
+           const Access &) override
     {
     }
     std::string name() const override { return "bypass-all"; }
@@ -251,12 +244,13 @@ tinyHierarchy(std::uint32_t cores = 1)
     return cfg;
 }
 
-MemAccess
-load(Addr addr, PC pc = 0x400000)
+Access
+load(Addr addr, PC pc = 0x400000, ThreadId thread = 0)
 {
-    MemAccess a;
+    Access a;
     a.pc = pc;
     a.addr = addr;
+    a.thread = thread;
     return a;
 }
 
@@ -264,10 +258,10 @@ TEST(HierarchyTest, LatencyAccumulatesDownTheLevels)
 {
     const HierarchyConfig cfg = tinyHierarchy();
     Hierarchy h(cfg, std::make_unique<LruPolicy>(16, 4));
-    const auto first = h.access(0, load(0x1000), 0);
+    const auto first = h.access(load(0x1000), 0);
     EXPECT_EQ(first.level, ServiceLevel::Memory);
     EXPECT_EQ(first.latency, 3u + 12 + 30 + 200);
-    const auto second = h.access(0, load(0x1000), 1);
+    const auto second = h.access(load(0x1000), 1);
     EXPECT_EQ(second.level, ServiceLevel::L1);
     EXPECT_EQ(second.latency, 3u);
 }
@@ -278,10 +272,10 @@ TEST(HierarchyTest, L2HitAfterL1Eviction)
     Hierarchy h(cfg, std::make_unique<LruPolicy>(16, 4));
     // L1 set 0 holds 2 ways; the third block evicts the first.
     // Blocks map to L1 set 0 with stride 4 blocks (4 sets).
-    h.access(0, load(0 << 6), 0);
-    h.access(0, load(4 << 6), 1);
-    h.access(0, load(8 << 6), 2);
-    const auto res = h.access(0, load(0 << 6), 3);
+    h.access(load(0 << 6), 0);
+    h.access(load(4 << 6), 1);
+    h.access(load(8 << 6), 2);
+    const auto res = h.access(load(0 << 6), 3);
     EXPECT_EQ(res.level, ServiceLevel::L2);
     EXPECT_EQ(res.latency, 3u + 12);
 }
@@ -291,7 +285,7 @@ TEST(HierarchyTest, LlcSeesOnlyL2Misses)
     const HierarchyConfig cfg = tinyHierarchy();
     Hierarchy h(cfg, std::make_unique<LruPolicy>(16, 4));
     for (int rep = 0; rep < 10; ++rep)
-        h.access(0, load(0x40), rep);
+        h.access(load(0x40), rep);
     EXPECT_EQ(h.llc().stats().demandAccesses, 1u);
 }
 
@@ -299,12 +293,12 @@ TEST(HierarchyTest, DirtyEvictionWritesBackToMemory)
 {
     const HierarchyConfig cfg = tinyHierarchy();
     Hierarchy h(cfg, std::make_unique<LruPolicy>(16, 4));
-    MemAccess store = load(0x40);
+    Access store = load(0x40);
     store.isWrite = true;
-    h.access(0, store, 0);
+    h.access(store, 0);
     // Push enough conflicting blocks through to evict it everywhere.
     for (Addr i = 1; i <= 128; ++i)
-        h.access(0, load(0x40 + (i << 12)), i);
+        h.access(load(0x40 + (i << 12)), i);
     EXPECT_GT(h.memWrites(), 0u);
 }
 
@@ -312,8 +306,8 @@ TEST(HierarchyTest, PerCoreL1sAreprivate)
 {
     const HierarchyConfig cfg = tinyHierarchy(2);
     Hierarchy h(cfg, std::make_unique<LruPolicy>(16, 4));
-    h.access(0, load(0x1000), 0);
-    const auto res = h.access(1, load(0x1000), 1);
+    h.access(load(0x1000), 0);
+    const auto res = h.access(load(0x1000, 0x400000, 1), 1);
     // Core 1 misses its private L1/L2 but hits the shared LLC.
     EXPECT_EQ(res.level, ServiceLevel::Llc);
 }
@@ -324,8 +318,8 @@ TEST(HierarchyTest, TraceRecordsLlcDemandStream)
     Hierarchy h(cfg, std::make_unique<LruPolicy>(16, 4));
     std::vector<LlcRef> trace;
     h.recordLlcTrace(&trace);
-    h.access(0, load(0x1000, 0x400abc), 0);
-    h.access(0, load(0x1000), 1); // L1 hit: not recorded
+    h.access(load(0x1000, 0x400abc), 0);
+    h.access(load(0x1000), 1); // L1 hit: not recorded
     ASSERT_EQ(trace.size(), 1u);
     EXPECT_EQ(trace[0].blockAddr, 0x1000u >> 6);
     EXPECT_EQ(trace[0].pc, 0x400abcu);
@@ -338,17 +332,17 @@ TEST(HierarchyTest, WritebackMissForwardsWithoutAllocating)
     // Dirty a block, then evict it from L1 while it is absent from
     // L2 and the LLC: the writeback must cascade to memory without
     // allocating along the way.
-    MemAccess store = load(0x40);
+    Access store = load(0x40);
     store.isWrite = true;
-    h.access(0, store, 0);
+    h.access(store, 0);
     // Evict it from L2 and the LLC using conflicting DEMAND traffic
     // that maps to their sets but not to L1 set 1.
     h.llc().invalidate(0x1);
     h.l2(0).invalidate(0x1);
     const auto wb_before = h.memWrites();
     // Now force the dirty block out of L1 (set 1, 2 ways).
-    h.access(0, load(0x40 + (4 << 6)), 1);
-    h.access(0, load(0x40 + (8 << 6)), 2);
+    h.access(load(0x40 + (4 << 6)), 1);
+    h.access(load(0x40 + (8 << 6)), 2);
     EXPECT_EQ(h.memWrites(), wb_before + 1);
     // Not allocated in L2 or LLC on the way out.
     EXPECT_FALSE(h.l2(0).probe(0x1));
@@ -359,12 +353,12 @@ TEST(HierarchyTest, WritebackHitUpdatesLowerLevelCopy)
 {
     const HierarchyConfig cfg = tinyHierarchy();
     Hierarchy h(cfg, std::make_unique<LruPolicy>(16, 4));
-    MemAccess store = load(0x40);
+    Access store = load(0x40);
     store.isWrite = true;
-    h.access(0, store, 0); // fills L1/L2/LLC; dirty in L1
+    h.access(store, 0); // fills L1/L2/LLC; dirty in L1
     // Evict from L1 only: L2 still holds the block -> wb hits L2.
-    h.access(0, load(0x40 + (4 << 6)), 1);
-    h.access(0, load(0x40 + (8 << 6)), 2);
+    h.access(load(0x40 + (4 << 6)), 1);
+    h.access(load(0x40 + (8 << 6)), 2);
     EXPECT_EQ(h.memWrites(), 0u);
     EXPECT_TRUE(h.l2(0).probe(0x1));
 }
@@ -373,12 +367,12 @@ TEST(HierarchyTest, ClearStatsResetsCounters)
 {
     const HierarchyConfig cfg = tinyHierarchy();
     Hierarchy h(cfg, std::make_unique<LruPolicy>(16, 4));
-    h.access(0, load(0x1000), 0);
+    h.access(load(0x1000), 0);
     h.clearStats();
     EXPECT_EQ(h.llc().stats().demandAccesses, 0u);
     EXPECT_EQ(h.memReads(), 0u);
     // Content is preserved: re-access hits in L1.
-    EXPECT_EQ(h.access(0, load(0x1000), 1).level, ServiceLevel::L1);
+    EXPECT_EQ(h.access(load(0x1000), 1).level, ServiceLevel::L1);
 }
 
 } // anonymous namespace

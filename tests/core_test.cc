@@ -272,10 +272,10 @@ TEST(SdbpTest, SampledSetsAreEverySixtyFourth)
 TEST(SdbpTest, OnlySampledSetsUpdateState)
 {
     SamplingDeadBlockPredictor p;
-    p.onAccess(1, 0x10, 0x400000, 0);
-    p.onAccess(63, 0x20, 0x400000, 0);
+    p.onAccess(1, Access::atBlock(0x10, 0x400000, 0));
+    p.onAccess(63, Access::atBlock(0x20, 0x400000, 0));
     EXPECT_EQ(p.updates(), 0u);
-    p.onAccess(64, 0x30, 0x400000, 0);
+    p.onAccess(64, Access::atBlock(0x30, 0x400000, 0));
     EXPECT_EQ(p.updates(), 1u);
     EXPECT_EQ(p.lookups(), 3u);
 }
@@ -292,10 +292,10 @@ TEST(SdbpTest, LearnsDeadPcFromSampledEvictions)
     // sampler, training the PC as a last-touch PC.
     bool predicted = false;
     for (Addr a = 0; a < 64; ++a)
-        predicted = p.onAccess(0, a << 6, dead_pc, 0);
+        predicted = p.onAccess(0, Access::atBlock(a << 6, dead_pc, 0));
     EXPECT_TRUE(predicted);
     // An unrelated PC stays live.
-    EXPECT_FALSE(p.onAccess(0, 0x9999 << 6, 0x500000, 0));
+    EXPECT_FALSE(p.onAccess(0, Access::atBlock(0x9999 << 6, 0x500000, 0)));
 }
 
 TEST(SdbpTest, MispredictedDeadPcRecovers)
@@ -313,21 +313,21 @@ TEST(SdbpTest, MispredictedDeadPcRecovers)
     // Phase 1: the hot PC streams once over many blocks -> trained
     // dead.
     for (Addr a = 0; a < 64; ++a)
-        p.onAccess(0, a << 6, hot_pc, 0);
-    EXPECT_TRUE(p.onAccess(0, 0x10000, hot_pc, 0));
+        p.onAccess(0, Access::atBlock(a << 6, hot_pc, 0));
+    EXPECT_TRUE(p.onAccess(0, Access::atBlock(0x10000, hot_pc, 0)));
     // Phase 2: the hot PC now cycles a small resident set while a
     // streaming PC provides churn fodder.
     Addr stream = 0x900000;
     bool hot_pred = true;
     for (int i = 0; i < 300; ++i) {
         for (Addr a = 0; a < 3; ++a)
-            hot_pred = p.onAccess(0, 0x20000 + (a << 6), hot_pc, 0);
-        p.onAccess(0, stream, stream_pc, 0);
+            hot_pred = p.onAccess(0, Access::atBlock(0x20000 + (a << 6), hot_pc, 0));
+        p.onAccess(0, Access::atBlock(stream, stream_pc, 0));
         stream += 64;
     }
     EXPECT_FALSE(hot_pred);
     // The streaming PC stays dead.
-    EXPECT_TRUE(p.onAccess(0, stream, stream_pc, 0));
+    EXPECT_TRUE(p.onAccess(0, Access::atBlock(stream, stream_pc, 0)));
 }
 
 TEST(SdbpTest, PredictionIsPurelyPcBased)
@@ -338,9 +338,9 @@ TEST(SdbpTest, PredictionIsPurelyPcBased)
     for (int i = 0; i < 3; ++i)
         p.table().increment(sig);
     // Any set, any address: the PC alone decides.
-    EXPECT_TRUE(p.onAccess(5, 0xdead00, 0x400abc, 0));
-    EXPECT_TRUE(p.onAccess(1999, 0x123456, 0x400abc, 3));
-    EXPECT_FALSE(p.onAccess(5, 0xdead00, 0x400b00, 0));
+    EXPECT_TRUE(p.onAccess(5, Access::atBlock(0xdead00, 0x400abc, 0)));
+    EXPECT_TRUE(p.onAccess(1999, Access::atBlock(0x123456, 0x400abc, 3)));
+    EXPECT_FALSE(p.onAccess(5, Access::atBlock(0xdead00, 0x400b00, 0)));
 }
 
 TEST(SdbpTest, StorageUnderOnePercentOfLlc)
@@ -363,11 +363,11 @@ TEST(SdbpTest, NoSamplerAblationTrainsOnEverySet)
     // fill/evict cycles on arbitrary (unsampled in the default
     // scheme) sets still train.
     for (Addr a = 0; a < 4; ++a) {
-        p.onAccess(17, a, pc, 0);
-        p.onFill(17, a, pc);
-        p.onEvict(17, a);
+        p.onAccess(17, Access::atBlock(a, pc, 0));
+        p.onFill(17, Access::atBlock(a, pc));
+        p.onEvict(17, Access::atBlock(a));
     }
-    EXPECT_TRUE(p.onAccess(23, 0x999, pc, 0));
+    EXPECT_TRUE(p.onAccess(23, Access::atBlock(0x999, pc, 0)));
     EXPECT_EQ(p.updates(), 5u); // every access updates
 }
 
@@ -382,12 +382,12 @@ TEST(SdbpTest, PartialTagsDoNotAliasAcrossAddressSpaces)
     SamplingDeadBlockPredictor p(cfg);
     const Addr a = (Addr(1) << 34) | 0x40; // same low bits,
     const Addr b = (Addr(2) << 34) | 0x40; // different space
-    p.onAccess(0, a, 0x400000, 0);
+    p.onAccess(0, Access::atBlock(a, 0x400000, 0));
     const auto hits_before = p.sampler().hits();
-    p.onAccess(0, b, 0x500000, 1);
+    p.onAccess(0, Access::atBlock(b, 0x500000, 1));
     EXPECT_EQ(p.sampler().hits(), hits_before); // no false match
     // The genuine block still hits.
-    p.onAccess(0, a, 0x400000, 0);
+    p.onAccess(0, Access::atBlock(a, 0x400000, 0));
     EXPECT_EQ(p.sampler().hits(), hits_before + 1);
 }
 
@@ -400,8 +400,7 @@ TEST(SdbpTest, UpdateFractionMatchesSampledSetRatio)
     const std::uint64_t n = 200000;
     for (std::uint64_t i = 0; i < n; ++i) {
         const Addr blk = rng.below(1 << 20);
-        p.onAccess(static_cast<std::uint32_t>(blk & 2047), blk,
-                   0x400000 + 4 * rng.below(64), 0);
+        p.onAccess(static_cast<std::uint32_t>(blk & 2047), Access::atBlock(blk, 0x400000 + 4 * rng.below(64), 0));
     }
     const double fraction =
         static_cast<double>(p.updates()) / static_cast<double>(n);

@@ -114,13 +114,13 @@ class ScanGen : public AccessGenerator
         : base_(base), blocks_(blocks)
     {
     }
-    TraceRecord
+    Access
     next() override
     {
-        TraceRecord r;
+        Access r;
         r.gap = 1;
-        r.access.pc = 0x400000;
-        r.access.addr = base_ + (pos_++ % blocks_) * blockBytes;
+        r.pc = 0x400000;
+        r.addr = base_ + (pos_++ % blocks_) * blockBytes;
         ++emitted_;
         return r;
     }

@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <set>
+#include <vector>
 
 #include "cache/cache.hh"
 #include "cache/dead_block_policy.hh"
@@ -23,62 +24,68 @@ namespace sdbp
 namespace
 {
 
-AccessInfo
+Access
 demand(Addr block_addr, PC pc = 0x400000)
 {
-    AccessInfo info;
-    info.pc = pc;
-    info.blockAddr = block_addr;
-    return info;
+    return Access::atBlock(block_addr, pc);
 }
 
-std::vector<CacheBlock>
-validBlocks(std::uint32_t assoc)
+/** Owning backing store for a SetView. */
+struct FrameSet
 {
-    std::vector<CacheBlock> blocks(assoc);
-    for (std::uint32_t w = 0; w < assoc; ++w) {
-        blocks[w].valid = true;
-        blocks[w].blockAddr = w;
+    std::vector<Addr> tags;
+    std::vector<std::uint8_t> state;
+
+    explicit FrameSet(std::uint32_t assoc)
+        : tags(assoc), state(assoc, SetView::kValid)
+    {
+        for (std::uint32_t w = 0; w < assoc; ++w)
+            tags[w] = w;
     }
-    return blocks;
-}
+
+    SetView
+    view()
+    {
+        return SetView(tags.data(), state.data(),
+                       static_cast<std::uint32_t>(tags.size()));
+    }
+};
 
 // ---- tree-PLRU ----
 
 TEST(TreePlru, VictimComesFromTheColdSubtree)
 {
     TreePlruPolicy plru(1, 4);
-    const auto blocks = validBlocks(4);
-    const AccessInfo info = demand(0);
+    FrameSet fs(4);
+    const Access info = demand(0);
     // Touch both ways of the left subtree: the root points right
     // and the victim is the untouched way 2.
-    plru.onAccess(0, 0, nullptr, info);
-    plru.onAccess(0, 1, nullptr, info);
-    EXPECT_EQ(plru.victim(0, {blocks.data(), 4}, info), 2u);
+    plru.onAccess(0, 0, fs.view(), info);
+    plru.onAccess(0, 1, fs.view(), info);
+    EXPECT_EQ(plru.victim(0, fs.view(), info), 2u);
 }
 
 TEST(TreePlru, TouchedWayIsNeverTheImmediateVictim)
 {
     TreePlruPolicy plru(1, 8);
-    const auto blocks = validBlocks(8);
-    const AccessInfo info = demand(0);
+    FrameSet fs(8);
+    const Access info = demand(0);
     for (std::uint32_t w = 0; w < 8; ++w) {
-        plru.onAccess(0, static_cast<int>(w), nullptr, info);
-        EXPECT_NE(plru.victim(0, {blocks.data(), 8}, info), w);
+        plru.onAccess(0, static_cast<int>(w), fs.view(), info);
+        EXPECT_NE(plru.victim(0, fs.view(), info), w);
     }
 }
 
 TEST(TreePlru, ApproximatesLruOnSequentialFills)
 {
     TreePlruPolicy plru(1, 4);
-    CacheBlock blk;
-    const AccessInfo info = demand(0);
+    FrameSet fs(4);
+    const Access info = demand(0);
     // Fill ways in order 0..3; victim should be way 0 (the oldest),
     // exactly as true LRU would pick.
     for (std::uint32_t w = 0; w < 4; ++w)
-        plru.onFill(0, w, blk, info);
-    const auto blocks = validBlocks(4);
-    EXPECT_EQ(plru.victim(0, {blocks.data(), 4}, info), 0u);
+        plru.onFill(0, w, fs.view(), info);
+    EXPECT_EQ(plru.victim(0, fs.view(), info), 0u);
     EXPECT_EQ(plru.bitsPerSet(), 3u);
 }
 
@@ -87,22 +94,21 @@ TEST(TreePlru, ApproximatesLruOnSequentialFills)
 TEST(Nru, VictimIsFirstUnreferencedWay)
 {
     NruPolicy nru(1, 4);
-    CacheBlock blk;
-    const AccessInfo info = demand(0);
-    nru.onFill(0, 0, blk, info);
-    nru.onFill(0, 1, blk, info);
-    const auto blocks = validBlocks(4);
-    EXPECT_EQ(nru.victim(0, {blocks.data(), 4}, info), 2u);
+    FrameSet fs(4);
+    const Access info = demand(0);
+    nru.onFill(0, 0, fs.view(), info);
+    nru.onFill(0, 1, fs.view(), info);
+    EXPECT_EQ(nru.victim(0, fs.view(), info), 2u);
 }
 
 TEST(Nru, ReferenceBitsClearWhenAllSet)
 {
     NruPolicy nru(1, 2);
-    CacheBlock blk;
-    const AccessInfo info = demand(0);
-    nru.onFill(0, 0, blk, info);
+    FrameSet fs(2);
+    const Access info = demand(0);
+    nru.onFill(0, 0, fs.view(), info);
     EXPECT_TRUE(nru.referenced(0, 0));
-    nru.onFill(0, 1, blk, info); // all referenced -> clear others
+    nru.onFill(0, 1, fs.view(), info); // all referenced -> clear others
     EXPECT_TRUE(nru.referenced(0, 1));
     EXPECT_FALSE(nru.referenced(0, 0));
 }
@@ -110,13 +116,12 @@ TEST(Nru, ReferenceBitsClearWhenAllSet)
 TEST(Nru, HitsProtectFromEviction)
 {
     NruPolicy nru(1, 4);
-    CacheBlock blk;
-    const AccessInfo info = demand(0);
+    FrameSet fs(4);
+    const Access info = demand(0);
     for (std::uint32_t w = 0; w < 3; ++w)
-        nru.onFill(0, w, blk, info);
-    nru.onAccess(0, 1, &blk, info);
-    const auto blocks = validBlocks(4);
-    EXPECT_EQ(nru.victim(0, {blocks.data(), 4}, info), 3u);
+        nru.onFill(0, w, fs.view(), info);
+    nru.onAccess(0, 1, fs.view(), info);
+    EXPECT_EQ(nru.victim(0, fs.view(), info), 3u);
 }
 
 // ---- LIP via the factory ----
@@ -125,11 +130,10 @@ TEST(Lip, InsertsAtLruPosition)
 {
     auto policy = makePolicy(PolicyKind::Lip, 16, 4);
     EXPECT_EQ(policy->name(), "lip");
-    CacheBlock blk;
-    policy->onFill(0, 2, blk, demand(0));
+    FrameSet fs(4);
+    policy->onFill(0, 2, fs.view(), demand(0));
     // Installed at the LRU position: immediately the next victim.
-    const auto blocks = validBlocks(4);
-    EXPECT_EQ(policy->victim(0, {blocks.data(), 4}, demand(1)), 2u);
+    EXPECT_EQ(policy->victim(0, fs.view(), demand(1)), 2u);
 }
 
 // ---- AIP ----
@@ -144,22 +148,22 @@ TEST(Aip, DeadOnceIntervalExceedsLearnedMax)
     // Two generations with re-touch interval ~2 set-accesses build
     // confidence.
     for (int gen = 0; gen < 2; ++gen) {
-        p.onAccess(0, blk, pc, 0);
-        p.onFill(0, blk, pc);
-        p.onAccess(0, 0x80, pc, 0); // interval filler
-        p.onAccess(0, blk, pc, 0);  // re-touch at interval 2
-        p.onEvict(0, blk);
+        p.onAccess(0, Access::atBlock(blk, pc));
+        p.onFill(0, Access::atBlock(blk, pc));
+        p.onAccess(0, Access::atBlock(0x80, pc)); // interval filler
+        p.onAccess(0, Access::atBlock(blk, pc));  // re-touch at interval 2
+        p.onEvict(0, Access::atBlock(blk));
     }
     // Third generation: alive within the learned interval...
-    p.onAccess(0, blk, pc, 0);
-    p.onFill(0, blk, pc);
-    p.onAccess(0, 0x80, pc, 0);
+    p.onAccess(0, Access::atBlock(blk, pc));
+    p.onFill(0, Access::atBlock(blk, pc));
+    p.onAccess(0, Access::atBlock(0x80, pc));
     EXPECT_FALSE(p.isDeadNow(0, blk));
     // ...dead once well past it.
     for (int i = 0; i < 8; ++i)
-        p.onAccess(0, 0x80 + 64 * i, pc, 0);
+        p.onAccess(0, Access::atBlock(0x80 + 64 * i, pc));
     EXPECT_TRUE(p.isDeadNow(0, blk));
-    EXPECT_TRUE(p.hasLiveness());
+    EXPECT_NE(p.livenessProbe(), nullptr);
 }
 
 TEST(Aip, NoConfidenceNoPrediction)
@@ -167,10 +171,10 @@ TEST(Aip, NoConfidenceNoPrediction)
     AipConfig cfg;
     cfg.llcSets = 4;
     AipPredictor p(cfg);
-    p.onAccess(0, 0x40, 0x400100, 0);
-    p.onFill(0, 0x40, 0x400100);
+    p.onAccess(0, Access::atBlock(0x40, 0x400100));
+    p.onFill(0, Access::atBlock(0x40, 0x400100));
     for (int i = 0; i < 50; ++i)
-        p.onAccess(0, 0x80 + 64 * i, 0x400200, 0);
+        p.onAccess(0, Access::atBlock(0x80 + 64 * i, 0x400200));
     EXPECT_FALSE(p.isDeadNow(0, 0x40)); // never-trained entry
 }
 
@@ -182,11 +186,11 @@ TEST(Aip, DeadOnArrivalForSingleTouchGenerations)
     const PC pc = 0x400300;
     const Addr blk = 0x99;
     for (int gen = 0; gen < 2; ++gen) {
-        p.onAccess(1, blk, pc, 0);
-        p.onFill(1, blk, pc);
-        p.onEvict(1, blk);
+        p.onAccess(1, Access::atBlock(blk, pc));
+        p.onFill(1, Access::atBlock(blk, pc));
+        p.onEvict(1, Access::atBlock(blk));
     }
-    EXPECT_TRUE(p.onAccess(1, blk, pc, 0));
+    EXPECT_TRUE(p.onAccess(1, Access::atBlock(blk, pc)));
 }
 
 // ---- time-based ----
@@ -199,21 +203,21 @@ TEST(TimeBased, LearnsLiveTimeAndExpiresBlocks)
     const PC pc = 0x400400;
     const Addr blk = 0x40;
     // One generation: live for ~4 set-accesses.
-    p.onAccess(0, blk, pc, 0);
-    p.onFill(0, blk, pc);
+    p.onAccess(0, Access::atBlock(blk, pc));
+    p.onFill(0, Access::atBlock(blk, pc));
     for (int i = 0; i < 4; ++i)
-        p.onAccess(0, 0x1000 + 64 * i, 0x400500, 0);
-    p.onAccess(0, blk, pc, 0); // last touch at +5
-    p.onEvict(0, blk);
+        p.onAccess(0, Access::atBlock(0x1000 + 64 * i, 0x400500));
+    p.onAccess(0, Access::atBlock(blk, pc)); // last touch at +5
+    p.onEvict(0, Access::atBlock(blk));
     EXPECT_GT(p.learnedLiveTime(pc), 0u);
 
     // New generation: alive shortly after a touch, dead after more
     // than 2x the learned live time of idleness.
-    p.onAccess(0, blk, pc, 0);
-    p.onFill(0, blk, pc);
+    p.onAccess(0, Access::atBlock(blk, pc));
+    p.onFill(0, Access::atBlock(blk, pc));
     EXPECT_FALSE(p.isDeadNow(0, blk));
     for (int i = 0; i < 2 * 5 + 3; ++i)
-        p.onAccess(0, 0x2000 + 64 * i, 0x400500, 0);
+        p.onAccess(0, Access::atBlock(0x2000 + 64 * i, 0x400500));
     EXPECT_TRUE(p.isDeadNow(0, blk));
 }
 
@@ -223,16 +227,16 @@ TEST(TimeBased, TicksArePerSet)
     cfg.llcSets = 4;
     TimeBasedPredictor p(cfg);
     const PC pc = 0x400600;
-    p.onAccess(1, 0x41, pc, 0);
-    p.onFill(1, 0x41, pc);
-    p.onAccess(1, 0x81, 0x400700, 0);
-    p.onAccess(1, 0x41, pc, 0);
-    p.onEvict(1, 0x41);
+    p.onAccess(1, Access::atBlock(0x41, pc));
+    p.onFill(1, Access::atBlock(0x41, pc));
+    p.onAccess(1, Access::atBlock(0x81, 0x400700));
+    p.onAccess(1, Access::atBlock(0x41, pc));
+    p.onEvict(1, Access::atBlock(0x41));
     // Heavy traffic in ANOTHER set must not expire set-1 blocks.
-    p.onAccess(1, 0x41, pc, 0);
-    p.onFill(1, 0x41, pc);
+    p.onAccess(1, Access::atBlock(0x41, pc));
+    p.onFill(1, Access::atBlock(0x41, pc));
     for (int i = 0; i < 100; ++i)
-        p.onAccess(2, 0x2000 + 64 * i, 0x400700, 0);
+        p.onAccess(2, Access::atBlock(0x2000 + 64 * i, 0x400700));
     EXPECT_FALSE(p.isDeadNow(1, 0x41));
 }
 
@@ -243,15 +247,15 @@ TEST(BurstTrace, ConsecutiveAccessesFoldIntoOneBurst)
     BurstTraceConfig cfg;
     cfg.llcSets = 4;
     BurstTracePredictor p(cfg);
-    p.onAccess(0, 0x40, 0xA0, 0);
-    p.onFill(0, 0x40, 0xA0);
-    p.onAccess(0, 0x40, 0xB0, 0); // same burst
-    p.onAccess(0, 0x40, 0xC0, 0); // same burst
+    p.onAccess(0, Access::atBlock(0x40, 0xA0));
+    p.onFill(0, Access::atBlock(0x40, 0xA0));
+    p.onAccess(0, Access::atBlock(0x40, 0xB0)); // same burst
+    p.onAccess(0, Access::atBlock(0x40, 0xC0)); // same burst
     EXPECT_EQ(p.filteredAccesses(), 2u);
     EXPECT_EQ(p.bursts(), 0u);
-    p.onAccess(0, 0x80, 0xA0, 0); // different block: boundary later
-    p.onFill(0, 0x80, 0xA0);
-    p.onAccess(0, 0x40, 0xD0, 0); // burst boundary for 0x40
+    p.onAccess(0, Access::atBlock(0x80, 0xA0)); // different block: boundary later
+    p.onFill(0, Access::atBlock(0x80, 0xA0));
+    p.onAccess(0, Access::atBlock(0x40, 0xD0)); // burst boundary for 0x40
     EXPECT_EQ(p.bursts(), 1u);
 }
 
@@ -262,11 +266,11 @@ TEST(BurstTrace, LearnsDeathTracesLikeReftrace)
     BurstTracePredictor p(cfg);
     for (int gen = 0; gen < 3; ++gen) {
         const Addr blk = 0x100 + gen;
-        p.onAccess(0, blk, 0xA0, 0);
-        p.onFill(0, blk, 0xA0);
-        p.onEvict(0, blk);
+        p.onAccess(0, Access::atBlock(blk, 0xA0));
+        p.onFill(0, Access::atBlock(blk, 0xA0));
+        p.onEvict(0, Access::atBlock(blk));
     }
-    EXPECT_TRUE(p.onAccess(0, 0x900, 0xA0, 0));
+    EXPECT_TRUE(p.onAccess(0, Access::atBlock(0x900, 0xA0)));
 }
 
 // ---- integration: extension policies run end to end ----

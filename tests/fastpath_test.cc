@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Fast-path / virtual-path equivalence tests (DESIGN.md §12).
+ *
+ * The sealed engine compositions and the type-erased stack execute
+ * the same template code, so every simulated outcome must be
+ * bit-identical between them.  These tests pin that contract for
+ * every policy kind on two benchmarks: the headline RunResult
+ * metrics, the full dbrb.* accounting, and the run-artifact JSON
+ * modulo the wall-clock keys (`profile`, `timing`).
+ *
+ * The file also audits the structure-of-arrays cache layout: the tag
+ * sentinel must agree with the valid bit in every frame, the hot
+ * lanes seen through SetView must agree with the materialized
+ * CacheBlock snapshots, and auditInvariants() must hold after a
+ * randomized workload (it panics under SDBP_DCHECK on violation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/lru.hh"
+#include "obs/json.hh"
+#include "sim/engine.hh"
+#include "sim/runner.hh"
+#include "util/rng.hh"
+
+namespace sdbp
+{
+namespace
+{
+
+/** Rebuild a JSON tree without the wall-clock-dependent members. */
+obs::JsonValue
+stripVolatile(const obs::JsonValue &v)
+{
+    if (v.isObject()) {
+        auto out = obs::JsonValue::object();
+        for (const auto &[key, val] : v.members()) {
+            if (key == "profile" || key == "timing")
+                continue;
+            out.set(key, stripVolatile(val));
+        }
+        return out;
+    }
+    if (v.isArray()) {
+        auto out = obs::JsonValue::array();
+        for (std::size_t i = 0; i < v.size(); ++i)
+            out.push(stripVolatile(v.at(i)));
+        return out;
+    }
+    return v;
+}
+
+using FastpathParam = std::tuple<PolicyKind, std::string>;
+
+class FastpathEquivalence
+    : public ::testing::TestWithParam<FastpathParam>
+{
+};
+
+TEST_P(FastpathEquivalence, FastAndVirtualPathsAreBitIdentical)
+{
+    const auto [kind, benchmark] = GetParam();
+
+    RunConfig cfg = RunConfig::singleCore();
+    cfg.warmupInstructions = 20'000;
+    cfg.measureInstructions = 60'000;
+    cfg.obs.collect = true;
+    cfg.obs.intervalInstructions = 20'000;
+
+    RunConfig vcfg = cfg;
+    vcfg.forceVirtualPath = true;
+
+    const RunResult fast = runSingleCore(benchmark, kind, cfg);
+    const RunResult virt = runSingleCore(benchmark, kind, vcfg);
+
+    EXPECT_EQ(fast.benchmark, virt.benchmark);
+    EXPECT_EQ(fast.policy, virt.policy);
+    EXPECT_EQ(fast.instructions, virt.instructions);
+    EXPECT_EQ(fast.cycles, virt.cycles);
+    EXPECT_EQ(fast.ipc, virt.ipc);
+    EXPECT_EQ(fast.mpki, virt.mpki);
+    EXPECT_EQ(fast.llcAccesses, virt.llcAccesses);
+    EXPECT_EQ(fast.llcMisses, virt.llcMisses);
+    EXPECT_EQ(fast.llcBypasses, virt.llcBypasses);
+    EXPECT_EQ(fast.llcEfficiency, virt.llcEfficiency);
+    EXPECT_EQ(fast.faultsInjected, virt.faultsInjected);
+
+    ASSERT_EQ(fast.hasDbrb, virt.hasDbrb);
+    if (fast.hasDbrb) {
+        EXPECT_EQ(fast.dbrb.predictions, virt.dbrb.predictions);
+        EXPECT_EQ(fast.dbrb.positives, virt.dbrb.positives);
+        EXPECT_EQ(fast.dbrb.falsePositiveHits,
+                  virt.dbrb.falsePositiveHits);
+        EXPECT_EQ(fast.dbrb.bypassReuses, virt.dbrb.bypassReuses);
+        EXPECT_EQ(fast.dbrb.deadEvictions, virt.dbrb.deadEvictions);
+        EXPECT_EQ(fast.dbrb.bypasses, virt.dbrb.bypasses);
+    }
+
+    ASSERT_TRUE(fast.artifacts);
+    ASSERT_TRUE(virt.artifacts);
+    EXPECT_EQ(stripVolatile(fast.artifacts->toJson()).dump(),
+              stripVolatile(virt.artifacts->toJson()).dump());
+}
+
+std::string
+paramName(const ::testing::TestParamInfo<FastpathParam> &info)
+{
+    std::string name = policyName(std::get<0>(info.param)) + "_" +
+                       std::get<1>(info.param);
+    for (char &c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, FastpathEquivalence,
+    ::testing::Combine(::testing::ValuesIn(allPolicyKinds()),
+                       ::testing::Values("456.hmmer", "429.mcf")),
+    paramName);
+
+// ---- Engine path selection ----
+
+TEST(EngineTest, SealedKindsTakeTheFastPath)
+{
+    HierarchyConfig hcfg;
+    for (const PolicyKind kind :
+         {PolicyKind::Lru, PolicyKind::Random, PolicyKind::Sampler,
+          PolicyKind::RandomSampler}) {
+        const Engine eng = makeEngine(kind, hcfg, CoreConfig{});
+        EXPECT_TRUE(eng.fastPath) << policyName(kind);
+        ASSERT_NE(eng.system, nullptr);
+    }
+}
+
+TEST(EngineTest, ForceVirtualOverridesSealedKinds)
+{
+    HierarchyConfig hcfg;
+    const Engine eng =
+        makeEngine(PolicyKind::Sampler, hcfg, CoreConfig{}, {}, true);
+    EXPECT_FALSE(eng.fastPath);
+    ASSERT_NE(eng.system, nullptr);
+    // The DBRB views survive the type erasure.
+    EXPECT_NE(eng.dbrb, nullptr);
+    EXPECT_NE(eng.predictor, nullptr);
+}
+
+TEST(EngineTest, UnsealedKindsFallBackToTheVirtualStack)
+{
+    HierarchyConfig hcfg;
+    const Engine eng = makeEngine(PolicyKind::Dip, hcfg, CoreConfig{});
+    EXPECT_FALSE(eng.fastPath);
+    ASSERT_NE(eng.system, nullptr);
+    EXPECT_EQ(eng.dbrb, nullptr);
+}
+
+TEST(EngineTest, DbrbViewsPointIntoTheSealedStack)
+{
+    HierarchyConfig hcfg;
+    const Engine eng = makeEngine(PolicyKind::Sampler, hcfg,
+                                  CoreConfig{});
+    ASSERT_TRUE(eng.fastPath);
+    EXPECT_NE(eng.dbrb, nullptr);
+    EXPECT_NE(eng.predictor, nullptr);
+}
+
+// ---- SoA layout invariants ----
+
+TEST(SoaLayoutTest, TagSentinelAgreesWithValidBit)
+{
+    CacheConfig cfg;
+    cfg.numSets = 16;
+    cfg.assoc = 4;
+    Cache cache(cfg, std::make_unique<LruPolicy>(16, 4));
+
+    Rng rng(42);
+    for (int i = 0; i < 5000; ++i) {
+        const Access a = Access::atBlock(rng.below(256), 0x400000);
+        if (!cache.access(a, static_cast<std::uint64_t>(i)))
+            cache.fill(a, static_cast<std::uint64_t>(i));
+        if (rng.chance(1, 50))
+            cache.invalidate(rng.below(256));
+    }
+
+    for (std::uint32_t set = 0; set < cfg.numSets; ++set) {
+        SetView frames = cache.frames(set);
+        for (std::uint32_t w = 0; w < cfg.assoc; ++w) {
+            if (frames.valid(w))
+                EXPECT_NE(frames.blockAddr(w), SetView::kNoBlock);
+            else
+                EXPECT_EQ(frames.blockAddr(w), SetView::kNoBlock);
+        }
+    }
+    cache.auditInvariants();
+}
+
+TEST(SoaLayoutTest, SetViewAgreesWithMaterializedBlocks)
+{
+    CacheConfig cfg;
+    cfg.numSets = 8;
+    cfg.assoc = 4;
+    Cache cache(cfg, std::make_unique<LruPolicy>(8, 4));
+
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        Access a = Access::atBlock(rng.below(96), 0x400000);
+        a.isWrite = rng.chance(1, 4);
+        if (!cache.access(a, static_cast<std::uint64_t>(i)))
+            cache.fill(a, static_cast<std::uint64_t>(i));
+    }
+
+    for (std::uint32_t set = 0; set < cfg.numSets; ++set) {
+        SetView frames = cache.frames(set);
+        for (std::uint32_t w = 0; w < cfg.assoc; ++w) {
+            const CacheBlock blk = cache.blockAt(set, w);
+            EXPECT_EQ(frames.valid(w), blk.valid);
+            if (!blk.valid)
+                continue;
+            EXPECT_EQ(frames.blockAddr(w), blk.blockAddr);
+            EXPECT_EQ(frames.dirty(w), blk.dirty);
+            EXPECT_EQ(frames.predictedDead(w), blk.predictedDead);
+            EXPECT_EQ(cache.findWay(set, blk.blockAddr),
+                      static_cast<int>(w));
+            EXPECT_TRUE(cache.probe(blk.blockAddr));
+        }
+    }
+    cache.auditInvariants();
+}
+
+TEST(SoaLayoutTest, PredictedDeadBitRoundTripsThroughTheLane)
+{
+    CacheConfig cfg;
+    cfg.numSets = 4;
+    cfg.assoc = 2;
+    Cache cache(cfg, std::make_unique<LruPolicy>(4, 2));
+
+    const Access a = Access::atBlock(0x10);
+    cache.access(a, 0);
+    cache.fill(a, 0);
+    const std::uint32_t set = cache.setIndex(a.blockAddr());
+    SetView frames = cache.frames(set);
+    const int way = cache.findWay(set, a.blockAddr());
+    ASSERT_GE(way, 0);
+
+    frames.setPredictedDead(static_cast<std::uint32_t>(way), true);
+    EXPECT_TRUE(cache.blockAt(set, static_cast<std::uint32_t>(way))
+                    .predictedDead);
+    frames.setPredictedDead(static_cast<std::uint32_t>(way), false);
+    EXPECT_FALSE(cache.blockAt(set, static_cast<std::uint32_t>(way))
+                     .predictedDead);
+    cache.auditInvariants();
+}
+
+} // anonymous namespace
+} // namespace sdbp

@@ -67,11 +67,10 @@ TEST(Belady, ClassicMinExample)
     Cache lru(cfg, std::make_unique<LruPolicy>(4, 2));
     std::uint64_t lru_misses = 0;
     for (const auto &r : seq) {
-        AccessInfo info;
-        info.blockAddr = r.blockAddr;
-        if (!lru.access(info, 0)) {
+        const Access a = Access::atBlock(r.blockAddr);
+        if (!lru.access(a, 0)) {
             ++lru_misses;
-            lru.fill(info, 0);
+            lru.fill(a, 0);
         }
     }
     EXPECT_EQ(lru_misses, 9u);
@@ -142,11 +141,10 @@ TEST_P(BeladyBoundTest, MinIsALowerBoundForLruAndRandom)
         Cache cache(cfg, std::move(repl));
         std::uint64_t misses = 0;
         for (const auto &r : trace) {
-            AccessInfo info;
-            info.blockAddr = r.blockAddr;
-            if (!cache.access(info, 0)) {
+            const Access a = Access::atBlock(r.blockAddr);
+            if (!cache.access(a, 0)) {
                 ++misses;
-                cache.fill(info, 0);
+                cache.fill(a, 0);
             }
         }
         EXPECT_LE(min.misses, misses);

@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <set>
+#include <vector>
 
 #include "cache/cache.hh"
 #include "cache/dead_block_policy.hh"
@@ -21,36 +22,49 @@ namespace sdbp
 namespace
 {
 
-AccessInfo
+Access
 demand(Addr block_addr, PC pc = 0x400000, ThreadId thread = 0)
 {
-    AccessInfo info;
-    info.pc = pc;
-    info.blockAddr = block_addr;
-    info.thread = thread;
-    return info;
+    return Access::atBlock(block_addr, pc, thread);
 }
 
-std::vector<CacheBlock>
-validBlocks(std::uint32_t assoc)
+/**
+ * Owning backing store for a SetView, for tests that drive a policy
+ * directly without a cache around it.
+ */
+struct FrameSet
 {
-    std::vector<CacheBlock> blocks(assoc);
-    for (std::uint32_t w = 0; w < assoc; ++w) {
-        blocks[w].valid = true;
-        blocks[w].blockAddr = w;
+    std::vector<Addr> tags;
+    std::vector<std::uint8_t> state;
+
+    explicit FrameSet(std::uint32_t assoc, bool all_valid = false)
+        : tags(assoc, SetView::kNoBlock), state(assoc, 0)
+    {
+        if (all_valid)
+            for (std::uint32_t w = 0; w < assoc; ++w) {
+                tags[w] = w;
+                state[w] = SetView::kValid;
+            }
     }
-    return blocks;
-}
+
+    SetView
+    view()
+    {
+        return SetView(tags.data(), state.data(),
+                       static_cast<std::uint32_t>(tags.size()));
+    }
+};
 
 // ---- LRU ----
 
 TEST(LruPolicyTest, StackPositionsStayAPermutation)
 {
     LruPolicy lru(2, 4);
-    const AccessInfo info = demand(0);
-    lru.onAccess(0, 2, nullptr, info);
-    lru.onAccess(0, 3, nullptr, info);
-    lru.onAccess(0, 2, nullptr, info);
+    FrameSet fs(4, true);
+    const Access info = demand(0);
+    lru.onAccess(0, 2, fs.view(), info);
+    lru.onAccess(0, 3, fs.view(), info);
+    lru.onAccess(0, 2, fs.view(), info);
     std::set<std::uint32_t> positions;
     for (std::uint32_t w = 0; w < 4; ++w)
         positions.insert(lru.stackPosition(0, w));
@@ -62,13 +76,13 @@ TEST(LruPolicyTest, StackPositionsStayAPermutation)
 TEST(LruPolicyTest, VictimIsLeastRecentlyUsed)
 {
     LruPolicy lru(1, 4);
-    const auto blocks = validBlocks(4);
-    const AccessInfo info = demand(0);
+    FrameSet fs(4, true);
+    const Access info = demand(0);
     for (int w : {0, 1, 2, 3})
-        lru.onAccess(0, w, nullptr, info);
-    EXPECT_EQ(lru.victim(0, {blocks.data(), 4}, info), 0u);
-    lru.onAccess(0, 0, nullptr, info);
-    EXPECT_EQ(lru.victim(0, {blocks.data(), 4}, info), 1u);
+        lru.onAccess(0, w, fs.view(), info);
+    EXPECT_EQ(lru.victim(0, fs.view(), info), 0u);
+    lru.onAccess(0, 0, fs.view(), info);
+    EXPECT_EQ(lru.victim(0, fs.view(), info), 1u);
 }
 
 TEST(LruPolicyTest, MoveToLruPosition)
@@ -86,8 +100,9 @@ TEST(LruPolicyTest, MoveToLruPosition)
 TEST(LruPolicyTest, RankMatchesStackPosition)
 {
     LruPolicy lru(1, 4);
-    const AccessInfo info = demand(0);
-    lru.onAccess(0, 1, nullptr, info);
+    FrameSet fs(4, true);
+    const Access info = demand(0);
+    lru.onAccess(0, 1, fs.view(), info);
     EXPECT_EQ(lru.rank(0, 1), 0u);
     EXPECT_GT(lru.rank(0, 0), 0u);
 }
@@ -95,8 +110,9 @@ TEST(LruPolicyTest, RankMatchesStackPosition)
 TEST(LruPolicyTest, SetsAreIndependent)
 {
     LruPolicy lru(2, 2);
-    const AccessInfo info = demand(0);
-    lru.onAccess(0, 1, nullptr, info);
+    FrameSet fs(2, true);
+    const Access info = demand(0);
+    lru.onAccess(0, 1, fs.view(), info);
     EXPECT_EQ(lru.stackPosition(1, 0), 0u);
     EXPECT_EQ(lru.stackPosition(1, 1), 1u);
 }
@@ -106,12 +122,12 @@ TEST(LruPolicyTest, SetsAreIndependent)
 TEST(RandomPolicyTest, VictimsCoverAllWaysDeterministically)
 {
     RandomPolicy a(1, 4, 42), b(1, 4, 42);
-    const auto blocks = validBlocks(4);
-    const AccessInfo info = demand(0);
+    FrameSet fs(4, true);
+    const Access info = demand(0);
     std::set<std::uint32_t> seen;
     for (int i = 0; i < 100; ++i) {
-        const std::uint32_t va = a.victim(0, {blocks.data(), 4}, info);
-        EXPECT_EQ(va, b.victim(0, {blocks.data(), 4}, info));
+        const std::uint32_t va = a.victim(0, fs.view(), info);
+        EXPECT_EQ(va, b.victim(0, fs.view(), info));
         EXPECT_LT(va, 4u);
         seen.insert(va);
     }
@@ -138,46 +154,48 @@ TEST(DipPolicyTest, LeaderSetsAreDisjointAndCounted)
 TEST(DipPolicyTest, MissesInLeadersMovePsel)
 {
     DipPolicy dip(2048, 16);
+    FrameSet fs(16, true);
     const std::uint32_t initial = dip.psel(0);
     // Find an LRU leader set and miss in it repeatedly.
     std::uint32_t lru_leader = 0;
     while (!dip.isLruLeader(lru_leader, 0))
         ++lru_leader;
     for (int i = 0; i < 10; ++i)
-        dip.onAccess(lru_leader, -1, nullptr, demand(0));
+        dip.onAccess(lru_leader, -1, fs.view(), demand(0));
     EXPECT_EQ(dip.psel(0), initial + 10);
 
     std::uint32_t bip_leader = 0;
     while (!dip.isBipLeader(bip_leader, 0))
         ++bip_leader;
     for (int i = 0; i < 20; ++i)
-        dip.onAccess(bip_leader, -1, nullptr, demand(0));
+        dip.onAccess(bip_leader, -1, fs.view(), demand(0));
     EXPECT_EQ(dip.psel(0), initial - 10);
 }
 
 TEST(DipPolicyTest, WritebackMissesDoNotTrainPsel)
 {
     DipPolicy dip(2048, 16);
+    FrameSet fs(16, true);
     const std::uint32_t initial = dip.psel(0);
-    AccessInfo wb = demand(0);
+    Access wb = demand(0);
     wb.isWriteback = true;
     std::uint32_t lru_leader = 0;
     while (!dip.isLruLeader(lru_leader, 0))
         ++lru_leader;
-    dip.onAccess(lru_leader, -1, nullptr, wb);
+    dip.onAccess(lru_leader, -1, fs.view(), wb);
     EXPECT_EQ(dip.psel(0), initial);
 }
 
 TEST(DipPolicyTest, BipLeaderInsertsAtLruMostly)
 {
     DipPolicy dip(2048, 16);
+    FrameSet fs(16, true);
     std::uint32_t bip_leader = 0;
     while (!dip.isBipLeader(bip_leader, 0))
         ++bip_leader;
-    CacheBlock blk;
     unsigned lru_inserts = 0;
     for (int i = 0; i < 320; ++i) {
-        dip.onFill(bip_leader, 3, blk, demand(0));
+        dip.onFill(bip_leader, 3, fs.view(), demand(0));
         lru_inserts += dip.rank(bip_leader, 3) == 15;
     }
     // All but ~1/32 of fills land at the LRU position.
@@ -188,11 +206,11 @@ TEST(DipPolicyTest, BipLeaderInsertsAtLruMostly)
 TEST(DipPolicyTest, LruLeaderInsertsAtMru)
 {
     DipPolicy dip(2048, 16);
+    FrameSet fs(16, true);
     std::uint32_t lru_leader = 0;
     while (!dip.isLruLeader(lru_leader, 0))
         ++lru_leader;
-    CacheBlock blk;
-    dip.onFill(lru_leader, 5, blk, demand(0));
+    dip.onFill(lru_leader, 5, fs.view(), demand(0));
     EXPECT_EQ(dip.rank(lru_leader, 5), 0u);
 }
 
@@ -201,15 +219,16 @@ TEST(DipPolicyTest, TadipKeepsPerThreadPsel)
     DipConfig cfg;
     cfg.numThreads = 4;
     DipPolicy dip(2048, 16, cfg);
+    FrameSet fs(16, true);
     std::uint32_t t2_leader = 0;
     while (!dip.isLruLeader(t2_leader, 2))
         ++t2_leader;
     const std::uint32_t initial = dip.psel(2);
-    dip.onAccess(t2_leader, -1, nullptr, demand(0, 0x400000, 2));
+    dip.onAccess(t2_leader, -1, fs.view(), demand(0, 0x400000, 2));
     EXPECT_EQ(dip.psel(2), initial + 1);
     EXPECT_EQ(dip.psel(0), initial); // other threads untouched
     // Thread 0 accessing thread 2's leader set is a follower there.
-    dip.onAccess(t2_leader, -1, nullptr, demand(0, 0x400000, 0));
+    dip.onAccess(t2_leader, -1, fs.view(), demand(0, 0x400000, 0));
     EXPECT_EQ(dip.psel(0), initial);
     EXPECT_EQ(dip.name(), "tadip");
 }
@@ -236,10 +255,10 @@ TEST(RripPolicyTest, SrripInsertsLongAndPromotesOnHit)
     RripConfig cfg;
     cfg.mode = RripMode::SRrip;
     RripPolicy rrip(16, 4, cfg);
-    CacheBlock blk;
-    rrip.onFill(0, 0, blk, demand(0));
+    FrameSet fs(4, true);
+    rrip.onFill(0, 0, fs.view(), demand(0));
     EXPECT_EQ(rrip.rrpv(0, 0), 2u); // rrpvMax - 1
-    rrip.onAccess(0, 0, &blk, demand(0));
+    rrip.onAccess(0, 0, fs.view(), demand(0));
     EXPECT_EQ(rrip.rrpv(0, 0), 0u);
 }
 
@@ -248,13 +267,12 @@ TEST(RripPolicyTest, VictimIsDistantBlockAndAgesSet)
     RripConfig cfg;
     cfg.mode = RripMode::SRrip;
     RripPolicy rrip(1, 4, cfg);
-    const auto blocks = validBlocks(4);
-    CacheBlock blk;
+    FrameSet fs(4, true);
     for (std::uint32_t w = 0; w < 4; ++w)
-        rrip.onFill(0, w, blk, demand(w));
+        rrip.onFill(0, w, fs.view(), demand(w));
     // All RRPVs are 2: victim search must age everyone to 3 and
     // return way 0.
-    EXPECT_EQ(rrip.victim(0, {blocks.data(), 4}, demand(9)), 0u);
+    EXPECT_EQ(rrip.victim(0, fs.view(), demand(9)), 0u);
     for (std::uint32_t w = 1; w < 4; ++w)
         EXPECT_EQ(rrip.rrpv(0, w), 3u);
 }
@@ -264,12 +282,11 @@ TEST(RripPolicyTest, HitProtectsFromEviction)
     RripConfig cfg;
     cfg.mode = RripMode::SRrip;
     RripPolicy rrip(1, 2, cfg);
-    const auto blocks = validBlocks(2);
-    CacheBlock blk;
-    rrip.onFill(0, 0, blk, demand(0));
-    rrip.onFill(0, 1, blk, demand(1));
-    rrip.onAccess(0, 0, &blk, demand(0));
-    EXPECT_EQ(rrip.victim(0, {blocks.data(), 2}, demand(2)), 1u);
+    FrameSet fs(2, true);
+    rrip.onFill(0, 0, fs.view(), demand(0));
+    rrip.onFill(0, 1, fs.view(), demand(1));
+    rrip.onAccess(0, 0, fs.view(), demand(0));
+    EXPECT_EQ(rrip.victim(0, fs.view(), demand(2)), 1u);
 }
 
 TEST(RripPolicyTest, BrripMostlyInsertsDistant)
@@ -277,10 +294,10 @@ TEST(RripPolicyTest, BrripMostlyInsertsDistant)
     RripConfig cfg;
     cfg.mode = RripMode::BRrip;
     RripPolicy rrip(16, 4, cfg);
-    CacheBlock blk;
+    FrameSet fs(4, true);
     unsigned distant = 0;
     for (int i = 0; i < 320; ++i) {
-        rrip.onFill(0, 0, blk, demand(0));
+        rrip.onFill(0, 0, fs.view(), demand(0));
         distant += rrip.rrpv(0, 0) == 3;
     }
     EXPECT_GT(distant, 280u);
@@ -290,12 +307,13 @@ TEST(RripPolicyTest, BrripMostlyInsertsDistant)
 TEST(RripPolicyTest, DrripDuelsViaPsel)
 {
     RripPolicy rrip(2048, 16); // DRRIP default
+    FrameSet fs(16, true);
     std::uint32_t srrip_leader = 0;
     while (!rrip.isSrripLeader(srrip_leader, 0))
         ++srrip_leader;
     const bool before = rrip.followerUsesBrrip(0);
     for (int i = 0; i < 600; ++i)
-        rrip.onAccess(srrip_leader, -1, nullptr, demand(0));
+        rrip.onAccess(srrip_leader, -1, fs.view(), demand(0));
     EXPECT_TRUE(rrip.followerUsesBrrip(0));
     (void)before;
     EXPECT_EQ(rrip.name(), "drrip");
@@ -312,17 +330,17 @@ class ScriptedPredictor : public DeadBlockPredictor
     std::uint64_t fills = 0;
 
     bool
-    onAccess(std::uint32_t, Addr, PC pc, ThreadId) override
+    onAccess(std::uint32_t, const Access &a) override
     {
-        return deadPcs.count(pc) > 0;
+        return deadPcs.count(a.pc) > 0;
     }
     void
-    onFill(std::uint32_t, Addr, PC) override
+    onFill(std::uint32_t, const Access &) override
     {
         ++fills;
     }
     void
-    onEvict(std::uint32_t, Addr) override
+    onEvict(std::uint32_t, const Access &) override
     {
         ++evicts;
     }
@@ -347,6 +365,12 @@ makeDbrbCache(ScriptedPredictor *&predictor_out,
     return std::make_unique<Cache>(ccfg, std::move(policy));
 }
 
+const DeadBlockPolicyBase &
+dbrbOf(const Cache &cache)
+{
+    return dynamic_cast<const DeadBlockPolicyBase &>(cache.policy());
+}
+
 TEST(DeadBlockPolicyTest, DeadOnArrivalBypasses)
 {
     ScriptedPredictor *pred = nullptr;
@@ -356,8 +380,7 @@ TEST(DeadBlockPolicyTest, DeadOnArrivalBypasses)
     cache->fill(demand(0x10, 0x400000), 0);
     EXPECT_FALSE(cache->probe(0x10));
     EXPECT_EQ(cache->stats().bypasses, 1u);
-    const auto &policy =
-        dynamic_cast<const DeadBlockPolicy &>(cache->policy());
+    const auto &policy = dbrbOf(*cache);
     EXPECT_EQ(policy.dbrbStats().bypasses, 1u);
     EXPECT_EQ(policy.dbrbStats().positives, 1u);
 }
@@ -394,8 +417,7 @@ TEST(DeadBlockPolicyTest, PredictedDeadBlockEvictedBeforeLru)
     cache->fill(demand(0x10, 0x400000), 4);
     EXPECT_FALSE(cache->probe(0x04));
     EXPECT_TRUE(cache->probe(0x00));
-    const auto &policy =
-        dynamic_cast<const DeadBlockPolicy &>(cache->policy());
+    const auto &policy = dbrbOf(*cache);
     EXPECT_EQ(policy.dbrbStats().deadEvictions, 1u);
     EXPECT_EQ(policy.dbrbStats().falsePositiveHits, 0u);
 }
@@ -430,8 +452,7 @@ TEST(DeadBlockPolicyTest, HitOnDeadBlockCountsFalsePositive)
     cache->access(demand(0x00, 0x400abc), 1); // marks dead
     pred->deadPcs.clear();
     cache->access(demand(0x00, 0x400000), 2); // hit on "dead" block
-    const auto &policy =
-        dynamic_cast<const DeadBlockPolicy &>(cache->policy());
+    const auto &policy = dbrbOf(*cache);
     EXPECT_EQ(policy.dbrbStats().falsePositiveHits, 1u);
 }
 
@@ -444,8 +465,7 @@ TEST(DeadBlockPolicyTest, BypassReuseCountsFalsePositive)
     cache->fill(demand(0x10, 0x400000), 0); // bypassed
     pred->deadPcs.clear();
     cache->access(demand(0x10, 0x400000), 1); // re-miss soon after
-    const auto &policy =
-        dynamic_cast<const DeadBlockPolicy &>(cache->policy());
+    const auto &policy = dbrbOf(*cache);
     EXPECT_EQ(policy.dbrbStats().bypassReuses, 1u);
 }
 
@@ -467,15 +487,11 @@ TEST(DeadBlockPolicyTest, WritebacksSkipThePredictor)
     ScriptedPredictor *pred = nullptr;
     auto cache = makeDbrbCache(pred);
     pred->deadPcs.insert(0); // writebacks carry pc 0
-    AccessInfo wb;
-    wb.blockAddr = 0x20;
-    wb.isWrite = true;
-    wb.isWriteback = true;
+    const Access wb = Access::writebackOf(0x20, 0);
     cache->access(wb, 0);
     cache->fill(wb, 0);
     EXPECT_TRUE(cache->probe(0x20)); // not bypassed
-    const auto &policy =
-        dynamic_cast<const DeadBlockPolicy &>(cache->policy());
+    const auto &policy = dbrbOf(*cache);
     EXPECT_EQ(policy.dbrbStats().predictions, 0u);
     EXPECT_EQ(pred->fills, 0u);
 }

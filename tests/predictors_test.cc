@@ -20,7 +20,7 @@ namespace
 TEST(RefTrace, ColdPredictorPredictsLive)
 {
     RefTracePredictor p;
-    EXPECT_FALSE(p.onAccess(0, 0x10, 0x400000, 0));
+    EXPECT_FALSE(p.onAccess(0, Access::atBlock(0x10, 0x400000, 0)));
 }
 
 TEST(RefTrace, LearnsDeathTraceAfterRepeatedGenerations)
@@ -30,17 +30,17 @@ TEST(RefTrace, LearnsDeathTraceAfterRepeatedGenerations)
     // After two generations the A+B signature saturates to "dead".
     for (int gen = 0; gen < 3; ++gen) {
         const Addr blk = 0x100 + gen; // distinct blocks, same trace
-        p.onAccess(0, blk, 0xA0, 0);
-        p.onFill(0, blk, 0xA0);
-        p.onAccess(0, blk, 0xB0, 0);
-        p.onEvict(0, blk);
+        p.onAccess(0, Access::atBlock(blk, 0xA0, 0));
+        p.onFill(0, Access::atBlock(blk, 0xA0));
+        p.onAccess(0, Access::atBlock(blk, 0xB0, 0));
+        p.onEvict(0, Access::atBlock(blk));
     }
     // A fresh block following the same trace is predicted dead at
     // the same point.
     const Addr blk = 0x900;
-    p.onAccess(0, blk, 0xA0, 0);
-    p.onFill(0, blk, 0xA0);
-    EXPECT_TRUE(p.onAccess(0, blk, 0xB0, 0));
+    p.onAccess(0, Access::atBlock(blk, 0xA0, 0));
+    p.onFill(0, Access::atBlock(blk, 0xA0));
+    EXPECT_TRUE(p.onAccess(0, Access::atBlock(blk, 0xB0, 0)));
 }
 
 TEST(RefTrace, ReaccessTrainsAgainstPrematureSignature)
@@ -49,43 +49,43 @@ TEST(RefTrace, ReaccessTrainsAgainstPrematureSignature)
     // Train signature(A) as a death trace...
     for (int gen = 0; gen < 3; ++gen) {
         const Addr blk = 0x100 + gen;
-        p.onAccess(0, blk, 0xA0, 0);
-        p.onFill(0, blk, 0xA0);
-        p.onEvict(0, blk);
+        p.onAccess(0, Access::atBlock(blk, 0xA0, 0));
+        p.onFill(0, Access::atBlock(blk, 0xA0));
+        p.onEvict(0, Access::atBlock(blk));
     }
-    EXPECT_TRUE(p.onAccess(0, 0x900, 0xA0, 0)); // dead on arrival
+    EXPECT_TRUE(p.onAccess(0, Access::atBlock(0x900, 0xA0, 0))); // dead on arrival
     // ...then observe blocks that survive past it: the dead-on-
     // arrival prediction must eventually flip.
     for (int gen = 0; gen < 4; ++gen) {
         const Addr blk = 0x200 + gen;
-        p.onAccess(0, blk, 0xA0, 0);
-        p.onFill(0, blk, 0xA0);
-        p.onAccess(0, blk, 0xB0, 0); // re-access decrements sig(A)
-        p.onEvict(0, blk);
+        p.onAccess(0, Access::atBlock(blk, 0xA0, 0));
+        p.onFill(0, Access::atBlock(blk, 0xA0));
+        p.onAccess(0, Access::atBlock(blk, 0xB0, 0)); // re-access decrements sig(A)
+        p.onEvict(0, Access::atBlock(blk));
     }
-    EXPECT_FALSE(p.onAccess(0, 0x901, 0xA0, 0));
+    EXPECT_FALSE(p.onAccess(0, Access::atBlock(0x901, 0xA0, 0)));
 }
 
 TEST(RefTrace, SignatureAccumulatesPerBlock)
 {
     RefTracePredictor p;
-    p.onAccess(0, 0x10, 0xA0, 0);
-    p.onFill(0, 0x10, 0xA0);
+    p.onAccess(0, Access::atBlock(0x10, 0xA0, 0));
+    p.onFill(0, Access::atBlock(0x10, 0xA0));
     const std::uint64_t s1 = p.signatureOf(0x10);
-    p.onAccess(0, 0x10, 0xB0, 0);
+    p.onAccess(0, Access::atBlock(0x10, 0xB0, 0));
     const std::uint64_t s2 = p.signatureOf(0x10);
     EXPECT_NE(s1, s2);
     // A different block touched by the same PCs gets the same trace.
-    p.onAccess(0, 0x20, 0xA0, 0);
-    p.onFill(0, 0x20, 0xA0);
-    p.onAccess(0, 0x20, 0xB0, 0);
+    p.onAccess(0, Access::atBlock(0x20, 0xA0, 0));
+    p.onFill(0, Access::atBlock(0x20, 0xA0));
+    p.onAccess(0, Access::atBlock(0x20, 0xB0, 0));
     EXPECT_EQ(p.signatureOf(0x20), s2);
 }
 
 TEST(RefTrace, EvictionOfUnknownBlockIsIgnored)
 {
     RefTracePredictor p;
-    EXPECT_NO_FATAL_FAILURE(p.onEvict(0, 0x999));
+    EXPECT_NO_FATAL_FAILURE(p.onEvict(0, Access::atBlock(0x999)));
 }
 
 TEST(RefTrace, StorageMatchesTableI)
@@ -102,7 +102,7 @@ TEST(RefTrace, StorageMatchesTableI)
 TEST(Counting, ColdPredictorPredictsLive)
 {
     CountingPredictor p;
-    EXPECT_FALSE(p.onAccess(0, 0x10, 0x400000, 0));
+    EXPECT_FALSE(p.onAccess(0, Access::atBlock(0x10, 0x400000, 0)));
 }
 
 TEST(Counting, PredictsDeadAtLearnedAccessCount)
@@ -113,18 +113,18 @@ TEST(Counting, PredictsDeadAtLearnedAccessCount)
     // count with confidence.
     for (int gen = 0; gen < 2; ++gen) {
         const Addr blk = 0x40;
-        p.onAccess(0, blk, fill_pc, 0);
-        p.onFill(0, blk, fill_pc);
-        p.onAccess(0, blk, fill_pc, 0);
-        p.onAccess(0, blk, fill_pc, 0);
-        p.onEvict(0, blk);
+        p.onAccess(0, Access::atBlock(blk, fill_pc, 0));
+        p.onFill(0, Access::atBlock(blk, fill_pc));
+        p.onAccess(0, Access::atBlock(blk, fill_pc, 0));
+        p.onAccess(0, Access::atBlock(blk, fill_pc, 0));
+        p.onEvict(0, Access::atBlock(blk));
     }
     // Third generation: live until the 3rd access, dead at it.
     const Addr blk = 0x40;
-    p.onAccess(0, blk, fill_pc, 0);
-    p.onFill(0, blk, fill_pc);
-    EXPECT_FALSE(p.onAccess(0, blk, fill_pc, 0));
-    EXPECT_TRUE(p.onAccess(0, blk, fill_pc, 0));
+    p.onAccess(0, Access::atBlock(blk, fill_pc, 0));
+    p.onFill(0, Access::atBlock(blk, fill_pc));
+    EXPECT_FALSE(p.onAccess(0, Access::atBlock(blk, fill_pc, 0)));
+    EXPECT_TRUE(p.onAccess(0, Access::atBlock(blk, fill_pc, 0)));
 }
 
 TEST(Counting, ConfidenceDropsWhenCountsDisagree)
@@ -133,20 +133,20 @@ TEST(Counting, ConfidenceDropsWhenCountsDisagree)
     const PC fill_pc = 0x400100;
     const Addr blk = 0x40;
     // Generation of 2 accesses, then generation of 4: no confidence.
-    p.onAccess(0, blk, fill_pc, 0);
-    p.onFill(0, blk, fill_pc);
-    p.onAccess(0, blk, fill_pc, 0);
-    p.onEvict(0, blk);
-    p.onAccess(0, blk, fill_pc, 0);
-    p.onFill(0, blk, fill_pc);
+    p.onAccess(0, Access::atBlock(blk, fill_pc, 0));
+    p.onFill(0, Access::atBlock(blk, fill_pc));
+    p.onAccess(0, Access::atBlock(blk, fill_pc, 0));
+    p.onEvict(0, Access::atBlock(blk));
+    p.onAccess(0, Access::atBlock(blk, fill_pc, 0));
+    p.onFill(0, Access::atBlock(blk, fill_pc));
     for (int i = 0; i < 3; ++i)
-        p.onAccess(0, blk, fill_pc, 0);
-    p.onEvict(0, blk);
+        p.onAccess(0, Access::atBlock(blk, fill_pc, 0));
+    p.onEvict(0, Access::atBlock(blk));
     // New generation: even at matching counts, no confident "dead".
-    p.onAccess(0, blk, fill_pc, 0);
-    p.onFill(0, blk, fill_pc);
+    p.onAccess(0, Access::atBlock(blk, fill_pc, 0));
+    p.onFill(0, Access::atBlock(blk, fill_pc));
     for (int i = 0; i < 6; ++i)
-        EXPECT_FALSE(p.onAccess(0, blk, fill_pc, 0));
+        EXPECT_FALSE(p.onAccess(0, Access::atBlock(blk, fill_pc, 0)));
 }
 
 TEST(Counting, DeadOnArrivalForSingleAccessGenerations)
@@ -155,12 +155,12 @@ TEST(Counting, DeadOnArrivalForSingleAccessGenerations)
     const PC fill_pc = 0x400200;
     const Addr blk = 0x80;
     for (int gen = 0; gen < 2; ++gen) {
-        p.onAccess(0, blk, fill_pc, 0);
-        p.onFill(0, blk, fill_pc);
-        p.onEvict(0, blk);
+        p.onAccess(0, Access::atBlock(blk, fill_pc, 0));
+        p.onFill(0, Access::atBlock(blk, fill_pc));
+        p.onEvict(0, Access::atBlock(blk));
     }
     // Never-reused blocks are predicted dead on arrival (bypass).
-    EXPECT_TRUE(p.onAccess(0, blk, fill_pc, 0));
+    EXPECT_TRUE(p.onAccess(0, Access::atBlock(blk, fill_pc, 0)));
 }
 
 TEST(Counting, DistinctBlocksUseDistinctEntries)
@@ -169,13 +169,13 @@ TEST(Counting, DistinctBlocksUseDistinctEntries)
     const PC fill_pc = 0x400300;
     // Train block A for single-access generations.
     for (int gen = 0; gen < 2; ++gen) {
-        p.onAccess(0, 0x1000, fill_pc, 0);
-        p.onFill(0, 0x1000, fill_pc);
-        p.onEvict(0, 0x1000);
+        p.onAccess(0, Access::atBlock(0x1000, fill_pc, 0));
+        p.onFill(0, Access::atBlock(0x1000, fill_pc));
+        p.onEvict(0, Access::atBlock(0x1000));
     }
-    EXPECT_TRUE(p.onAccess(0, 0x1000, fill_pc, 0));
+    EXPECT_TRUE(p.onAccess(0, Access::atBlock(0x1000, fill_pc, 0)));
     // Block B (different address hash) is still cold.
-    EXPECT_FALSE(p.onAccess(0, 0x2000, fill_pc, 0));
+    EXPECT_FALSE(p.onAccess(0, Access::atBlock(0x2000, fill_pc, 0)));
 }
 
 TEST(Counting, StorageMatchesTableI)
@@ -190,7 +190,7 @@ TEST(Counting, StorageMatchesTableI)
 TEST(Counting, EvictionOfUnknownBlockIsIgnored)
 {
     CountingPredictor p;
-    EXPECT_NO_FATAL_FAILURE(p.onEvict(0, 0x999));
+    EXPECT_NO_FATAL_FAILURE(p.onEvict(0, Access::atBlock(0x999)));
 }
 
 TEST(RefTrace, BypassedFillsNeverRetrain)
@@ -203,17 +203,17 @@ TEST(RefTrace, BypassedFillsNeverRetrain)
     // Two thrashing generations lock sig(A) at the threshold.
     for (int gen = 0; gen < 2; ++gen) {
         const Addr blk = 0x100 + gen;
-        p.onAccess(0, blk, 0xA0, 0);
-        p.onFill(0, blk, 0xA0);
-        p.onEvict(0, blk);
+        p.onAccess(0, Access::atBlock(blk, 0xA0, 0));
+        p.onFill(0, Access::atBlock(blk, 0xA0));
+        p.onEvict(0, Access::atBlock(blk));
     }
-    EXPECT_TRUE(p.onAccess(0, 0x900, 0xA0, 0));
+    EXPECT_TRUE(p.onAccess(0, Access::atBlock(0x900, 0xA0, 0)));
     // From now on the DBRB policy would bypass: simulate many
     // accesses with NO fill/evict (bypassed blocks get no metadata).
     for (Addr a = 0; a < 100; ++a)
-        EXPECT_TRUE(p.onAccess(0, 0x1000 + a, 0xA0, 0));
+        EXPECT_TRUE(p.onAccess(0, Access::atBlock(0x1000 + a, 0xA0, 0)));
     // Still predicted dead: no recovery path exists.
-    EXPECT_TRUE(p.onAccess(0, 0x2000, 0xA0, 0));
+    EXPECT_TRUE(p.onAccess(0, Access::atBlock(0x2000, 0xA0, 0)));
 }
 
 // ---- sampling counting (paper Sec. VIII future work) ----
@@ -231,7 +231,7 @@ tinySamplingCounting()
 TEST(SamplingCounting, ColdPredictorPredictsLive)
 {
     SamplingCountingPredictor p(tinySamplingCounting());
-    EXPECT_FALSE(p.onAccess(0, 0x10, 0x400000, 0));
+    EXPECT_FALSE(p.onAccess(0, Access::atBlock(0x10, 0x400000, 0)));
 }
 
 TEST(SamplingCounting, OnlySampledSetsTrain)
@@ -250,9 +250,9 @@ TEST(SamplingCounting, LearnsSingleAccessGenerationsFromSampler)
     // touched once and evicted from the tiny sampler with count 1.
     // Three consistent generations build the 2-of-3 confidence.
     for (Addr a = 0; a < 64; ++a)
-        p.onAccess(0, a << 6, pc, 0);
+        p.onAccess(0, Access::atBlock(a << 6, pc, 0));
     // Dead-on-arrival: a fresh block of this PC is predicted dead.
-    EXPECT_TRUE(p.onAccess(0, 0xffff << 6, pc, 0));
+    EXPECT_TRUE(p.onAccess(0, Access::atBlock(0xffff << 6, pc, 0)));
 }
 
 TEST(SamplingCounting, PredictsDeadAtLearnedCount)
@@ -266,16 +266,16 @@ TEST(SamplingCounting, PredictsDeadAtLearnedCount)
         // between rounds, closing each generation at count 2.
         for (Addr t = 0; t < 8; ++t) {
             const Addr blk = (0x100 + round * 8 + t) << 6;
-            p.onAccess(0, blk, pc, 0);
-            p.onAccess(0, blk, pc, 0);
+            p.onAccess(0, Access::atBlock(blk, pc, 0));
+            p.onAccess(0, Access::atBlock(blk, pc, 0));
         }
     }
     // LLC side: a resident block of this PC becomes dead at its 2nd
     // access.
     const Addr blk = 0x555000;
-    p.onAccess(5, blk, pc, 0); // miss query
-    p.onFill(5, blk, pc);
-    EXPECT_TRUE(p.onAccess(5, blk, pc, 0));
+    p.onAccess(5, Access::atBlock(blk, pc, 0)); // miss query
+    p.onFill(5, Access::atBlock(blk, pc));
+    EXPECT_TRUE(p.onAccess(5, Access::atBlock(blk, pc, 0)));
 }
 
 TEST(SamplingCounting, CacheEvictionsDoNotTrain)
@@ -284,11 +284,11 @@ TEST(SamplingCounting, CacheEvictionsDoNotTrain)
     const PC pc = 0x400700;
     // Evictions in unsampled sets never touch the table.
     for (Addr a = 0; a < 100; ++a) {
-        p.onAccess(3, a, pc, 0);
-        p.onFill(3, a, pc);
-        p.onEvict(3, a);
+        p.onAccess(3, Access::atBlock(a, pc, 0));
+        p.onFill(3, Access::atBlock(a, pc));
+        p.onEvict(3, Access::atBlock(a));
     }
-    EXPECT_FALSE(p.onAccess(3, 0x999, pc, 0));
+    EXPECT_FALSE(p.onAccess(3, Access::atBlock(0x999, pc, 0)));
 }
 
 TEST(SamplingCounting, StorageIsSmall)

@@ -21,13 +21,10 @@ namespace sdbp
 namespace
 {
 
-AccessInfo
+Access
 demand(Addr block_addr, PC pc = 0x400000)
 {
-    AccessInfo info;
-    info.pc = pc;
-    info.blockAddr = block_addr;
-    return info;
+    return Access::atBlock(block_addr, pc);
 }
 
 std::unique_ptr<Cache>
@@ -140,7 +137,7 @@ TEST(Prefetcher, InstallsIntoPredictedDeadFrames)
 
     // Install it via the polluting path instead, then mark dead by
     // a touch with the dead PC.
-    AccessInfo wb = demand(0x5, 0);
+    Access wb = demand(0x5, 0);
     wb.isWriteback = true;
     llc.access(wb, 2);
     llc.fill(wb, 2);

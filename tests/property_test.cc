@@ -56,11 +56,10 @@ lruMisses(const std::vector<Addr> &trace, std::uint32_t sets,
     Cache cache(cfg, std::make_unique<LruPolicy>(sets, assoc));
     std::uint64_t misses = 0;
     for (Addr a : trace) {
-        AccessInfo info;
-        info.blockAddr = a;
-        if (!cache.access(info, 0)) {
+        const Access acc = Access::atBlock(a);
+        if (!cache.access(acc, 0)) {
             ++misses;
-            cache.fill(info, 0);
+            cache.fill(acc, 0);
         }
     }
     return misses;
@@ -147,10 +146,10 @@ TEST(SdbpProperties, CoverageFallsWithThreshold)
         SyntheticWorkload w(specProfile("456.hmmer"));
         std::uint64_t positives = 0, total = 0;
         for (int i = 0; i < 40000; ++i) {
-            const MemAccess a = w.next().access;
+            const Access a = w.next();
             const auto set = static_cast<std::uint32_t>(
                 a.blockAddr() & 63);
-            positives += p.onAccess(set, a.blockAddr(), a.pc, 0);
+            positives += p.onAccess(set, a);
             ++total;
         }
         const double coverage =
@@ -173,12 +172,14 @@ TEST(SdbpProperties, PredictionsGeneralizeAcrossSets)
     const PC dead_pc = 0x400abc;
     // Train only via sampled sets.
     for (Addr a = 0; a < 4096; ++a)
-        p.onAccess((a * 64) & 2047, (a << 11) | ((a * 64) & 2047),
-                   dead_pc, 0);
+        p.onAccess(static_cast<std::uint32_t>((a * 64) & 2047),
+                   Access::atBlock((a << 11) | ((a * 64) & 2047),
+                                   dead_pc));
     // Consult on never-sampled sets: prediction must carry over.
     unsigned dead = 0;
     for (std::uint32_t set = 1; set < 64; set += 2)
-        dead += p.onAccess(set, 0xabc000 + set, dead_pc, 0);
+        dead += p.onAccess(set, Access::atBlock(0xabc000 + set,
+                                                dead_pc));
     EXPECT_EQ(dead, 32u);
 }
 
@@ -219,7 +220,7 @@ TEST(WorkloadProperties, MemoryIntensityMatchesGap)
         SyntheticWorkload w(p);
         std::uint64_t instructions = 0, accesses = 0;
         for (int i = 0; i < 20000; ++i) {
-            const TraceRecord r = w.next();
+            const Access r = w.next();
             instructions += r.gap + 1;
             ++accesses;
         }

@@ -76,11 +76,9 @@ TEST(PolicyFactory, BypassDisableFlagPropagates)
     PolicyOptions opts;
     opts.dbrb.enableBypass = false;
     auto policy = makePolicy(PolicyKind::Sampler, 64, 4, opts);
-    auto *dbrb = dynamic_cast<DeadBlockPolicy *>(policy.get());
+    auto *dbrb = dynamic_cast<DeadBlockPolicyBase *>(policy.get());
     ASSERT_NE(dbrb, nullptr);
-    AccessInfo info;
-    info.blockAddr = 1;
-    EXPECT_FALSE(dbrb->shouldBypass(1, info));
+    EXPECT_FALSE(dbrb->shouldBypass(1, Access::atBlock(1)));
 }
 
 TEST(PolicyFactory, PolicyLists)

@@ -43,12 +43,12 @@ TEST_P(BenchmarkSweep, GeneratorIsDeterministicAndAligned)
     SyntheticWorkload a(specProfile(GetParam()));
     SyntheticWorkload b(specProfile(GetParam()));
     for (int i = 0; i < 500; ++i) {
-        const TraceRecord ra = a.next();
-        const TraceRecord rb = b.next();
-        EXPECT_EQ(ra.access.addr, rb.access.addr);
-        EXPECT_EQ(ra.access.pc, rb.access.pc);
+        const Access ra = a.next();
+        const Access rb = b.next();
+        EXPECT_EQ(ra.addr, rb.addr);
+        EXPECT_EQ(ra.pc, rb.pc);
         // PCs look like instruction addresses (4-byte aligned).
-        EXPECT_EQ(ra.access.pc % 4, 0u);
+        EXPECT_EQ(ra.pc % 4, 0u);
     }
 }
 

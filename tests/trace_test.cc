@@ -72,12 +72,12 @@ TEST(Stream, ResetReproducesSequence)
     StreamConfig cfg = seqConfig(16);
     cfg.writeFraction = 0.5;
     Stream s(cfg, 0x1000, 0x400000, 99);
-    std::vector<MemAccess> first;
+    std::vector<Access> first;
     for (int i = 0; i < 50; ++i)
         first.push_back(s.next());
     s.reset();
     for (int i = 0; i < 50; ++i) {
-        const MemAccess a = s.next();
+        const Access a = s.next();
         EXPECT_EQ(a.addr, first[i].addr);
         EXPECT_EQ(a.pc, first[i].pc);
         EXPECT_EQ(a.isWrite, first[i].isWrite);
@@ -147,7 +147,7 @@ TEST(Stream, GenerationalEpochsRescanTheRegion)
     std::vector<Addr> accesses;
     std::vector<PC> pcs;
     for (int i = 0; i < 12; ++i) { // one full generation
-        const MemAccess a = s.next();
+        const Access a = s.next();
         accesses.push_back(a.blockAddr());
         pcs.push_back(a.pc);
     }
@@ -235,7 +235,7 @@ TEST(Stream, RescanDoublesEpochTouchesSometimes)
     std::map<Addr, int> touches;
     std::set<PC> pcs;
     for (int i = 0; i < 400; ++i) {
-        const MemAccess a = s.next();
+        const Access a = s.next();
         ++touches[a.blockAddr()];
         pcs.insert(a.pc);
     }
@@ -286,10 +286,10 @@ TEST(Workload, StreamsGetDisjointAddressRegions)
     std::set<Addr> seen[3];
     // Identify stream by PC base (streams are 0x1000 apart).
     for (int i = 0; i < 3000; ++i) {
-        const TraceRecord r = w.next();
-        const std::size_t idx = (r.access.pc - 0x400000) / 0x1000;
+        const Access r = w.next();
+        const std::size_t idx = (r.pc - 0x400000) / 0x1000;
         ASSERT_LT(idx, 3u);
-        seen[idx].insert(r.access.blockAddr());
+        seen[idx].insert(r.blockAddr());
     }
     for (int a = 0; a < 3; ++a) {
         for (int b = a + 1; b < 3; ++b) {
@@ -316,7 +316,7 @@ TEST(Workload, WeightsControlMixRatio)
     int heavy_count = 0;
     const int n = 20000;
     for (int i = 0; i < n; ++i)
-        heavy_count += w.next().access.pc < 0x401000;
+        heavy_count += w.next().pc < 0x401000;
     EXPECT_NEAR(static_cast<double>(heavy_count) / n, 0.9, 0.02);
 }
 
@@ -337,15 +337,15 @@ TEST(Workload, GapMeanMatchesConfig)
 TEST(Workload, ResetReproducesExactly)
 {
     SyntheticWorkload w(specProfile("456.hmmer"));
-    std::vector<TraceRecord> first;
+    std::vector<Access> first;
     for (int i = 0; i < 200; ++i)
         first.push_back(w.next());
     w.reset();
     for (int i = 0; i < 200; ++i) {
-        const TraceRecord r = w.next();
+        const Access r = w.next();
         EXPECT_EQ(r.gap, first[i].gap);
-        EXPECT_EQ(r.access.addr, first[i].access.addr);
-        EXPECT_EQ(r.access.pc, first[i].access.pc);
+        EXPECT_EQ(r.addr, first[i].addr);
+        EXPECT_EQ(r.pc, first[i].pc);
     }
 }
 
@@ -355,8 +355,8 @@ TEST(Workload, AddressSpacesAreDisjointAcrossInstances)
     SyntheticWorkload b(specProfile("429.mcf"), 1);
     std::set<Addr> aa, bb;
     for (int i = 0; i < 2000; ++i) {
-        aa.insert(a.next().access.blockAddr());
-        bb.insert(b.next().access.blockAddr());
+        aa.insert(a.next().blockAddr());
+        bb.insert(b.next().blockAddr());
     }
     std::vector<Addr> overlap;
     std::set_intersection(aa.begin(), aa.end(), bb.begin(), bb.end(),
@@ -404,8 +404,8 @@ TEST(Workload, DistinctInstancesUseDistinctPcSpaces)
     SyntheticWorkload b(specProfile("445.gobmk"), 1);
     std::set<PC> pcs_a, pcs_b;
     for (int i = 0; i < 3000; ++i) {
-        pcs_a.insert(a.next().access.pc);
-        pcs_b.insert(b.next().access.pc);
+        pcs_a.insert(a.next().pc);
+        pcs_b.insert(b.next().pc);
     }
     std::vector<PC> overlap;
     std::set_intersection(pcs_a.begin(), pcs_a.end(), pcs_b.begin(),

@@ -29,11 +29,11 @@ TEST(TraceFile, RoundTripPreservesEveryField)
 {
     const std::string path = tempPath("roundtrip.sdbptrace");
     SyntheticWorkload gen(specProfile("450.soplex"));
-    std::vector<TraceRecord> expected;
+    std::vector<Access> expected;
     {
         TraceWriter writer(path);
         for (int i = 0; i < 500; ++i) {
-            const TraceRecord r = gen.next();
+            const Access r = gen.next();
             expected.push_back(r);
             writer.append(r);
         }
@@ -43,11 +43,11 @@ TEST(TraceFile, RoundTripPreservesEveryField)
     ASSERT_EQ(records.size(), expected.size());
     for (std::size_t i = 0; i < records.size(); ++i) {
         EXPECT_EQ(records[i].gap, expected[i].gap);
-        EXPECT_EQ(records[i].access.pc, expected[i].access.pc);
-        EXPECT_EQ(records[i].access.addr, expected[i].access.addr);
-        EXPECT_EQ(records[i].access.isWrite, expected[i].access.isWrite);
-        EXPECT_EQ(records[i].access.dependsOnPrevLoad,
-                  expected[i].access.dependsOnPrevLoad);
+        EXPECT_EQ(records[i].pc, expected[i].pc);
+        EXPECT_EQ(records[i].addr, expected[i].addr);
+        EXPECT_EQ(records[i].isWrite, expected[i].isWrite);
+        EXPECT_EQ(records[i].dependsOnPrevLoad,
+                  expected[i].dependsOnPrevLoad);
     }
     std::remove(path.c_str());
 }
@@ -61,27 +61,27 @@ TEST(TraceFile, CaptureHelperMatchesGeneratorOutput)
     const auto records = readTraceFile(path);
     ASSERT_EQ(records.size(), 256u);
     for (const auto &rec : records) {
-        const TraceRecord expected = gen.next();
-        EXPECT_EQ(rec.access.addr, expected.access.addr);
-        EXPECT_EQ(rec.access.pc, expected.access.pc);
+        const Access expected = gen.next();
+        EXPECT_EQ(rec.addr, expected.addr);
+        EXPECT_EQ(rec.pc, expected.pc);
     }
     std::remove(path.c_str());
 }
 
 TEST(TraceFile, ReplayLoopsAndResets)
 {
-    std::vector<TraceRecord> records;
+    std::vector<Access> records;
     for (int i = 0; i < 5; ++i) {
-        TraceRecord r;
+        Access r;
         r.gap = static_cast<std::uint32_t>(i);
-        r.access.addr = static_cast<Addr>(i) * 64;
+        r.addr = static_cast<Addr>(i) * 64;
         records.push_back(r);
     }
     TraceReplayGenerator replay(records);
     EXPECT_EQ(replay.size(), 5u);
     for (int lap = 0; lap < 3; ++lap)
         for (int i = 0; i < 5; ++i)
-            EXPECT_EQ(replay.next().access.addr,
+            EXPECT_EQ(replay.next().addr,
                       static_cast<Addr>(i) * 64);
     EXPECT_EQ(replay.loops(), 3u);
     replay.reset();

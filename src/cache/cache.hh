@@ -33,6 +33,7 @@
 #include "cache/policy.hh"
 #include "obs/trace_sink.hh"
 #include "trace/access.hh"
+#include "util/hotpath.hh"
 #include "util/logging.hh"
 
 namespace sdbp
@@ -126,7 +127,7 @@ class CacheBase
      */
     double frameEfficiency(std::uint32_t set, std::uint32_t way) const;
 
-    std::uint32_t
+    SDBP_HOT_PATH std::uint32_t
     setIndex(Addr block_addr) const
     {
         return static_cast<std::uint32_t>(block_addr &
@@ -151,7 +152,7 @@ class CacheBase
     const ReplacementPolicy &policy() const { return *policyBase_; }
 
     /** Hot-lane view of one set (what the policy hooks receive). */
-    SetView
+    SDBP_HOT_PATH SetView
     frames(std::uint32_t set)
     {
         const std::size_t base =
@@ -175,7 +176,7 @@ class CacheBase
     void auditInvariants() const;
 
     /** Linear probe of one set; -1 when absent. */
-    int
+    SDBP_HOT_PATH int
     findWay(std::uint32_t set, Addr block_addr) const
     {
         const Addr *tags =
@@ -190,7 +191,7 @@ class CacheBase
     CacheBase(const CacheConfig &cfg, ReplacementPolicy *policy_base);
 
     /** Close the live/dead generation of a frame about to turn over. */
-    void
+    SDBP_HOT_PATH void
     retireGeneration(std::uint32_t set, std::uint32_t way,
                      std::uint64_t now)
     {
@@ -257,7 +258,7 @@ class BasicCache final : public CacheBase
      *        accounting (the driver passes the instruction count)
      * @return true on hit
      */
-    bool
+    SDBP_HOT_PATH bool
     access(const Access &a, std::uint64_t now)
     {
         const Addr block = a.blockAddr();
@@ -310,7 +311,7 @@ class BasicCache final : public CacheBase
      * @return the block that was evicted to make room (valid=false
      *         if an empty way was used or the fill was bypassed)
      */
-    EvictedBlock
+    SDBP_HOT_PATH EvictedBlock
     fill(const Access &a, std::uint64_t now)
     {
         EvictedBlock evicted;

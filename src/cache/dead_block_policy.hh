@@ -33,6 +33,7 @@
 #include "obs/confusion.hh"
 #include "obs/trace_sink.hh"
 #include "predictor/dead_block_predictor.hh"
+#include "util/hotpath.hh"
 
 namespace sdbp
 {
@@ -122,7 +123,7 @@ class DeadBlockPolicyBase : public ReplacementPolicy
         return faults_.get();
     }
 
-    std::uint32_t
+    SDBP_HOT_PATH std::uint32_t
     rank(std::uint32_t set, std::uint32_t way) const override
     {
         return innerBase_->rank(set, way);
@@ -186,7 +187,7 @@ class BasicDeadBlockPolicy final : public DeadBlockPolicyBase
     Inner &typedInner() { return *inner_; }
     Pred &typedPredictor() { return *predictor_; }
 
-    void
+    SDBP_HOT_PATH void
     onAccess(std::uint32_t set, int hit_way, SetView frames,
              const Access &a) override
     {
@@ -232,7 +233,7 @@ class BasicDeadBlockPolicy final : public DeadBlockPolicyBase
         inner_->onAccess(set, hit_way, frames, a);
     }
 
-    bool
+    SDBP_HOT_PATH bool
     shouldBypass(std::uint32_t set, const Access &a) override
     {
         (void)set;
@@ -243,7 +244,7 @@ class BasicDeadBlockPolicy final : public DeadBlockPolicyBase
         return true;
     }
 
-    std::uint32_t
+    SDBP_HOT_PATH std::uint32_t
     victim(std::uint32_t set, SetView frames, const Access &a) override
     {
         if (cfg_.enableDeadReplacement) {
@@ -292,7 +293,7 @@ class BasicDeadBlockPolicy final : public DeadBlockPolicyBase
         return inner_->victim(set, frames, a);
     }
 
-    void
+    SDBP_HOT_PATH void
     onEvict(std::uint32_t set, std::uint32_t way,
             SetView frames) override
     {
@@ -306,7 +307,7 @@ class BasicDeadBlockPolicy final : public DeadBlockPolicyBase
         inner_->onEvict(set, way, frames);
     }
 
-    void
+    SDBP_HOT_PATH void
     onFill(std::uint32_t set, std::uint32_t way, SetView frames,
            const Access &a) override
     {
@@ -320,7 +321,7 @@ class BasicDeadBlockPolicy final : public DeadBlockPolicyBase
         inner_->onFill(set, way, frames, a);
     }
 
-    std::uint32_t
+    SDBP_HOT_PATH std::uint32_t
     rank(std::uint32_t set, std::uint32_t way) const override
     {
         return inner_->rank(set, way);

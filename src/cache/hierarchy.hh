@@ -25,6 +25,7 @@
 #include "cache/lru.hh"
 #include "cache/prefetcher.hh"
 #include "trace/access.hh"
+#include "util/hotpath.hh"
 
 namespace sdbp
 {
@@ -191,7 +192,7 @@ class BasicHierarchy final : public HierarchyBase
     LlcCache &llc() { return *llc_; }
     const LlcCache &llc() const { return *llc_; }
 
-    HierarchyResult
+    SDBP_HOT_PATH HierarchyResult
     access(const Access &acc, std::uint64_t now) override
     {
         const ThreadId core = acc.thread;
@@ -255,7 +256,7 @@ class BasicHierarchy final : public HierarchyBase
     // Keeping cache content purely demand-driven is what makes the
     // recorded LLC demand stream a sound input for the
     // optimal-policy replay (Sec. VI-B).
-    void
+    SDBP_HOT_PATH void
     writebackToL2(ThreadId core, Addr block_addr, ThreadId owner,
                   std::uint64_t now)
     {
@@ -264,7 +265,7 @@ class BasicHierarchy final : public HierarchyBase
             writebackToLlc(block_addr, owner, now);
     }
 
-    void
+    SDBP_HOT_PATH void
     writebackToLlc(Addr block_addr, ThreadId owner, std::uint64_t now)
     {
         const Access wb = Access::writebackOf(block_addr, owner);

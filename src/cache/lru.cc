@@ -9,7 +9,7 @@ namespace sdbp
 
 LruPolicy::LruPolicy(std::uint32_t num_sets, std::uint32_t assoc)
     : ReplacementPolicy(num_sets, assoc), stamp_(num_sets * assoc),
-      high_(num_sets, 0), low_(num_sets)
+      scratch_(assoc), high_(num_sets, 0), low_(num_sets)
 {
     // Initial order: way w sits at stack position w, i.e. way 0 is
     // MRU.  Stamps within a set must be distinct.
@@ -35,18 +35,27 @@ LruPolicy::moveTo(std::uint32_t set, std::uint32_t way,
     }
 
     // Interior insertion: rebuild the set's order with `way` at
-    // `target_pos` and re-stamp every frame.
+    // `target_pos` and re-stamp every frame.  Uses the ctor-allocated
+    // scratch buffer — the hot path must not allocate.
     assert(target_pos < assoc_);
-    std::vector<std::uint32_t> order(assoc_);
+    auto &order = scratch_;
     std::iota(order.begin(), order.end(), 0u);
     std::sort(order.begin(), order.end(),
               [&](std::uint32_t a, std::uint32_t b) {
                   return base[a] > base[b];
               });
-    order.erase(std::find(order.begin(), order.end(), way));
-    order.insert(order.begin() + target_pos, way);
-    for (std::uint32_t r = 0; r < assoc_; ++r)
-        base[order[r]] = high_[set] - static_cast<std::int64_t>(r);
+    std::uint32_t next = 0;
+    for (std::uint32_t r = 0; r < assoc_; ++r) {
+        std::uint32_t w;
+        if (r == target_pos) {
+            w = way;
+        } else {
+            while (order[next] == way)
+                ++next;
+            w = order[next++];
+        }
+        base[w] = high_[set] - static_cast<std::int64_t>(r);
+    }
     low_[set] = std::min(low_[set],
                          high_[set] - static_cast<std::int64_t>(assoc_));
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cache/policy.hh"
+#include "util/hotpath.hh"
 
 namespace sdbp
 {
@@ -34,7 +35,7 @@ class LruPolicy final : public ReplacementPolicy
   public:
     LruPolicy(std::uint32_t num_sets, std::uint32_t assoc);
 
-    void
+    SDBP_HOT_PATH void
     onAccess(std::uint32_t set, int hit_way, SetView frames,
              const Access &a) override
     {
@@ -45,7 +46,7 @@ class LruPolicy final : public ReplacementPolicy
                 ++high_[set];
     }
 
-    std::uint32_t
+    SDBP_HOT_PATH std::uint32_t
     victim(std::uint32_t set, SetView frames, const Access &a) override
     {
         (void)frames;
@@ -58,7 +59,7 @@ class LruPolicy final : public ReplacementPolicy
         return lru;
     }
 
-    void
+    SDBP_HOT_PATH void
     onFill(std::uint32_t set, std::uint32_t way, SetView frames,
            const Access &a) override
     {
@@ -67,7 +68,7 @@ class LruPolicy final : public ReplacementPolicy
         stamp_[set * assoc_ + way] = ++high_[set];
     }
 
-    std::uint32_t
+    SDBP_HOT_PATH std::uint32_t
     rank(std::uint32_t set, std::uint32_t way) const override
     {
         const auto *base = &stamp_[set * assoc_];
@@ -99,6 +100,9 @@ class LruPolicy final : public ReplacementPolicy
   private:
     /** stamp_[set * assoc + way]: larger = more recently used. */
     std::vector<std::int64_t> stamp_;
+    /** Scratch way ordering for interior moveTo, allocated once so
+     *  the hot path never touches the heap. */
+    std::vector<std::uint32_t> scratch_;
     /** Per-set MRU clock (counts up). */
     std::vector<std::int64_t> high_;
     /** Per-set LRU clock (counts down). */

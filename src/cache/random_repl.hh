@@ -8,6 +8,7 @@
 #define SDBP_CACHE_RANDOM_REPL_HH
 
 #include "cache/policy.hh"
+#include "util/hotpath.hh"
 #include "util/rng.hh"
 
 namespace sdbp
@@ -29,9 +30,9 @@ class RandomPolicy final : public ReplacementPolicy
         (void)a;
     }
 
-    std::uint32_t victim(std::uint32_t set,
-                         SetView frames,
-                         const Access &a) override;
+    SDBP_HOT_PATH std::uint32_t victim(std::uint32_t set,
+                                       SetView frames,
+                                       const Access &a) override;
 
     void
     onFill(std::uint32_t set, std::uint32_t way, SetView frames,

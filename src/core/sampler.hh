@@ -14,6 +14,7 @@
 
 #include "core/skewed_table.hh"
 #include "util/budget.hh"
+#include "util/hotpath.hh"
 #include "util/types.hh"
 
 namespace sdbp
@@ -96,8 +97,10 @@ class Sampler
      * @param pc_sig partial PC signature of the access
      * @param table prediction table to train and consult
      */
-    void access(std::uint32_t set, std::uint16_t partial_tag,
-                std::uint16_t pc_sig, SkewedTable &table);
+    SDBP_HOT_PATH void access(std::uint32_t set,
+                              std::uint16_t partial_tag,
+                              std::uint16_t pc_sig,
+                              SkewedTable &table);
 
     const SamplerConfig &config() const { return cfg_; }
 
@@ -150,8 +153,10 @@ class Sampler
     void reset();
 
   private:
-    std::uint32_t pickVictim(std::uint32_t set, bool *dead_preferred);
-    void moveToMru(std::uint32_t set, std::uint32_t way);
+    SDBP_HOT_PATH std::uint32_t pickVictim(std::uint32_t set,
+                                           bool *dead_preferred);
+    SDBP_HOT_PATH void moveToMru(std::uint32_t set,
+                                 std::uint32_t way);
     /** Re-rank a set's (possibly corrupted) LRU positions into a
      *  permutation of 0..assoc-1, stably by (position, way). */
     void renormalizeLru(std::uint32_t set);

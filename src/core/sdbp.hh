@@ -25,6 +25,7 @@
 #include "core/sampler.hh"
 #include "core/skewed_table.hh"
 #include "predictor/dead_block_predictor.hh"
+#include "util/hotpath.hh"
 
 namespace sdbp
 {
@@ -94,9 +95,12 @@ class SamplingDeadBlockPredictor final : public DeadBlockPredictor
     explicit SamplingDeadBlockPredictor(
         const SdbpConfig &cfg = SdbpConfig::paperDefault());
 
-    bool onAccess(std::uint32_t set, const Access &a) override;
-    void onFill(std::uint32_t set, const Access &a) override;
-    void onEvict(std::uint32_t set, const Access &a) override;
+    SDBP_HOT_PATH bool onAccess(std::uint32_t set,
+                                const Access &a) override;
+    SDBP_HOT_PATH void onFill(std::uint32_t set,
+                              const Access &a) override;
+    SDBP_HOT_PATH void onEvict(std::uint32_t set,
+                               const Access &a) override;
 
     std::string name() const override { return "sampler"; }
     std::uint64_t storageBits() const override;
@@ -120,7 +124,7 @@ class SamplingDeadBlockPredictor final : public DeadBlockPredictor
     SkewedTable &table() { return table_; }
 
     /** True when LLC set @p set is shadowed by a sampler set. */
-    bool isSampledSet(std::uint32_t set) const;
+    SDBP_HOT_PATH bool isSampledSet(std::uint32_t set) const;
 
     /**
      * Panic (via SDBP_DCHECK) unless the sampler-set map is stable
@@ -138,7 +142,7 @@ class SamplingDeadBlockPredictor final : public DeadBlockPredictor
     void registerFaultTargets(fault::FaultInjector &injector) override;
 
     /** 15-bit signature of a PC. */
-    std::uint64_t
+    SDBP_HOT_PATH std::uint64_t
     signature(PC pc) const
     {
         return makeSignature(pc, cfg_.signatureBits);

@@ -15,6 +15,7 @@
 #include "util/bitops.hh"
 #include "util/budget.hh"
 #include "util/hash.hh"
+#include "util/hotpath.hh"
 
 namespace sdbp
 {
@@ -73,15 +74,15 @@ class SkewedTable
     explicit SkewedTable(const SkewedTableConfig &cfg = {});
 
     /** Train toward "dead" for this signature. */
-    void increment(std::uint64_t signature);
+    SDBP_HOT_PATH void increment(std::uint64_t signature);
     /** Train toward "live" for this signature. */
-    void decrement(std::uint64_t signature);
+    SDBP_HOT_PATH void decrement(std::uint64_t signature);
 
     /** Summed confidence for a signature. */
-    unsigned confidence(std::uint64_t signature) const;
+    SDBP_HOT_PATH unsigned confidence(std::uint64_t signature) const;
 
     /** Predicted dead iff confidence >= threshold. */
-    bool
+    SDBP_HOT_PATH bool
     predict(std::uint64_t signature) const
     {
         return confidence(signature) >= cfg_.threshold;
@@ -122,7 +123,7 @@ class SkewedTable
                               const std::string &prefix);
 
   private:
-    std::size_t
+    SDBP_HOT_PATH std::size_t
     entryIndex(unsigned table, std::uint64_t signature) const
     {
         return static_cast<std::size_t>(table) << cfg_.indexBits

@@ -39,6 +39,7 @@
 #include "cpu/core_model.hh"
 #include "obs/profiler.hh"
 #include "trace/access.hh"
+#include "util/hotpath.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -153,7 +154,7 @@ class SystemBase
 
     /** Throw SimulationTimeout if the deadline passed (amortized:
      *  only looks at the clock every kDeadlineStride steps). */
-    void
+    SDBP_HOT_PATH void
     checkDeadline(const char *phase)
     {
         // One branch per step in the common case; the clock is only
@@ -173,7 +174,7 @@ class SystemBase
         std::size_t fill = 0;
     };
 
-    const Access &
+    SDBP_HOT_PATH const Access &
     fetch(std::uint32_t c, AccessGenerator &gen)
     {
         Batch &b = batch_[c];
@@ -378,7 +379,7 @@ class BasicSystem final : public SystemBase
 
   private:
     /** Advance core @p c by one trace record (rec.thread == c). */
-    void
+    SDBP_HOT_PATH void
     step(std::uint32_t c, const Access &rec)
     {
         cores_[c].executeNonMem(rec.gap);

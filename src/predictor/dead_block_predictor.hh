@@ -11,6 +11,7 @@
 #include <string>
 
 #include "trace/access.hh"
+#include "util/hotpath.hh"
 #include "util/types.hh"
 
 namespace sdbp
@@ -93,7 +94,7 @@ class DeadBlockPredictor
      * per-way victim loop and keeps the probe itself a single
      * virtual call.
      */
-    virtual const LivenessProbe *livenessProbe() const
+    SDBP_HOT_PATH virtual const LivenessProbe *livenessProbe() const
     {
         return nullptr;
     }

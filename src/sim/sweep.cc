@@ -100,8 +100,9 @@ runWithRetries(std::size_t index, const std::string &run,
             // Test hook: make exactly this cell throw, so the
             // end-to-end failure path (retries, CellError, manifest,
             // exit code) is exercisable from tests and CI.
-            if (const char *f = std::getenv("SDBP_TEST_FAIL_CELL");
-                f && *f && run + "/" + policy == f)
+            if (const std::string f =
+                    env::str("SDBP_TEST_FAIL_CELL");
+                !f.empty() && run + "/" + policy == f)
                 throw std::runtime_error(
                     "SDBP_TEST_FAIL_CELL forced failure");
             attempt();

@@ -38,6 +38,15 @@ u64(const char *name, std::uint64_t fallback, std::uint64_t min,
 }
 
 std::string
+str(const char *name, const std::string &fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    return value;
+}
+
+std::string
 outputPath(const char *name)
 {
     const char *value = std::getenv(name);

@@ -31,6 +31,15 @@ std::uint64_t u64(const char *name, std::uint64_t fallback,
                       std::numeric_limits<std::uint64_t>::max());
 
 /**
+ * Read @p name as a raw string.  Returns @p fallback (default empty)
+ * when the variable is unset or empty.  This is the single sanctioned
+ * wrapper around std::getenv: routing every lookup through env::
+ * keeps the simulator's configuration surface greppable and lets the
+ * determinism lint (tools/sdbp_lint) forbid raw getenv elsewhere.
+ */
+std::string str(const char *name, const std::string &fallback = {});
+
+/**
  * Read @p name as a file path whose parent directory must exist (the
  * file itself need not).  Returns the empty string when unset or
  * empty; calls fatal() when the parent directory is missing, so a

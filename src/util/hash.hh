@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "util/bitops.hh"
+#include "util/hotpath.hh"
 
 namespace sdbp
 {
@@ -25,7 +26,7 @@ namespace sdbp
  * Finalizer of the 64-bit xxHash/murmur family; a cheap, high-quality
  * scrambler used to fold PCs and block addresses into signatures.
  */
-constexpr std::uint64_t
+SDBP_HOT_PATH constexpr std::uint64_t
 mix64(std::uint64_t x)
 {
     x ^= x >> 33;
@@ -40,7 +41,7 @@ mix64(std::uint64_t x)
  * Fold a PC into an @p bits -bit signature.  The low two bits of an
  * x86 PC carry little information, so they are dropped before mixing.
  */
-constexpr std::uint64_t
+SDBP_HOT_PATH constexpr std::uint64_t
 makeSignature(std::uint64_t pc, unsigned bits)
 {
     return mix64(pc >> 2) & mask(bits);
@@ -54,7 +55,7 @@ makeSignature(std::uint64_t pc, unsigned bits)
  * @param which table index selecting the hash
  * @param index_bits log2 of the table size
  */
-constexpr std::uint64_t
+SDBP_HOT_PATH constexpr std::uint64_t
 skewHash(std::uint64_t signature, unsigned which, unsigned index_bits)
 {
     // Distinct odd multipliers per table give independent

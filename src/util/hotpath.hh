@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The hot-path contract annotation (DESIGN.md §13).
+ *
+ * SDBP_HOT_PATH marks a function as part of the per-access fast
+ * path: the code that runs for every simulated instruction and that
+ * the sealed static-dispatch engine (DESIGN.md §12) promises is
+ *
+ *   - free of virtual dispatch that cannot devirtualize,
+ *   - free of heap allocation and deallocation,
+ *   - free of throw statements,
+ *   - free of locks and non-relaxed atomics,
+ *   - free of I/O,
+ *
+ * amortized cold branches excepted (each such exception is recorded
+ * in tools/sdbp_lint/baseline.json with a justification).
+ *
+ * The contract is enforced by two tools, not by the compiler:
+ *
+ *   tools/sdbp_lint/run.py   walks the call graph from every
+ *                            annotated function and rejects
+ *                            violations at the source level;
+ *   tools/hotpath_audit.py   disassembles the Release binaries and
+ *                            proves the compiler delivered the
+ *                            devirtualization (no indirect calls, no
+ *                            operator new / __cxa_throw /
+ *                            pthread_mutex references) that the
+ *                            engine's ~1.5x speedup claims.
+ *
+ * The macro expands to GCC/Clang's `hot` attribute, so annotating a
+ * function also nudges the optimizer to favor it in layout and
+ * inlining decisions; under other compilers it expands to nothing
+ * and remains a pure source-level marker.
+ */
+
+#ifndef SDBP_UTIL_HOTPATH_HH
+#define SDBP_UTIL_HOTPATH_HH
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SDBP_HOT_PATH __attribute__((hot))
+#else
+#define SDBP_HOT_PATH
+#endif
+
+#endif // SDBP_UTIL_HOTPATH_HH

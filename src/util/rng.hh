@@ -14,6 +14,8 @@
 #include <cassert>
 #include <cstdint>
 
+#include "util/hotpath.hh"
+
 namespace sdbp
 {
 
@@ -39,7 +41,7 @@ class Rng
     }
 
     /** @return the next 64 random bits. */
-    std::uint64_t
+    SDBP_HOT_PATH std::uint64_t
     next()
     {
         const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;

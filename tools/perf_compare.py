@@ -14,31 +14,9 @@ Stdlib only -- this runs in CI where installing packages is off-limits.
 """
 
 import argparse
-import json
 import sys
 
-
-def load_benchmarks(path):
-    """Map benchmark name -> entry, preferring the median aggregate.
-
-    With --benchmark_repetitions the file holds one row per repetition
-    (all sharing the plain name) plus mean/median/stddev aggregates;
-    the median is the noise-robust choice, so ``NAME_median`` shadows
-    the raw ``NAME`` rows when present.
-    """
-    with open(path) as f:
-        doc = json.load(f)
-    out = {}
-    for entry in doc.get("benchmarks", []):
-        name = entry["name"]
-        if entry.get("run_type", "iteration") == "aggregate":
-            if entry.get("aggregate_name") != "median":
-                continue
-            name = entry.get("run_name", name.removesuffix("_median"))
-        elif name in out:
-            continue
-        out[name] = entry
-    return out
+from _common import load_benchmarks
 
 
 def main():

@@ -1,0 +1,12 @@
+"""sdbp_lint: the repo's hot-path and determinism contract checker.
+
+Stdlib-only (no libclang in CI), so the C++ "parser" in cpp_model is a
+pragmatic scanner: it strips comments and strings, tracks
+namespace/class scopes by brace matching, and extracts function
+definitions, virtual-method declarations and call sites.  That is
+enough to walk the call graph from SDBP_HOT_PATH roots and to run the
+repo-wide determinism rule pack; the paired binary audit
+(tools/hotpath_audit.py) re-checks the hot-path promises on the real
+post-LTO machine code, so the two levels cover each other's blind
+spots.
+"""

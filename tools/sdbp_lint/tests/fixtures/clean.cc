@@ -1,0 +1,46 @@
+// Fixture: representative hot-path code that honours the whole
+// contract -- index math, tag scans, branchless updates.  Expect
+// zero violations (false-positive canary).
+#define SDBP_HOT_PATH
+#include <cstdint>
+#include <vector>
+
+struct Frame
+{
+    std::uint64_t tag = 0;
+    bool valid = false;
+};
+
+class SetIndex final
+{
+  public:
+    explicit SetIndex(std::uint32_t sets) : mask_(sets - 1) {}
+
+    SDBP_HOT_PATH std::uint32_t
+    index(std::uint64_t addr) const
+    {
+        return static_cast<std::uint32_t>(addr >> 6) & mask_;
+    }
+
+    SDBP_HOT_PATH int
+    findWay(const std::vector<Frame> &frames,
+            std::uint64_t tag) const
+    {
+        for (std::size_t w = 0; w < frames.size(); ++w) {
+            if (frames[w].valid && frames[w].tag == tag)
+                return static_cast<int>(w);
+        }
+        return -1;
+    }
+
+    SDBP_HOT_PATH std::uint64_t
+    mix(std::uint64_t x) const
+    {
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdULL;
+        return x ^ (x >> 29);
+    }
+
+  private:
+    std::uint32_t mask_;
+};

@@ -1,0 +1,8 @@
+// Fixture: raw getenv outside the env:: wrappers.  Expect det-getenv.
+#include <cstdlib>
+
+const char *
+threads()
+{
+    return std::getenv("SDBP_JOBS");
+}

@@ -1,0 +1,8 @@
+// Fixture: non-seeded randomness.  Expect det-random.
+#include <cstdlib>
+
+unsigned
+jitter()
+{
+    return static_cast<unsigned>(rand()) % 16u;
+}

@@ -1,0 +1,13 @@
+// Fixture: output produced while iterating an unordered container --
+// iteration order is implementation-defined, so the output is not
+// reproducible.  Expect det-unordered-iter.
+#include <iostream>
+#include <unordered_map>
+
+void
+dump(const std::unordered_map<int, int> &stats)
+{
+    for (const auto &kv : stats) {
+        std::cout << kv.first << "=" << kv.second << "\n";
+    }
+}

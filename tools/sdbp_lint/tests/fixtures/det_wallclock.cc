@@ -1,0 +1,9 @@
+// Fixture: wall-clock read.  Expect det-wallclock.
+#include <chrono>
+
+unsigned long
+timestamp()
+{
+    return static_cast<unsigned long>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+}

@@ -1,0 +1,14 @@
+// Fixture: heap allocation on the hot path.  Expect hot-alloc.
+#define SDBP_HOT_PATH
+#include <vector>
+
+struct Trace
+{
+    std::vector<int> log;
+
+    SDBP_HOT_PATH void
+    record(int x)
+    {
+        log.push_back(x);
+    }
+};

@@ -1,0 +1,15 @@
+// Fixture: a violation suppressed by an inline allow pragma.
+// Expect no violations.
+#define SDBP_HOT_PATH
+#include <vector>
+
+struct Trace
+{
+    std::vector<int> log;
+
+    SDBP_HOT_PATH void
+    record(int x)
+    {
+        log.push_back(x); // sdbp-lint: allow(hot-alloc)
+    }
+};

@@ -1,0 +1,15 @@
+// Fixture: atomic RMW stronger than relaxed on the hot path.
+// Expect hot-atomic-order.
+#define SDBP_HOT_PATH
+#include <atomic>
+
+struct Counter
+{
+    std::atomic<unsigned> n{0};
+
+    SDBP_HOT_PATH void
+    bump()
+    {
+        n.fetch_add(1, std::memory_order_seq_cst);
+    }
+};

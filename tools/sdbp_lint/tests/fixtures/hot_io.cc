@@ -1,0 +1,12 @@
+// Fixture: I/O on the hot path.  Expect hot-io.
+#define SDBP_HOT_PATH
+#include <cstdio>
+
+struct Debug
+{
+    SDBP_HOT_PATH void
+    trace(unsigned set)
+    {
+        printf("set=%u\n", set);
+    }
+};

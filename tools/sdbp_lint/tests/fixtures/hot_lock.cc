@@ -1,0 +1,16 @@
+// Fixture: lock primitive on the hot path.  Expect hot-lock.
+#define SDBP_HOT_PATH
+#include <mutex>
+
+struct Stats
+{
+    std::mutex m;
+    unsigned hits = 0;
+
+    SDBP_HOT_PATH void
+    bump()
+    {
+        std::lock_guard<std::mutex> g(m);
+        ++hits;
+    }
+};

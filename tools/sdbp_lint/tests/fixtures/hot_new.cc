@@ -1,0 +1,19 @@
+// Fixture: raw operator new on the hot path.  Expect hot-alloc.
+#define SDBP_HOT_PATH
+
+struct Node
+{
+    int value;
+    Node *next;
+};
+
+struct List
+{
+    Node *head = nullptr;
+
+    SDBP_HOT_PATH void
+    push(int x)
+    {
+        head = new Node{x, head};
+    }
+};

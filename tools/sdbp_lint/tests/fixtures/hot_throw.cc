@@ -1,0 +1,16 @@
+// Fixture: throw on the hot path.  Expect hot-throw.
+#define SDBP_HOT_PATH
+#include <stdexcept>
+
+struct Table
+{
+    unsigned rows[16];
+
+    SDBP_HOT_PATH unsigned
+    confidence(unsigned i)
+    {
+        if (i >= 16)
+            throw std::out_of_range("bad index");
+        return rows[i];
+    }
+};

@@ -1,0 +1,30 @@
+// Fixture: the violation sits two calls below the annotated root --
+// exercises the call-graph walk.  Expect hot-alloc in Log::slowPath,
+// reported as reached from Log::access.
+#define SDBP_HOT_PATH
+#include <vector>
+
+struct Log
+{
+    std::vector<int> entries;
+
+    void slowPath(int x);
+
+    void
+    helper(int x)
+    {
+        slowPath(x);
+    }
+
+    SDBP_HOT_PATH void
+    access(int x)
+    {
+        helper(x);
+    }
+};
+
+void
+Log::slowPath(int x)
+{
+    entries.push_back(x);
+}

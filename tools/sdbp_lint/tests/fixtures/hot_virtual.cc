@@ -1,0 +1,20 @@
+// Fixture: virtual call on the hot path with no final override
+// anywhere in the project -- cannot devirtualize.  Expect hot-virtual.
+#define SDBP_HOT_PATH
+
+struct Predictor
+{
+    virtual ~Predictor() = default;
+    virtual bool lookup(unsigned set) = 0;
+};
+
+struct Cache
+{
+    Predictor *pred;
+
+    SDBP_HOT_PATH bool
+    access(unsigned set)
+    {
+        return pred->lookup(set);
+    }
+};

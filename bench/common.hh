@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "obs/json.hh"
+#include "obs/span_tracer.hh"
 #include "sim/runner.hh"
 #include "sim/sweep.hh"
 #include "util/file.hh"
@@ -110,12 +111,15 @@ class JsonReport
     /** Free-form note (paper reference values etc.). */
     void note(const std::string &text) { notes_.push_back(text); }
 
-    /** Record one simulated run's wall clock for the timing block. */
+    /** Record one simulated run's wall clock (and, when known, its
+     *  instruction count + host counters) for the timing block. */
     void
     addRun(const std::string &run, const std::string &policy,
-           double seconds)
+           double seconds, std::uint64_t instructions = 0,
+           const util::PerfCounters::Sample &host_perf = {})
     {
-        runs_.push_back({run, policy, seconds});
+        runs_.push_back({run, policy, seconds, instructions,
+                         host_perf});
         runSeconds_ += seconds;
     }
 
@@ -136,7 +140,8 @@ class JsonReport
         for (std::size_t b = 0; b < g.benchmarks.size(); ++b)
             for (std::size_t p = 0; p < g.policies.size(); ++p)
                 addRun(g.benchmarks[b], policyName(g.policies[p]),
-                       g.at(b, p).wallSeconds);
+                       g.at(b, p).wallSeconds,
+                       g.at(b, p).instructions, g.at(b, p).hostPerf);
     }
 
     void
@@ -151,7 +156,9 @@ class JsonReport
         for (std::size_t m = 0; m < g.mixes.size(); ++m)
             for (std::size_t p = 0; p < g.policies.size(); ++p)
                 addRun(g.mixes[m].name, policyName(g.policies[p]),
-                       g.at(m, p).wallSeconds);
+                       g.at(m, p).wallSeconds,
+                       g.at(m, p).totalInstructions,
+                       g.at(m, p).hostPerf);
     }
 
     /**
@@ -168,6 +175,13 @@ class JsonReport
             return "BENCH_" + name_ + ".manifest.json";
         return "BENCH_" + name_ + ".grid" +
             std::to_string(gridCount_) + ".manifest.json";
+    }
+
+    /** Span-trace export path (written by finish() when the global
+     *  tracer is enabled): BENCH_<name>.spans.json. */
+    std::string spansPath() const
+    {
+        return "BENCH_" + name_ + ".spans.json";
     }
 
     const std::vector<sweep::CellError> &errors() const
@@ -257,6 +271,14 @@ class JsonReport
             jr.set("run", obs::JsonValue(r.run));
             jr.set("policy", obs::JsonValue(r.policy));
             jr.set("seconds", obs::JsonValue(r.seconds));
+            if (r.instructions > 0)
+                jr.set("ns_per_instr",
+                       obs::JsonValue(
+                           r.seconds * 1e9 /
+                           static_cast<double>(r.instructions)));
+            if (r.hostPerf.valid)
+                jr.set("host_ipc",
+                       obs::JsonValue(r.hostPerf.hostIpc()));
             run_list.push(std::move(jr));
         }
         timing.set("runs", std::move(run_list));
@@ -298,6 +320,9 @@ class JsonReport
         std::string run;
         std::string policy;
         double seconds;
+        /** Simulated instructions (0 when not known). */
+        std::uint64_t instructions;
+        util::PerfCounters::Sample hostPerf;
     };
 
     std::string name_;
@@ -369,9 +394,21 @@ finish(JsonReport &report)
         std::cerr << "interrupted: " << report.skipped()
                   << " cell(s) skipped; re-run with SDBP_RESUME=1 to "
                      "continue from the manifest\n";
+    // Diagnostics go to stderr: bench stdout is the figure/table
+    // text and must stay byte-identical run to run.
     if (report.resumed() > 0)
-        std::cout << "[resumed " << report.resumed()
+        std::cerr << "[resumed " << report.resumed()
                   << " cell(s) from manifest]\n";
+    const obs::SpanTracer &tracer = obs::SpanTracer::global();
+    if (tracer.enabled() && tracer.recorded() > 0) {
+        const std::string spans_path = report.spansPath();
+        if (tracer.writeChromeTrace(spans_path))
+            std::cerr << "[wrote " << spans_path << " ("
+                      << tracer.size() << " spans, "
+                      << tracer.dropped() << " dropped)]\n";
+        else
+            std::cerr << "cannot write " << spans_path << "\n";
+    }
     report.write();
     footer();
     return report.exitCode();

@@ -63,9 +63,39 @@ RunArtifacts::toJson() const
         p.set("calls", JsonValue(s.calls));
         p.set("events", JsonValue(s.events));
         p.set("events_per_sec", JsonValue(s.eventsPerSec()));
+        if (s.hostValid) {
+            JsonValue host = JsonValue::object();
+            host.set("cycles", JsonValue(s.hostCycles));
+            host.set("instructions", JsonValue(s.hostInstructions));
+            host.set("llc_misses", JsonValue(s.hostLlcMisses));
+            host.set("branch_misses",
+                     JsonValue(s.hostBranchMisses));
+            host.set("ipc", JsonValue(s.hostIpc()));
+            p.set("host", std::move(host));
+        }
         prof.push(std::move(p));
     }
     root.set("profile", std::move(prof));
+
+    // Simulator-of-the-simulator telemetry (DESIGN.md §14): how fast
+    // the host executed this run, in wall clock and — when
+    // perf_event is available — hardware counters.
+    JsonValue timing = JsonValue::object();
+    timing.set("wall_seconds", JsonValue(wallSeconds));
+    timing.set("simulated_instructions",
+               JsonValue(simulatedInstructions));
+    if (simulatedInstructions > 0)
+        timing.set("ns_per_instr", JsonValue(nsPerInstr()));
+    if (hostPerf.valid) {
+        JsonValue host = JsonValue::object();
+        host.set("cycles", JsonValue(hostPerf.cycles));
+        host.set("instructions", JsonValue(hostPerf.instructions));
+        host.set("llc_misses", JsonValue(hostPerf.llcMisses));
+        host.set("branch_misses", JsonValue(hostPerf.branchMisses));
+        host.set("ipc", JsonValue(hostPerf.hostIpc()));
+        timing.set("host", std::move(host));
+    }
+    root.set("timing", std::move(timing));
 
     JsonValue trace = JsonValue::object();
     trace.set("recorded", JsonValue(traceEventsRecorded));

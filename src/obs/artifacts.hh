@@ -19,6 +19,7 @@
 #include "obs/json.hh"
 #include "obs/profiler.hh"
 #include "obs/stat_registry.hh"
+#include "util/perf_counters.hh"
 
 namespace sdbp::obs
 {
@@ -54,6 +55,23 @@ struct RunArtifacts
     /** Trace-sink accounting (events stream to their own JSONL). */
     std::uint64_t traceEventsRecorded = 0;
     std::uint64_t traceEventsDropped = 0;
+
+    /** Wall-clock seconds of the simulated phases at collect time
+     *  (setup + warmup + measure; excludes artifact export). */
+    double wallSeconds = 0;
+    /** Simulated instructions (all threads), for ns/instr. */
+    std::uint64_t simulatedInstructions = 0;
+    /** Host hardware counters over the run (valid gated). */
+    util::PerfCounters::Sample hostPerf;
+
+    /** Host nanoseconds per simulated instruction. */
+    double nsPerInstr() const
+    {
+        return simulatedInstructions > 0
+            ? wallSeconds * 1e9 /
+                static_cast<double>(simulatedInstructions)
+            : 0;
+    }
 
     const TimelineSeries *findSeries(const std::string &name) const;
 

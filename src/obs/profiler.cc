@@ -1,17 +1,27 @@
 #include "obs/profiler.hh"
 
+#include "obs/span_tracer.hh"
+
 namespace sdbp::obs
 {
+
+Profiler::Profiler() = default;
+Profiler::~Profiler() = default;
+
+Profiler::Scope::Scope(Profiler *profiler, std::size_t index)
+    : profiler_(profiler), index_(index),
+      start_(std::chrono::steady_clock::now())
+{
+    if (profiler_)
+        startHost_ = profiler_->hostSample();
+}
 
 Profiler::Scope::~Scope()
 {
     if (!profiler_)
         return;
-    const auto elapsed =
-        std::chrono::steady_clock::now() - start_;
-    profiler_->commit(
-        index_,
-        std::chrono::duration<double>(elapsed).count());
+    const auto end = std::chrono::steady_clock::now();
+    profiler_->commit(index_, start_, end, startHost_);
 }
 
 std::size_t
@@ -39,10 +49,53 @@ Profiler::addEvents(const std::string &name, std::uint64_t n)
 }
 
 void
-Profiler::commit(std::size_t index, double seconds)
+Profiler::mirrorSpans(SpanTracer *tracer, std::string cell)
 {
-    scopes_[index].seconds += seconds;
-    ++scopes_[index].calls;
+    tracer_ = tracer;
+    cell_ = std::move(cell);
+}
+
+void
+Profiler::enableHostCounters()
+{
+    if (counters_ || !util::hostCountersEnabled())
+        return;
+    counters_ = std::make_unique<util::PerfCounters>();
+    // Free-running: scopes difference consecutive readings, so
+    // nested or repeated scopes never fight over a group reset.
+    counters_->start();
+}
+
+util::PerfCounters::Sample
+Profiler::hostSample() const
+{
+    return counters_ ? counters_->sample()
+                     : util::PerfCounters::Sample{};
+}
+
+void
+Profiler::commit(std::size_t index,
+                 std::chrono::steady_clock::time_point start,
+                 std::chrono::steady_clock::time_point end,
+                 const util::PerfCounters::Sample &startHost)
+{
+    ScopeStats &s = scopes_[index];
+    s.seconds += std::chrono::duration<double>(end - start).count();
+    ++s.calls;
+    if (startHost.valid) {
+        const util::PerfCounters::Sample now = hostSample();
+        if (now.valid) {
+            s.hostValid = true;
+            s.hostCycles += now.cycles - startHost.cycles;
+            s.hostInstructions +=
+                now.instructions - startHost.instructions;
+            s.hostLlcMisses += now.llcMisses - startHost.llcMisses;
+            s.hostBranchMisses +=
+                now.branchMisses - startHost.branchMisses;
+        }
+    }
+    if (tracer_)
+        tracer_->emit("phase", s.name, start, end, cell_);
 }
 
 } // namespace sdbp::obs

@@ -5,6 +5,14 @@
  * events/second (the "measurably faster" ROADMAP metric) is reported
  * with every instrumented run and performance regressions become
  * visible in the run artifacts.
+ *
+ * Two optional attachments extend each scope (DESIGN.md §14):
+ *  - mirrorSpans(): every committed scope is re-emitted as a "phase"
+ *    span through an obs::SpanTracer, attributed to a sweep cell.
+ *  - enableHostCounters(): host hardware counters (cycles,
+ *    instructions, LLC/branch misses via util::PerfCounters) are
+ *    sampled at scope entry/exit and accumulated per scope, giving
+ *    per-phase host IPC next to the wall clock.
  */
 
 #ifndef SDBP_OBS_PROFILER_HH
@@ -12,29 +20,33 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "util/perf_counters.hh"
 
 namespace sdbp::obs
 {
 
+class SpanTracer;
+
 class Profiler
 {
   public:
+    Profiler();
+    ~Profiler();
+
     /** RAII scope: commits elapsed wall time on destruction. */
     class Scope
     {
       public:
-        Scope(Profiler *profiler, std::size_t index)
-            : profiler_(profiler), index_(index),
-              start_(std::chrono::steady_clock::now())
-        {
-        }
+        Scope(Profiler *profiler, std::size_t index);
         Scope(const Scope &) = delete;
         Scope &operator=(const Scope &) = delete;
         Scope(Scope &&other) noexcept
             : profiler_(other.profiler_), index_(other.index_),
-              start_(other.start_)
+              start_(other.start_), startHost_(other.startHost_)
         {
             other.profiler_ = nullptr;
         }
@@ -45,6 +57,7 @@ class Profiler
         Profiler *profiler_;
         std::size_t index_;
         std::chrono::steady_clock::time_point start_;
+        util::PerfCounters::Sample startHost_;
     };
 
     /** Enter the named scope (created on first use). */
@@ -56,17 +69,47 @@ class Profiler
      */
     void addEvents(const std::string &name, std::uint64_t n);
 
+    /**
+     * Re-emit every committed scope as a "phase" span on @p tracer,
+     * labelled with the scope name and attributed to @p cell
+     * ("456.hmmer/Sampler").  nullptr detaches.
+     */
+    void mirrorSpans(SpanTracer *tracer, std::string cell);
+
+    /**
+     * Sample host hardware counters per scope.  Honors the global
+     * SDBP_PERF gate; a host without perf_event access keeps the
+     * profiler fully functional with hostValid staying false.
+     */
+    void enableHostCounters();
+
     struct ScopeStats
     {
         std::string name;
         double seconds = 0;
         std::uint64_t calls = 0;
         std::uint64_t events = 0;
+        /** Host-counter deltas accumulated over the scope's calls
+         *  (hostValid gates all four). */
+        bool hostValid = false;
+        std::uint64_t hostCycles = 0;
+        std::uint64_t hostInstructions = 0;
+        std::uint64_t hostLlcMisses = 0;
+        std::uint64_t hostBranchMisses = 0;
 
         double eventsPerSec() const
         {
             return seconds > 0 ? static_cast<double>(events) / seconds
                                : 0;
+        }
+
+        /** Host instructions per host cycle across the scope. */
+        double hostIpc() const
+        {
+            return hostCycles > 0
+                ? static_cast<double>(hostInstructions) /
+                    static_cast<double>(hostCycles)
+                : 0;
         }
     };
 
@@ -75,10 +118,20 @@ class Profiler
   private:
     std::size_t indexOf(const std::string &name);
 
+    /** Counter reading now (valid=false without counters). */
+    util::PerfCounters::Sample hostSample() const;
+
     std::vector<ScopeStats> scopes_;
+    SpanTracer *tracer_ = nullptr;
+    std::string cell_;
+    /** Free-running group; scopes read deltas between samples. */
+    std::unique_ptr<util::PerfCounters> counters_;
 
     friend class Scope;
-    void commit(std::size_t index, double seconds);
+    void commit(std::size_t index,
+                std::chrono::steady_clock::time_point start,
+                std::chrono::steady_clock::time_point end,
+                const util::PerfCounters::Sample &startHost);
 };
 
 } // namespace sdbp::obs

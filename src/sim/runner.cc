@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/span_tracer.hh"
 #include "obs/trace_sink.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
@@ -52,7 +53,7 @@ struct ObsHarness
 
 /** Attach registry/heartbeat/profiler/trace to the engine. */
 std::unique_ptr<ObsHarness>
-attachObs(Engine &eng, const ObsOptions &opt)
+attachObs(Engine &eng, const ObsOptions &opt, const std::string &cell)
 {
     if (!opt.collect)
         return nullptr;
@@ -63,6 +64,9 @@ attachObs(Engine &eng, const ObsOptions &opt)
         eng.dbrb->registerStats(h->registry, "dbrb");
         eng.dbrb->setTraceSink(&h->trace);
     }
+    if (obs::SpanTracer::global().enabled())
+        h->profiler.mirrorSpans(&obs::SpanTracer::global(), cell);
+    h->profiler.enableHostCounters();
     sys.setProfiler(&h->profiler);
     sys.setHeartbeat(opt.intervalInstructions,
                      [harness = h.get()](std::uint64_t tick) {
@@ -76,6 +80,23 @@ attachObs(Engine &eng, const ObsOptions &opt)
 }
 
 /**
+ * Phase spans without a full harness: when the global tracer is on
+ * but artifact collection is off (the common sweep case), a bare
+ * Profiler is attached purely to mirror the warmup/measure scopes as
+ * spans attributed to @p cell.
+ */
+std::unique_ptr<obs::Profiler>
+attachSpanProfiler(SystemBase &sys, const std::string &cell)
+{
+    if (!obs::SpanTracer::global().enabled())
+        return nullptr;
+    auto prof = std::make_unique<obs::Profiler>();
+    prof->mirrorSpans(&obs::SpanTracer::global(), cell);
+    sys.setProfiler(prof.get());
+    return prof;
+}
+
+/**
  * Assemble, export (per the SDBP_STATS_JSON-style options) and
  * return the run artifact.  Takes the final snapshot now, while the
  * System's registered counters are still alive.
@@ -83,11 +104,16 @@ attachObs(Engine &eng, const ObsOptions &opt)
 std::shared_ptr<const obs::RunArtifacts>
 collectObs(ObsHarness &h, const Engine &eng, const ObsOptions &opt,
            const std::string &benchmark, const std::string &policy,
-           const RunConfig &cfg)
+           const RunConfig &cfg, double wallSeconds,
+           std::uint64_t simInstructions,
+           const util::PerfCounters::Sample &hostPerf)
 {
     auto art = std::make_shared<obs::RunArtifacts>();
     art->benchmark = benchmark;
     art->policy = policy;
+    art->wallSeconds = wallSeconds;
+    art->simulatedInstructions = simInstructions;
+    art->hostPerf = hostPerf;
     art->warmupInstructions = cfg.warmupInstructions;
     art->measureInstructions = cfg.measureInstructions;
     art->intervalInstructions = opt.intervalInstructions;
@@ -181,15 +207,32 @@ runSingleCore(const std::string &benchmark, PolicyKind kind,
     if (cfg.recordLlcTrace)
         sys.hierarchy().recordLlcTrace(&res.llcTrace);
     applyCellTimeout(sys);
-    auto harness = attachObs(eng, cfg.obs);
+    auto harness = attachObs(eng, cfg.obs,
+                             benchmark + "/" + res.policy);
+    std::unique_ptr<obs::Profiler> spanProf;
+    if (!harness)
+        spanProf = attachSpanProfiler(sys,
+                                      benchmark + "/" + res.policy);
 
     SyntheticWorkload workload(specProfile(benchmark));
     std::vector<AccessGenerator *> gens = {&workload};
+    std::unique_ptr<util::PerfCounters> hostCounters;
+    if (util::hostCountersEnabled()) {
+        hostCounters = std::make_unique<util::PerfCounters>();
+        hostCounters->start();
+    }
     const auto threads = sys.run(gens, cfg.warmupInstructions,
                                  cfg.measureInstructions);
+    if (hostCounters) {
+        hostCounters->stop();
+        res.hostPerf = hostCounters->sample();
+    }
     if (harness) {
         res.artifacts = collectObs(*harness, eng, cfg.obs, benchmark,
-                                   res.policy, cfg);
+                                   res.policy, cfg,
+                                   secondsSince(wall_start),
+                                   threads[0].instructions,
+                                   res.hostPerf);
     }
 
     const CacheBase &llc = sys.hierarchy().llc();
@@ -249,22 +292,38 @@ runMulticore(const MixProfile &mix, PolicyKind kind, RunConfig cfg)
     for (auto &w : workloads)
         gens.push_back(&w);
     applyCellTimeout(sys);
-    auto harness = attachObs(eng, cfg.obs);
+    const std::string cell = mix.name + "/" + policyName(kind);
+    auto harness = attachObs(eng, cfg.obs, cell);
+    std::unique_ptr<obs::Profiler> spanProf;
+    if (!harness)
+        spanProf = attachSpanProfiler(sys, cell);
 
+    std::unique_ptr<util::PerfCounters> hostCounters;
+    if (util::hostCountersEnabled()) {
+        hostCounters = std::make_unique<util::PerfCounters>();
+        hostCounters->start();
+    }
     const auto threads = sys.run(gens, cfg.warmupInstructions,
                                  cfg.measureInstructions);
 
     MulticoreRunResult res;
     res.mix = mix.name;
     res.policy = policyName(kind);
-    if (harness) {
-        res.artifacts = collectObs(*harness, eng, cfg.obs, mix.name,
-                                   res.policy, cfg);
+    if (hostCounters) {
+        hostCounters->stop();
+        res.hostPerf = hostCounters->sample();
     }
     res.benchmarks = mix.benchmarks;
     for (const auto &t : threads) {
         res.ipc.push_back(t.ipc);
         res.totalInstructions += t.instructions;
+    }
+    if (harness) {
+        res.artifacts = collectObs(*harness, eng, cfg.obs, mix.name,
+                                   res.policy, cfg,
+                                   secondsSince(wall_start),
+                                   res.totalInstructions,
+                                   res.hostPerf);
     }
     res.llcMisses = sys.hierarchy().llc().stats().demandMisses;
     res.mpki = mpki(res.llcMisses, res.totalInstructions);

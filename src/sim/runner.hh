@@ -15,6 +15,7 @@
 #include "obs/artifacts.hh"
 #include "sim/policy_factory.hh"
 #include "trace/spec_profiles.hh"
+#include "util/perf_counters.hh"
 
 namespace sdbp
 {
@@ -106,6 +107,17 @@ struct RunResult
     std::shared_ptr<const obs::RunArtifacts> artifacts;
     /** Wall-clock seconds this run took (setup + warmup + measure). */
     double wallSeconds = 0;
+    /** Host hardware counters over warmup+measure (valid gated;
+     *  no-op hosts report valid=false).  DESIGN.md §14. */
+    util::PerfCounters::Sample hostPerf;
+
+    /** Host nanoseconds per simulated instruction (0 until run). */
+    double nsPerInstr() const
+    {
+        return instructions > 0
+            ? wallSeconds * 1e9 / static_cast<double>(instructions)
+            : 0;
+    }
 };
 
 /** Simulate one benchmark under one LLC policy on a single core. */
@@ -127,6 +139,17 @@ struct MulticoreRunResult
     std::shared_ptr<const obs::RunArtifacts> artifacts;
     /** Wall-clock seconds this run took (setup + warmup + measure). */
     double wallSeconds = 0;
+    /** Host hardware counters over warmup+measure (valid gated). */
+    util::PerfCounters::Sample hostPerf;
+
+    /** Host nanoseconds per simulated instruction (all threads). */
+    double nsPerInstr() const
+    {
+        return totalInstructions > 0
+            ? wallSeconds * 1e9 /
+                static_cast<double>(totalInstructions)
+            : 0;
+    }
 };
 
 /** Simulate one quad-core mix under one shared-LLC policy. */

@@ -5,11 +5,17 @@
 #include <cctype>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "obs/span_tracer.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -129,6 +135,71 @@ runWithRetries(std::size_t index, const std::string &run,
     }
     return false;
 }
+
+/** True when stderr is an interactive terminal. */
+bool
+stderrIsTty()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    return ::isatty(::fileno(stderr)) != 0;
+#else
+    return false;
+#endif
+}
+
+/**
+ * Live sweep progress on stderr: one \r-rewritten line with
+ * done/failed counts and an ETA extrapolated from the mean cell
+ * time so far.  Gated by SDBP_PROGRESS (default: on iff stderr is a
+ * TTY); single-cell "sweeps" stay silent.  Writes stderr only —
+ * figure/table stdout stays byte-identical with the meter on or off.
+ */
+class ProgressMeter
+{
+  public:
+    ProgressMeter(std::size_t total)
+        : total_(total),
+          enabled_(total > 1 &&
+                   env::u64("SDBP_PROGRESS", stderrIsTty() ? 1 : 0, 0,
+                            1) == 1),
+          // Host-side ETA only, never simulated state:
+          start_(std::chrono::steady_clock::now()) // sdbp-lint: allow(det-wallclock)
+    {
+    }
+
+    ~ProgressMeter()
+    {
+        if (enabled_ && done_ > 0)
+            std::fputc('\n', stderr);
+    }
+
+    /** One cell finished (any outcome); repaints the line. */
+    void update(bool failed)
+    {
+        if (!enabled_)
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++done_;
+        if (failed)
+            ++failed_;
+        const double elapsed = secondsSince(start_);
+        const double eta = elapsed / static_cast<double>(done_) *
+            static_cast<double>(total_ - done_);
+        std::fprintf(stderr,
+                     "\r[sweep] %zu/%zu cells done, %zu failed, "
+                     "ETA %.0fs ",
+                     done_, total_, failed_, eta);
+        std::fflush(stderr);
+    }
+
+  private:
+    const std::size_t total_;
+    const bool enabled_;
+    const std::chrono::steady_clock::time_point start_;
+    std::mutex mutex_;
+    std::size_t done_ = 0;
+    std::size_t failed_ = 0;
+};
 
 } // anonymous namespace
 
@@ -288,15 +359,20 @@ runGrid(std::vector<std::string> benchmarks,
     }
 
     std::mutex book_mutex;
+    ProgressMeter progress(n);
+    obs::SpanTracer &tracer = obs::SpanTracer::global();
     const auto start = std::chrono::steady_clock::now();
     parallelFor(n, grid.jobs, [&](std::size_t i) {
         const auto &bench = grid.benchmarks[i / cols];
         const PolicyKind kind = grid.policies[i % cols];
         const std::string &pol = policy_names[i % cols];
+        auto span = tracer.span("cell", bench + "/" + pol);
 
         if (resume && manifest->isCompleted(i)) {
             grid.cells[i] =
                 runResultFromJson(manifest->completedMetrics(i));
+            span.setResumed();
+            progress.update(false);
             std::lock_guard<std::mutex> lock(book_mutex);
             ++grid.resumed;
             return;
@@ -304,6 +380,8 @@ runGrid(std::vector<std::string> benchmarks,
         if (shutdownRequested()) {
             if (manifest)
                 manifest->markSkipped(i);
+            span.setSkipped();
+            progress.update(false);
             std::lock_guard<std::mutex> lock(book_mutex);
             ++grid.skipped;
             return;
@@ -317,12 +395,16 @@ runGrid(std::vector<std::string> benchmarks,
                     bench, kind, cellConfig(cfg, multi, bench, pol));
             },
             err);
+        span.setAttempts(err.attempts);
         if (ok) {
             if (manifest)
                 manifest->markCompleted(
                     i, runResultToJson(grid.cells[i]));
+            progress.update(false);
             return;
         }
+        span.setFailed(err.timedOut);
+        progress.update(true);
         grid.cells[i] = RunResult{};
         grid.cells[i].benchmark = bench;
         grid.cells[i].policy = pol;
@@ -377,15 +459,20 @@ runMixGrid(std::vector<MixProfile> mixes,
     }
 
     std::mutex book_mutex;
+    ProgressMeter progress(n);
+    obs::SpanTracer &tracer = obs::SpanTracer::global();
     const auto start = std::chrono::steady_clock::now();
     parallelFor(n, grid.jobs, [&](std::size_t i) {
         const auto &mix = grid.mixes[i / cols];
         const PolicyKind kind = grid.policies[i % cols];
         const std::string &pol = policy_names[i % cols];
+        auto span = tracer.span("cell", mix.name + "/" + pol);
 
         if (resume && manifest->isCompleted(i)) {
             grid.cells[i] = multicoreResultFromJson(
                 manifest->completedMetrics(i));
+            span.setResumed();
+            progress.update(false);
             std::lock_guard<std::mutex> lock(book_mutex);
             ++grid.resumed;
             return;
@@ -393,6 +480,8 @@ runMixGrid(std::vector<MixProfile> mixes,
         if (shutdownRequested()) {
             if (manifest)
                 manifest->markSkipped(i);
+            span.setSkipped();
+            progress.update(false);
             std::lock_guard<std::mutex> lock(book_mutex);
             ++grid.skipped;
             return;
@@ -407,12 +496,16 @@ runMixGrid(std::vector<MixProfile> mixes,
                     cellConfig(cfg, multi, mix.name, pol));
             },
             err);
+        span.setAttempts(err.attempts);
         if (ok) {
             if (manifest)
                 manifest->markCompleted(
                     i, multicoreResultToJson(grid.cells[i]));
+            progress.update(false);
             return;
         }
+        span.setFailed(err.timedOut);
+        progress.update(true);
         grid.cells[i] = MulticoreRunResult{};
         grid.cells[i].mix = mix.name;
         grid.cells[i].policy = pol;

@@ -94,7 +94,7 @@ scrubbed(const obs::JsonValue &doc)
 {
     obs::JsonValue out = obs::JsonValue::object();
     for (const auto &[key, value] : doc.members())
-        if (key != "profile")
+        if (key != "profile" && key != "timing")
             out.set(key, value);
     return out;
 }

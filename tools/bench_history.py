@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Record benchmark medians in the committed perf trendline.
+
+Usage:
+    bench_history.py append RESULTS.json [--history PATH]
+                     [--commit HASH] [--benchmark NAME ...]
+    bench_history.py show [--history PATH] [--benchmark NAME]
+
+``append`` reads a google-benchmark JSON file (BENCH_micro_ops.json
+format), takes the median entry of each selected benchmark and
+appends one ``sdbp.bench_trend/1`` JSONL record per benchmark to the
+history file (bench/history/BENCH_trend.jsonl by default).  Each
+record carries the commit hash and commit date plus a host
+fingerprint (machine + CPU model), so the trend can separate code
+changes from host changes, and the ns/instr derivation shared with
+perf_compare.py --ratchet.
+
+``show`` prints the recorded trend of one benchmark
+(BM_SimulatedInstruction by default) in append order.
+
+Stdlib only -- this runs in CI where installing packages is
+off-limits.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+
+from _common import load_benchmarks, ns_per_instr
+
+DEFAULT_HISTORY = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "bench", "history", "BENCH_trend.jsonl")
+DEFAULT_BENCHMARKS = ["BM_SimulatedInstruction"]
+SCHEMA = "sdbp.bench_trend/1"
+
+
+def git(*args):
+    """Output of a git command, or None when unavailable."""
+    try:
+        return subprocess.run(
+            ["git", *args], check=True, capture_output=True,
+            text=True).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def host_fingerprint():
+    """Coarse host identity: kernel machine string + CPU model."""
+    cpu = ""
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.lower().startswith("model name"):
+                    cpu = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    u = platform.uname()
+    return {
+        "system": u.system,
+        "machine": u.machine,
+        "cpu": cpu or u.processor,
+    }
+
+
+def load_history(path):
+    """History records in file order; missing file -> empty list."""
+    records = []
+    try:
+        with open(path) as f:
+            for i, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as e:
+                    sys.exit(f"error: {path}:{i} is not valid "
+                             f"JSON: {e}")
+    except OSError:
+        pass
+    return records
+
+
+def cmd_append(args):
+    results = load_benchmarks(args.results)
+    commit = args.commit or git("rev-parse", "HEAD") or "unknown"
+    date = (git("show", "-s", "--format=%cI", commit)
+            if commit != "unknown" else None)
+    if not date:
+        date = datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds")
+    host = host_fingerprint()
+
+    names = args.benchmark or DEFAULT_BENCHMARKS
+    records = []
+    for name in names:
+        if name not in results:
+            sys.exit(f"error: benchmark {name} not in {args.results}")
+        entry = results[name]
+        records.append({
+            "schema": SCHEMA,
+            "commit": commit,
+            "date": date,
+            "host": host,
+            "benchmark": name,
+            "cpu_time": entry["cpu_time"],
+            "time_unit": entry.get("time_unit", "ns"),
+            "ns_per_instr": ns_per_instr(entry),
+        })
+
+    os.makedirs(os.path.dirname(args.history) or ".", exist_ok=True)
+    with open(args.history, "a") as f:
+        for rec in records:
+            f.write(json.dumps(rec, sort_keys=True) + "\n")
+    for rec in records:
+        print(f"recorded {rec['benchmark']} @ {rec['commit'][:12]}: "
+              f"{rec['cpu_time']:.3f} {rec['time_unit']} "
+              f"({rec['ns_per_instr']:.2f} ns/instr) "
+              f"-> {args.history}")
+    return 0
+
+
+def cmd_show(args):
+    records = load_history(args.history)
+    name = (args.benchmark[0] if args.benchmark
+            else DEFAULT_BENCHMARKS[0])
+    rows = [r for r in records if r.get("benchmark") == name]
+    if not rows:
+        print(f"no records for {name} in {args.history}")
+        return 1
+    best = min(r["ns_per_instr"] for r in rows)
+    print(f"{name} ({len(rows)} record(s), best "
+          f"{best:.2f} ns/instr):")
+    for r in rows:
+        mark = " <-- best" if r["ns_per_instr"] == best else ""
+        print(f"  {r['commit'][:12]}  {r['date']}  "
+              f"{r['ns_per_instr']:8.2f} ns/instr{mark}")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    ap_append = sub.add_parser(
+        "append", help="append medians of a results file")
+    ap_append.add_argument("results",
+                           help="google-benchmark JSON results")
+    ap_append.add_argument("--history", default=DEFAULT_HISTORY)
+    ap_append.add_argument("--commit",
+                           help="commit hash (default: git HEAD)")
+    ap_append.add_argument("--benchmark", action="append", default=[],
+                           help="benchmark to record (repeatable; "
+                                "default: BM_SimulatedInstruction)")
+    ap_append.set_defaults(fn=cmd_append)
+
+    ap_show = sub.add_parser("show", help="print the recorded trend")
+    ap_show.add_argument("--history", default=DEFAULT_HISTORY)
+    ap_show.add_argument("--benchmark", action="append", default=[])
+    ap_show.set_defaults(fn=cmd_show)
+
+    args = ap.parse_args()
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

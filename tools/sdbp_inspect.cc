@@ -18,17 +18,21 @@
  * row per cell, with artifact paths derived per cell.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/artifacts.hh"
+#include "obs/span_tracer.hh"
 #include "sim/runner.hh"
 #include "sim/sweep.hh"
 #include "trace/spec_profiles.hh"
+#include "util/file.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
@@ -79,6 +83,13 @@ usage(const char *prog)
         << "  --json <path>        write the run-artifact JSON\n"
         << "  --csv <path>         write the derived timeline CSV\n"
         << "  --trace <path>       stream trace events as JSONL\n"
+        << "  --spans <file>       summarize a sdbp.trace_spans/1 "
+           "JSON (slowest\n"
+        << "                       cells, retries, per-phase "
+           "breakdown) and exit\n"
+        << "  --spans-out <path>   export this invocation's spans "
+           "there\n"
+        << "                       (implies span tracing on)\n"
         << "  --stats              dump every final stat, not just "
            "the summary\n"
         << "  --list-benchmarks    print the known benchmarks and "
@@ -218,6 +229,153 @@ printSummary(const obs::RunArtifacts &art)
                   << " dropped (ring full)\n";
 }
 
+/** One trace event, as far as the spans summary cares. */
+struct SpanRow
+{
+    std::string name;
+    std::string cat;
+    double durUs = 0;
+    std::uint64_t attempts = 0;
+    bool failed = false;
+    bool timedOut = false;
+    bool resumed = false;
+    bool skipped = false;
+};
+
+/**
+ * `--spans <file>`: load a sdbp.trace_spans/1 document and print the
+ * operator's view — slowest cells, retry/failure counts, and where
+ * the wall clock went per phase.
+ */
+int
+summarizeSpans(const std::string &path)
+{
+    bool ok = false;
+    const std::string text = util::readFile(path, &ok);
+    if (!ok) {
+        std::cerr << "error: cannot read " << path << "\n";
+        return 1;
+    }
+    std::string parse_err;
+    const auto doc = obs::JsonValue::parse(text, &parse_err);
+    if (!doc) {
+        std::cerr << "error: " << path << ": " << parse_err << "\n";
+        return 1;
+    }
+    const obs::JsonValue *schema = doc->find("schema");
+    if (!schema || schema->asString() != "sdbp.trace_spans/1")
+        std::cerr << "warning: " << path
+                  << " does not declare schema sdbp.trace_spans/1; "
+                     "summarizing anyway\n";
+    const obs::JsonValue *events = doc->find("traceEvents");
+    if (!events || !events->isArray()) {
+        std::cerr << "error: " << path << " has no traceEvents\n";
+        return 1;
+    }
+
+    std::vector<SpanRow> cells;
+    // Phase name -> (total µs, count); ordered for stable output.
+    std::map<std::string, std::pair<double, std::uint64_t>> phases;
+    for (std::size_t i = 0; i < events->size(); ++i) {
+        const obs::JsonValue &ev = events->at(i);
+        SpanRow row;
+        if (const auto *v = ev.find("name"))
+            row.name = v->asString();
+        if (const auto *v = ev.find("cat"))
+            row.cat = v->asString();
+        if (const auto *v = ev.find("dur"))
+            row.durUs = v->asNumber();
+        if (const auto *args = ev.find("args")) {
+            if (const auto *v = args->find("attempts"))
+                row.attempts = v->asUInt();
+            if (const auto *v = args->find("failed"))
+                row.failed = v->asBool();
+            if (const auto *v = args->find("timed_out"))
+                row.timedOut = v->asBool();
+            if (const auto *v = args->find("resumed"))
+                row.resumed = v->asBool();
+            if (const auto *v = args->find("skipped"))
+                row.skipped = v->asBool();
+        }
+        if (row.cat == "cell") {
+            cells.push_back(std::move(row));
+        } else {
+            auto &[us, count] = phases[row.cat + ":" + row.name];
+            us += row.durUs;
+            ++count;
+        }
+    }
+
+    std::cout << "Span trace " << path << ": " << events->size()
+              << " spans";
+    if (const auto *v = doc->find("spans_dropped");
+        v && v->asUInt() > 0)
+        std::cout << " (" << v->asUInt() << " dropped: buffer full)";
+    std::cout << "\n\n";
+
+    if (!cells.empty()) {
+        std::uint64_t failed = 0, timed_out = 0, resumed = 0,
+                      skipped = 0, retries = 0;
+        for (const auto &c : cells) {
+            failed += c.failed ? 1 : 0;
+            timed_out += c.timedOut ? 1 : 0;
+            resumed += c.resumed ? 1 : 0;
+            skipped += c.skipped ? 1 : 0;
+            retries += c.attempts > 1 ? c.attempts - 1 : 0;
+        }
+        std::cout << cells.size() << " cell(s): " << failed
+                  << " failed (" << timed_out << " timed out), "
+                  << retries << " retr" << (retries == 1 ? "y" : "ies")
+                  << ", " << resumed << " resumed, " << skipped
+                  << " skipped\n\n";
+
+        std::sort(cells.begin(), cells.end(),
+                  [](const SpanRow &a, const SpanRow &b) {
+                      return a.durUs > b.durUs;
+                  });
+        const std::size_t top = std::min<std::size_t>(cells.size(), 10);
+        std::cout << "Slowest " << top << " cell(s):\n";
+        TextTable ct({"Cell", "Wall ms", "Attempts", "Flags"});
+        for (std::size_t i = 0; i < top; ++i) {
+            const SpanRow &c = cells[i];
+            std::string flags;
+            auto flag = [&flags](const char *f) {
+                flags += flags.empty() ? f : std::string(",") + f;
+            };
+            if (c.failed)
+                flag(c.timedOut ? "timeout" : "failed");
+            if (c.resumed)
+                flag("resumed");
+            if (c.skipped)
+                flag("skipped");
+            ct.row()
+                .cell(c.name)
+                .cell(c.durUs / 1000.0, 1)
+                .cell(std::to_string(c.attempts))
+                .cell(flags.empty() ? "-" : flags);
+        }
+        ct.print(std::cout);
+        std::cout << "\n";
+    }
+
+    if (!phases.empty()) {
+        double total_us = 0;
+        for (const auto &[name, acc] : phases)
+            total_us += acc.first;
+        std::cout << "Per-phase breakdown (non-cell spans):\n";
+        TextTable pt({"Span", "Count", "Total s", "Share"});
+        for (const auto &[name, acc] : phases)
+            pt.row()
+                .cell(name)
+                .cell(std::to_string(acc.second))
+                .cell(acc.first / 1e6, 3)
+                .cell(formatPercent(
+                    total_us > 0 ? acc.first / total_us : 0, 1));
+        pt.print(std::cout);
+    }
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -228,6 +386,8 @@ main(int argc, char **argv)
     RunConfig cfg = RunConfig::singleCore();
     cfg.obs.collect = true;
     bool dump_stats = false;
+    std::string spans_file;
+    std::string spans_out;
     sweep::SweepOptions opts = sweep::SweepOptions::fromEnvironment();
 
     for (int i = 1; i < argc; ++i) {
@@ -284,6 +444,10 @@ main(int argc, char **argv)
             cfg.obs.timelineCsvPath = next();
         } else if (arg == "--trace") {
             cfg.obs.traceJsonlPath = next();
+        } else if (arg == "--spans") {
+            spans_file = next();
+        } else if (arg == "--spans-out") {
+            spans_out = next();
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--list-benchmarks") {
@@ -302,6 +466,11 @@ main(int argc, char **argv)
             return usage(argv[0]);
         }
     }
+
+    if (!spans_file.empty())
+        return summarizeSpans(spans_file);
+    if (!spans_out.empty())
+        obs::SpanTracer::global().setEnabled(true);
 
     std::vector<std::string> benchmarks;
     for (const auto &name : splitList(benchmark)) {
@@ -367,8 +536,22 @@ main(int argc, char **argv)
         std::cerr << "interrupted: " << grid.skipped
                   << " cell(s) skipped\n";
     if (grid.resumed > 0)
-        std::cout << "[resumed " << grid.resumed
+        std::cerr << "[resumed " << grid.resumed
                   << " cell(s) from " << opts.manifestPath << "]\n";
+
+    // Span export (SDBP_SPANS=1 or --spans-out) goes to stderr-land:
+    // the file plus a notice, never a stdout line.
+    const obs::SpanTracer &tracer = obs::SpanTracer::global();
+    if (tracer.enabled() && tracer.recorded() > 0) {
+        const std::string path =
+            spans_out.empty() ? "sdbp_inspect.spans.json" : spans_out;
+        if (tracer.writeChromeTrace(path))
+            std::cerr << "[wrote " << path << " (" << tracer.size()
+                      << " spans, " << tracer.dropped()
+                      << " dropped)]\n";
+        else
+            std::cerr << "cannot write " << path << "\n";
+    }
 
     if (cells == 1) {
         if (!grid.ok())

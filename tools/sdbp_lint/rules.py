@@ -64,6 +64,10 @@ _IO_STREAM_RE = re.compile(
     r"\b(?:std::)?(?:cout|cerr|clog|cin)\b|"
     r"\b(?:std::)?[io]?fstream\b|\b(?:std::)?[io]fstream\b")
 _MEMBER_PTR_CALL_RE = re.compile(r"(?:->\*|\.\*)\s*[\w(]")
+# Span-emission surface: the SpanTracer type (construction, global(),
+# emit()) or a *member* call named span() -- free `span(...)` stays
+# legal because std::span construction appears on the hot path.
+_SPAN_TOKEN_RE = re.compile(r"\bSpanTracer\b|\bSDBP_SPAN\w*\b")
 
 
 def _line(fn, offset):
@@ -100,6 +104,10 @@ def hot_violations(fn, devirt):
     for m in _MEMBER_PTR_CALL_RE.finditer(fn.body):
         add("hot-virtual", m.start(),
             "indirect call through member pointer")
+    for m in _SPAN_TOKEN_RE.finditer(fn.body):
+        add("hot-span", m.start(),
+            f"span tracing '{m.group(0)}' (spans are cell/phase "
+            f"granularity only)")
 
     for name, is_member, args, off in extract_calls(fn.body):
         if name in _ALLOC_CALLS:
@@ -111,6 +119,10 @@ def hot_violations(fn, devirt):
             add("hot-throw", off, "throwing accessor '.at()'")
         elif name in _IO_CALLS:
             add("hot-io", off, f"call to '{name}'")
+        elif is_member and name == "span":
+            add("hot-span", off,
+                "span emission '.span()' (spans are cell/phase "
+                "granularity only)")
         elif is_member and name in _ATOMIC_RMW:
             if "memory_order_relaxed" not in args and \
                     "memory_order::relaxed" not in args:
@@ -208,6 +220,8 @@ ALL_RULES = {
     "hot-atomic-order": "atomic operation stronger than relaxed on "
                         "the hot path",
     "hot-io": "I/O on the hot path",
+    "hot-span": "span emission on the hot path (spans are cell/phase "
+                "granularity only)",
     "det-wallclock": "wall-clock read outside the profiler",
     "det-random": "non-seeded randomness (use sdbp::Rng)",
     "det-getenv": "raw getenv outside the env:: wrappers",

@@ -1,0 +1,27 @@
+// Fixture: span emission on the hot path.  Expect hot-span -- but a
+// free call named span() (std::span construction) must stay legal.
+#define SDBP_HOT_PATH
+
+namespace obs
+{
+struct SpanTracer
+{
+    static SpanTracer &global();
+    int span(const char *cat, const char *name);
+};
+} // namespace obs
+
+template <typename T> struct span
+{
+    span(T *p, unsigned n);
+};
+
+struct Engine
+{
+    SDBP_HOT_PATH int
+    fetch(int *records, unsigned n)
+    {
+        span<int> batch(records, n); // free span(): fine
+        return obs::SpanTracer::global().span("cell", "x");
+    }
+};

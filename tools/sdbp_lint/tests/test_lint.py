@@ -30,6 +30,7 @@ EXPECT = {
     "hot_atomic.cc": {"hot-atomic-order"},
     "hot_io.cc": {"hot-io"},
     "hot_transitive.cc": {"hot-alloc"},
+    "hot_span.cc": {"hot-span"},
     "hot_allow_inline.cc": set(),
     "det_wallclock.cc": {"det-wallclock"},
     "det_random.cc": {"det-random"},

@@ -27,6 +27,7 @@
 #include "sim/runner.hh"
 #include "trace/spec_profiles.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 
 namespace
 {
@@ -144,6 +145,26 @@ BM_SimulatedInstruction(benchmark::State &state)
     simulatedInstruction(state, false);
 }
 BENCHMARK(BM_SimulatedInstruction)->Unit(benchmark::kMillisecond);
+
+/**
+ * The same sealed engine with the scan-kernel path pinned: /simd is
+ * the AVX2 kernels (where available), /scalar forces the reference
+ * scans — the in-process equivalent of SDBP_NO_SIMD=1.  Their delta
+ * is the end-to-end worth of the vector set scan.
+ */
+void
+simulatedInstructionSimd(benchmark::State &state, bool simd_on)
+{
+    const bool prev = simd::setEnabledForTest(simd_on);
+    simulatedInstruction(state, false);
+    simd::setEnabledForTest(prev);
+}
+BENCHMARK_CAPTURE(simulatedInstructionSimd, simd, true)
+    ->Name("BM_SimulatedInstruction/simd")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(simulatedInstructionSimd, scalar, false)
+    ->Name("BM_SimulatedInstruction/scalar")
+    ->Unit(benchmark::kMillisecond);
 
 /** The type-erased reference stack (SDBP_NO_FASTPATH route). */
 void

@@ -67,9 +67,7 @@ CacheBase::CacheBase(const CacheConfig &cfg,
         static_cast<std::size_t>(cfg_.numSets) * cfg_.assoc;
     tags_.assign(frame_count, SetView::kNoBlock);
     state_.assign(frame_count, 0);
-    owner_.assign(frame_count, 0);
-    fillTick_.assign(frame_count, 0);
-    lastTouchTick_.assign(frame_count, 0);
+    meta_.assign(frame_count, FrameMeta{});
     if (cfg_.trackEfficiency) {
         frameLive_.assign(frame_count, 0.0);
         frameTotal_.assign(frame_count, 0.0);
@@ -86,9 +84,9 @@ CacheBase::blockAt(std::uint32_t set, std::uint32_t way) const
     blk.blockAddr = blk.valid ? tags_[idx] : 0;
     blk.dirty = (state_[idx] & SetView::kDirty) != 0;
     blk.predictedDead = (state_[idx] & SetView::kDead) != 0;
-    blk.owner = owner_[idx];
-    blk.fillTick = fillTick_[idx];
-    blk.lastTouchTick = lastTouchTick_[idx];
+    blk.owner = meta_[idx].owner;
+    blk.fillTick = meta_[idx].fillTick;
+    blk.lastTouchTick = meta_[idx].lastTouchTick;
     return blk;
 }
 
@@ -125,8 +123,8 @@ CacheBase::finalizeEfficiency(std::uint64_t now)
             // Restart the generation so finalize is idempotent-ish
             // for continued simulation.
             if (state_[idx] & SetView::kValid) {
-                fillTick_[idx] = now;
-                lastTouchTick_[idx] = now;
+                meta_[idx].fillTick = now;
+                meta_[idx].lastTouchTick = now;
             }
         }
     }
@@ -164,8 +162,8 @@ CacheBase::auditInvariants() const
                 continue;
             SDBP_DCHECK_EQ(setIndex(tags_[base + w]), s,
                            "resident block maps to a different set");
-            SDBP_DCHECK_LE(fillTick_[base + w],
-                           lastTouchTick_[base + w],
+            SDBP_DCHECK_LE(meta_[base + w].fillTick,
+                           meta_[base + w].lastTouchTick,
                            "block generation timestamps inverted");
             for (std::uint32_t o = w + 1; o < cfg_.assoc; ++o)
                 SDBP_DCHECK(!(state_[base + o] & SetView::kValid) ||

@@ -33,8 +33,10 @@
 #include "cache/policy.hh"
 #include "obs/trace_sink.hh"
 #include "trace/access.hh"
+#include "util/arena.hh"
 #include "util/hotpath.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace sdbp
 {
@@ -87,6 +89,19 @@ struct CacheStats
      */
     void registerStats(obs::StatRegistry &reg,
                        const std::string &prefix) const;
+};
+
+/**
+ * Per-frame miss-path metadata, interleaved so a fill (which writes
+ * all three fields) and an eviction (which reads them) touch one
+ * host cache line instead of three parallel lanes.  Kept out of the
+ * hit-path lanes: a demand hit only stores lastTouchTick.
+ */
+struct FrameMeta
+{
+    std::uint64_t fillTick = 0;
+    std::uint64_t lastTouchTick = 0;
+    ThreadId owner = 0;
 };
 
 /** What fell out of the cache during a fill or writeback allocate. */
@@ -175,16 +190,29 @@ class CacheBase
      */
     void auditInvariants() const;
 
-    /** Linear probe of one set; -1 when absent. */
+    /** Probe of one set (vectorized scan); -1 when absent. */
     SDBP_HOT_PATH int
     findWay(std::uint32_t set, Addr block_addr) const
     {
         const Addr *tags =
             &tags_[static_cast<std::size_t>(set) * cfg_.assoc];
-        for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
-            if (tags[w] == block_addr)
-                return static_cast<int>(w);
-        return -1;
+        return simd::findTag(tags, cfg_.assoc, block_addr);
+    }
+
+    /**
+     * Pull the set lanes an upcoming access to @p block_addr will
+     * touch into the host cache: the tag lane always, the state lane
+     * when it shares no cache line with the tags.  Read-only hint; no
+     * simulated state changes (DESIGN.md §15).
+     */
+    SDBP_HOT_PATH SDBP_ALWAYS_INLINE void
+    prefetchSet(Addr block_addr) const
+    {
+        const std::size_t base =
+            static_cast<std::size_t>(setIndex(block_addr)) *
+            cfg_.assoc;
+        __builtin_prefetch(&tags_[base], 0, 3);
+        __builtin_prefetch(&state_[base], 0, 3);
     }
 
   protected:
@@ -197,12 +225,13 @@ class CacheBase
     {
         const std::size_t idx =
             static_cast<std::size_t>(set) * cfg_.assoc + way;
-        if (!(state_[idx] & SetView::kValid) || now < fillTick_[idx])
+        const FrameMeta &m = meta_[idx];
+        if (!(state_[idx] & SetView::kValid) || now < m.fillTick)
             return;
         const double live =
-            static_cast<double>(lastTouchTick_[idx] - fillTick_[idx]);
+            static_cast<double>(m.lastTouchTick - m.fillTick);
         const double total =
-            static_cast<double>(now - fillTick_[idx]);
+            static_cast<double>(now - m.fillTick);
         stats_.liveTime += live;
         stats_.totalTime += total;
         if (cfg_.trackEfficiency) {
@@ -213,17 +242,17 @@ class CacheBase
 
     CacheConfig cfg_;
     CacheStats stats_;
-    /** Hot lanes: tag (kNoBlock = invalid) and packed state bits. */
-    std::vector<Addr> tags_;
-    std::vector<std::uint8_t> state_;
-    /** Cold lanes: miss-path / reporting data only. */
-    std::vector<ThreadId> owner_;
-    std::vector<std::uint64_t> fillTick_;
-    std::vector<std::uint64_t> lastTouchTick_;
+    /** Hot lanes: tag (kNoBlock = invalid) and packed state bits.
+     *  Arena-backed when the cache is built under an ArenaScope, so
+     *  a run's lanes pack into one slab in walk order. */
+    ArenaVector<Addr> tags_;
+    ArenaVector<std::uint8_t> state_;
+    /** Cold lane: miss-path / reporting data only. */
+    ArenaVector<FrameMeta> meta_;
     obs::TraceSink *trace_ = nullptr;
     /** Per-frame accumulated live/total time (trackEfficiency). */
-    std::vector<double> frameLive_;
-    std::vector<double> frameTotal_;
+    ArenaVector<double> frameLive_;
+    ArenaVector<double> frameTotal_;
 
   private:
     /** The policy as seen through the virtual interface (cold ops). */
@@ -252,13 +281,31 @@ class BasicCache final : public CacheBase
     const P &typedPolicy() const { return *policy_; }
 
     /**
+     * Prefetch every lane an upcoming access to @p block_addr will
+     * touch: the cache's tag/state lanes plus, when the bound policy
+     * exposes a prefetchSet(set) hint, its per-set recency lane.  The
+     * type-erased instantiation (P = ReplacementPolicy) compiles the
+     * policy half out — a virtual prefetch call would cost more than
+     * the miss it hides.
+     */
+    SDBP_HOT_PATH SDBP_ALWAYS_INLINE void
+    prefetchFor(Addr block_addr) const
+    {
+        prefetchSet(block_addr);
+        if constexpr (requires(const P &p, std::uint32_t s) {
+                          p.prefetchSet(s);
+                      })
+            policy_->prefetchSet(setIndex(block_addr));
+    }
+
+    /**
      * Demand or writeback lookup; updates policy and stats.
      *
      * @param now a monotonically increasing tick used for live/dead
      *        accounting (the driver passes the instruction count)
      * @return true on hit
      */
-    SDBP_HOT_PATH bool
+    SDBP_HOT_PATH SDBP_ALWAYS_INLINE bool
     access(const Access &a, std::uint64_t now)
     {
         const Addr block = a.blockAddr();
@@ -267,13 +314,11 @@ class BasicCache final : public CacheBase
             static_cast<std::size_t>(set) * cfg_.assoc;
 
         // One contiguous scan of the tag lane; the sentinel encoding
-        // makes invalid frames compare unequal for free.  No early
-        // exit: the branchless full scan vectorizes, and the set
-        // invariant (no duplicate tags) makes it equivalent.
-        const Addr *tags = &tags_[base];
-        int way = -1;
-        for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
-            way = tags[w] == block ? static_cast<int>(w) : way;
+        // makes invalid frames compare unequal for free.  The scan is
+        // an AVX2 compare-and-movemask where available (scalar
+        // fallback otherwise); the set invariant (no duplicate tags)
+        // makes every scan order equivalent.
+        const int way = simd::findTag(&tags_[base], cfg_.assoc, block);
 
         if (a.isWriteback)
             ++stats_.writebackAccesses;
@@ -290,7 +335,7 @@ class BasicCache final : public CacheBase
                                               SetView::kDirty);
             } else {
                 ++stats_.demandHits;
-                lastTouchTick_[idx] = now;
+                meta_[idx].lastTouchTick = now;
                 if (a.isWrite)
                     state_[idx] =
                         static_cast<std::uint8_t>(state_[idx] |
@@ -330,12 +375,29 @@ class BasicCache final : public CacheBase
         const std::size_t base =
             static_cast<std::size_t>(set) * cfg_.assoc;
 
-        // Prefer an invalid frame.
+        // Prefer an invalid frame.  Steady-state fills find none, so
+        // test eight state bytes per step instead of branching on
+        // each: a zero kValid bit anywhere in the chunk lights up in
+        // one mask test, and the byte-by-byte walk only runs for the
+        // chunk that contains the first invalid frame.
         std::uint32_t way = cfg_.assoc;
-        for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
-            if (!(state_[base + w] & SetView::kValid)) {
-                way = w;
-                break;
+        {
+            constexpr std::uint64_t kValidMask =
+                0x0101010101010101ULL *
+                static_cast<std::uint64_t>(SetView::kValid);
+            std::uint32_t w = 0;
+            for (; w + 8 <= cfg_.assoc; w += 8) {
+                std::uint64_t chunk;
+                __builtin_memcpy(&chunk, &state_[base + w],
+                                 sizeof(chunk));
+                if ((chunk & kValidMask) != kValidMask)
+                    break;
+            }
+            for (; w < cfg_.assoc; ++w) {
+                if (!(state_[base + w] & SetView::kValid)) {
+                    way = w;
+                    break;
+                }
             }
         }
         if (way == cfg_.assoc) {
@@ -346,7 +408,7 @@ class BasicCache final : public CacheBase
             evicted.valid = true;
             evicted.dirty = (state_[idx] & SetView::kDirty) != 0;
             evicted.blockAddr = tags_[idx];
-            evicted.owner = owner_[idx];
+            evicted.owner = meta_[idx].owner;
             ++stats_.evictions;
             if (evicted.dirty)
                 ++stats_.dirtyEvictions;
@@ -362,9 +424,7 @@ class BasicCache final : public CacheBase
         state_[idx] = static_cast<std::uint8_t>(
             SetView::kValid |
             ((a.isWrite || a.isWriteback) ? SetView::kDirty : 0));
-        owner_[idx] = a.thread;
-        fillTick_[idx] = now;
-        lastTouchTick_[idx] = now;
+        meta_[idx] = {now, now, a.thread};
         ++stats_.fills;
         SDBP_TRACE_EVENT(trace_, now, obs::TraceEventKind::Fill, set,
                          block, a.pc, false);

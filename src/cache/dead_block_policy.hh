@@ -327,6 +327,16 @@ class BasicDeadBlockPolicy final : public DeadBlockPolicyBase
         return inner_->rank(set, way);
     }
 
+    /** Forward the set-lane prefetch hint to the wrapped policy. */
+    SDBP_HOT_PATH SDBP_ALWAYS_INLINE void
+    prefetchSet(std::uint32_t set) const
+    {
+        if constexpr (requires(const Inner &p, std::uint32_t s) {
+                          p.prefetchSet(s);
+                      })
+            inner_->prefetchSet(set);
+    }
+
   private:
     std::unique_ptr<Inner> inner_;
     std::unique_ptr<Pred> predictor_;

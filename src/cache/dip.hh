@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cache/lru.hh"
+#include "util/arena.hh"
 #include "util/rng.hh"
 
 namespace sdbp
@@ -69,7 +70,7 @@ class DipPolicy final : public ReplacementPolicy
   private:
     DipConfig cfg_;
     LruPolicy lru_;
-    std::vector<std::uint32_t> psel_;
+    ArenaVector<std::uint32_t> psel_;
     std::uint32_t pselMax_;
     std::uint32_t leaderPeriod_;
     Rng rng_;

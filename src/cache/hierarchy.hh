@@ -192,6 +192,21 @@ class BasicHierarchy final : public HierarchyBase
     LlcCache &llc() { return *llc_; }
     const LlcCache &llc() const { return *llc_; }
 
+    /**
+     * Software-prefetch the set lanes a future access will touch.
+     * Issued by the system while it simulates access i of a batch
+     * for access i+k (DESIGN.md §15); a pure host-cache hint —
+     * simulated state is untouched.  L2 and LLC lanes only: a
+     * per-core L1's lanes (~10 KiB) are host-resident already, so
+     * hinting them costs issue slots and hides nothing.
+     */
+    SDBP_HOT_PATH SDBP_ALWAYS_INLINE void
+    prefetchAhead(Addr block, ThreadId core) const
+    {
+        l2_[core]->prefetchFor(block);
+        llc_->prefetchFor(block);
+    }
+
     SDBP_HOT_PATH HierarchyResult
     access(const Access &acc, std::uint64_t now) override
     {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/skewed_table.hh"
+#include "util/arena.hh"
 #include "util/budget.hh"
 #include "util/hotpath.hh"
 #include "util/types.hh"
@@ -165,7 +166,7 @@ class Sampler
     std::uint64_t victimTick_ = 0;
 
     SamplerConfig cfg_;
-    std::vector<SamplerEntry> entries_;
+    ArenaVector<SamplerEntry> entries_;
     std::uint64_t hits_ = 0;
     std::uint64_t replacements_ = 0;
     std::uint64_t trainedEvictions_ = 0;

@@ -16,11 +16,20 @@ SamplingDeadBlockPredictor::SamplingDeadBlockPredictor(
     assert(cfg_.llcSets >= cfg_.sampler.numSets);
     setStride_ = cfg_.llcSets / cfg_.sampler.numSets;
     assert(setStride_ > 0);
+    if (isPowerOfTwo(setStride_))
+        strideShift_ = floorLog2(setStride_);
 }
 
 bool
 SamplingDeadBlockPredictor::isSampledSet(std::uint32_t set) const
 {
+    // This runs on every LLC demand access; with the usual
+    // power-of-two stride the test is one mask and one shift (two
+    // hardware divides otherwise).
+    if (strideShift_ != ~0u) {
+        return (set & (setStride_ - 1)) == 0 &&
+            (set >> strideShift_) < cfg_.sampler.numSets;
+    }
     return set % setStride_ == 0 &&
         set / setStride_ < cfg_.sampler.numSets;
 }

@@ -154,6 +154,13 @@ class SamplingDeadBlockPredictor final : public DeadBlockPredictor
     SkewedTable table_;
     /** LLC sets per sampler set. */
     std::uint32_t setStride_;
+    /**
+     * floorLog2(setStride_) when the stride is a power of two (the
+     * paper geometry: 2048/32 = 64), so the per-LLC-access sampled-set
+     * test is a mask instead of two hardware divides; UINT32_MAX
+     * flags a non-power-of-two stride (divide fallback).
+     */
+    std::uint32_t strideShift_ = ~0u;
     std::uint64_t updates_ = 0;
     std::uint64_t lookups_ = 0;
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "util/arena.hh"
 #include "util/bitops.hh"
 #include "util/budget.hh"
 #include "util/hash.hh"
@@ -132,7 +133,7 @@ class SkewedTable
 
     SkewedTableConfig cfg_;
     unsigned counterMax_;
-    std::vector<std::uint8_t> counters_;
+    ArenaVector<std::uint8_t> counters_;
 };
 
 } // namespace sdbp

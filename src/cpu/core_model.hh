@@ -51,6 +51,35 @@ class CoreModel
     void
     executeNonMem(unsigned n)
     {
+        // Fast path for the common steady state behind a long-latency
+        // load: the window has room for all n instructions and the
+        // latest completion covers every cycle dispatch can reach
+        // during them (dispatch advances at most n cycles), so each
+        // step would compute retire = maxCompletion_ and never stall.
+        // Fill the ring with n copies in closed form instead of n
+        // dispatch() round trips; bit-identical to the loop whenever
+        // the (conservative) guard holds, and the loop runs
+        // otherwise.
+        const std::size_t size = window_.size();
+        if (n > 0 && count_ + n <= size &&
+            maxCompletion_ > dispatchCycle_ + n) {
+            std::size_t tail = head_ + count_;
+            if (tail >= size)
+                tail -= size;
+            for (unsigned i = 0; i < n; ++i) {
+                window_[tail] = maxCompletion_;
+                if (++tail == size)
+                    tail = 0;
+            }
+            count_ += n;
+            instructions_ += n;
+            slotInCycle_ += n;
+            while (slotInCycle_ >= cfg_.width) {
+                slotInCycle_ -= cfg_.width;
+                ++dispatchCycle_;
+            }
+            return;
+        }
         for (unsigned i = 0; i < n; ++i)
             dispatch(dispatchCycle_ + 1);
     }

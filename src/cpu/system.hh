@@ -165,10 +165,13 @@ class SystemBase
         checkDeadlineSlow(phase);
     }
 
-    /** Per-core read-ahead over the generator (see file comment). */
+    /** Per-core read-ahead over the generator (see file comment).
+     *  256 records (~8 KiB) amortizes the virtual nextBatch dispatch
+     *  without evicting the simulated cache lanes from the host L1
+     *  on every refill (a 1024-record batch alone is 32 KiB). */
     struct Batch
     {
-        static constexpr std::size_t kSize = 1024;
+        static constexpr std::size_t kSize = 256;
         std::vector<Access> records;
         std::size_t pos = 0;
         std::size_t fill = 0;
@@ -182,14 +185,16 @@ class SystemBase
             if (b.records.size() != Batch::kSize)
                 b.records.resize(Batch::kSize);
             gen.nextBatch(std::span<Access>(b.records));
-            // Stamp the issuing core once per batch; the hierarchy
-            // and every policy hook read the core from the record.
-            for (Access &r : b.records)
-                r.thread = static_cast<ThreadId>(c);
             b.pos = 0;
             b.fill = Batch::kSize;
         }
-        return b.records[b.pos++];
+        // Stamp the issuing core on the record as it is handed out
+        // (the hierarchy and every policy hook read the core from
+        // it): one store to an already-hot line, instead of a
+        // whole-batch stamping pass over cold memory.
+        Access &r = b.records[b.pos++];
+        r.thread = static_cast<ThreadId>(c);
+        return r;
     }
 
     HierarchyConfig hcfg_;
@@ -242,6 +247,18 @@ class BasicSystem final : public SystemBase
         return hierarchy_;
     }
 
+    /**
+     * Batch read-ahead distance of the software prefetcher: while
+     * access i simulates, the set lanes of access i+k are requested.
+     * k must cover the per-record simulation latency (~20 host ns)
+     * against the ~100 ns lane-miss it hides, without running so far
+     * ahead that the hints are evicted before use; k = 8 measured
+     * best on the bench host (DESIGN.md §15).  Hints never cross a
+     * batch boundary, so no record is prefetched that the generator
+     * has not already produced.
+     */
+    static constexpr std::size_t kPrefetchDistance = 8;
+
     std::vector<ThreadRunResult>
     run(const std::vector<AccessGenerator *> &gens, InstCount warmup,
         InstCount measure) override
@@ -283,7 +300,7 @@ class BasicSystem final : public SystemBase
             std::uint32_t still_warming = n;
             while (still_warming > 0) {
                 const std::uint32_t c = next_core(warming);
-                step(c, fetch(c, *gens[c]));
+                step(c, fetchAndPrefetch(c, *gens[c]));
                 checkDeadline("warmup");
                 if (cores_[c].instructions() >= warmup) {
                     warming[c] = false;
@@ -320,6 +337,39 @@ class BasicSystem final : public SystemBase
         }
 
         std::vector<ThreadRunResult> results(n);
+
+        // Single-core fast loop: the common case (every per-workload
+        // figure cell) needs no core interleaving, no eligibility
+        // bookkeeping, and no per-record scan for the smallest local
+        // clock — just fetch/step/until-quota, with the completion
+        // test against a precomputed target.  Record-for-record
+        // identical to the general loop below with n == 1.
+        if (n == 1) {
+            CoreModel &core = cores_[0];
+            AccessGenerator &gen = *gens[0];
+            const InstCount target = start_insts[0] + measure;
+            while (core.instructions() < target) {
+                step(0, fetchAndPrefetch(0, gen));
+                checkDeadline("measure");
+                if (tick_ >= next_beat) {
+                    heartbeat_(tick_);
+                    next_beat = tick_ + heartbeatInterval_;
+                }
+            }
+            auto &r = results[0];
+            r.instructions = core.instructions() - start_insts[0];
+            r.cycles = core.cycles() - start_cycles[0];
+            r.ipc = ratio(static_cast<double>(r.instructions),
+                          static_cast<double>(r.cycles));
+            gen.reset();
+            batch_[0].pos = batch_[0].fill = 0;
+            if (heartbeatInterval_ > 0 && heartbeat_)
+                heartbeat_(tick_); // final partial interval
+            if (profiler_)
+                profiler_->addEvents("measure", tick_ - measure_start);
+            return results;
+        }
+
         std::vector<bool> running(n, true);
         std::uint32_t unfinished = n;
         std::vector<bool> all(n, true);
@@ -327,7 +377,7 @@ class BasicSystem final : public SystemBase
             // Finished cores keep running (restarted) to preserve
             // contention, so everyone is eligible.
             const std::uint32_t c = next_core(all);
-            step(c, fetch(c, *gens[c]));
+            step(c, fetchAndPrefetch(c, *gens[c]));
             checkDeadline("measure");
             if (tick_ >= next_beat) {
                 heartbeat_(tick_);
@@ -363,8 +413,12 @@ class BasicSystem final : public SystemBase
     {
         const InstCount start_insts = cores_[0].instructions();
         const Cycle start_cycles = cores_[0].cycles();
-        for (const Access &rec : trace) {
-            Access stamped = rec;
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            if (i + kPrefetchDistance < trace.size()) {
+                hierarchy_.prefetchAhead(
+                    trace[i + kPrefetchDistance].blockAddr(), 0);
+            }
+            Access stamped = trace[i];
             stamped.thread = 0;
             step(0, stamped);
             checkDeadline("simulate");
@@ -378,6 +432,25 @@ class BasicSystem final : public SystemBase
     }
 
   private:
+    /**
+     * Fetch the next record and, while its simulation is about to
+     * run, request the set lanes record i+k of the same batch will
+     * touch.  Issued here rather than in fetch() because the
+     * prefetch targets live behind the bound hierarchy type.
+     */
+    SDBP_HOT_PATH const Access &
+    fetchAndPrefetch(std::uint32_t c, AccessGenerator &gen)
+    {
+        const Access &rec = fetch(c, gen);
+        const Batch &b = batch_[c];
+        // pos already advanced past the current record in fetch().
+        const std::size_t ahead = b.pos - 1 + kPrefetchDistance;
+        if (ahead < b.fill)
+            hierarchy_.prefetchAhead(b.records[ahead].blockAddr(),
+                                     static_cast<ThreadId>(c));
+        return rec;
+    }
+
     /** Advance core @p c by one trace record (rec.thread == c). */
     SDBP_HOT_PATH void
     step(std::uint32_t c, const Access &rec)

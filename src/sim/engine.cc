@@ -1,7 +1,11 @@
 #include "sim/engine.hh"
 
+#include <algorithm>
+
+#include "cache/dip.hh"
 #include "cache/lru.hh"
 #include "cache/random_repl.hh"
+#include "cache/rrip.hh"
 #include "core/sdbp.hh"
 
 namespace sdbp
@@ -53,27 +57,76 @@ makeEngine(PolicyKind kind, const HierarchyConfig &hcfg,
     const std::uint32_t sets = hcfg.llc.numSets;
     const std::uint32_t assoc = hcfg.llc.assoc;
 
+    // Everything below — caches, policies, predictor — is built
+    // under this scope, so every storage lane bump-allocates from
+    // the engine's own arena, contiguous in construction (= walk)
+    // order.  The named helpers return before `e.arena` is attached;
+    // attachArena rebinds ownership without re-running construction.
+    auto arena = std::make_unique<Arena>();
+    ArenaScope scope(*arena);
+    const auto attachArena = [&arena](Engine e) {
+        e.arena = std::move(arena);
+        return e;
+    };
+
     if (!force_virtual) {
         switch (kind) {
           case PolicyKind::Lru:
-            return sealedPlain(
+            return attachArena(sealedPlain(
                 hcfg, ccfg,
-                std::make_unique<LruPolicy>(sets, assoc));
+                std::make_unique<LruPolicy>(sets, assoc)));
           case PolicyKind::Random:
-            return sealedPlain(
+            return attachArena(sealedPlain(
                 hcfg, ccfg,
                 std::make_unique<RandomPolicy>(sets, assoc,
-                                               opts.seed));
+                                               opts.seed)));
           case PolicyKind::Sampler:
-            return sealedSampler(
+            return attachArena(sealedSampler(
                 hcfg, ccfg,
-                std::make_unique<LruPolicy>(sets, assoc), opts);
+                std::make_unique<LruPolicy>(sets, assoc), opts));
           case PolicyKind::RandomSampler:
-            return sealedSampler(
+            return attachArena(sealedSampler(
                 hcfg, ccfg,
                 std::make_unique<RandomPolicy>(sets, assoc,
                                                opts.seed),
-                opts);
+                opts));
+          // The insertion-policy family: configurations mirror
+          // makeBundle exactly (pinned by fastpath_test's sealed
+          // vs. virtual RunResult equality).
+          case PolicyKind::Dip: {
+            DipConfig cfg;
+            cfg.seed = opts.seed;
+            return attachArena(sealedPlain(hcfg, ccfg,
+                               std::make_unique<DipPolicy>(
+                                   sets, assoc, cfg)));
+          }
+          case PolicyKind::Tadip: {
+            DipConfig cfg;
+            cfg.numThreads =
+                std::max<std::uint32_t>(2, opts.numThreads);
+            cfg.seed = opts.seed;
+            return attachArena(sealedPlain(hcfg, ccfg,
+                               std::make_unique<DipPolicy>(
+                                   sets, assoc, cfg)));
+          }
+          case PolicyKind::Lip: {
+            // LIP: every fill goes to the LRU position.
+            DipConfig cfg;
+            cfg.seed = opts.seed;
+            cfg.staticBip = true;
+            cfg.bipEpsilonDenom = 1u << 30; // never insert at MRU
+            return attachArena(sealedPlain(hcfg, ccfg,
+                               std::make_unique<DipPolicy>(
+                                   sets, assoc, cfg)));
+          }
+          case PolicyKind::Rrip: {
+            RripConfig cfg;
+            cfg.numThreads = opts.numThreads;
+            cfg.seed = opts.seed;
+            return attachArena(sealedPlain(hcfg, ccfg,
+                               std::make_unique<RripPolicy>(
+                                   sets, assoc, cfg)));
+          }
           default:
             break;
         }
@@ -89,7 +142,7 @@ makeEngine(PolicyKind kind, const HierarchyConfig &hcfg,
     e.system = std::make_unique<System>(hcfg, ccfg,
                                         std::move(b.policy));
     e.fastPath = false;
-    return e;
+    return attachArena(std::move(e));
 }
 
 } // namespace sdbp

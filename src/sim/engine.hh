@@ -28,6 +28,7 @@
 
 #include "cpu/system.hh"
 #include "sim/policy_factory.hh"
+#include "util/arena.hh"
 
 namespace sdbp
 {
@@ -39,6 +40,14 @@ namespace sdbp
  */
 struct Engine
 {
+    /**
+     * The run's bump arena: every fixed-size storage lane of the
+     * System below (cache lanes, policy recency lanes, sampler and
+     * table storage) lives in this slab.  First member on purpose —
+     * members destroy in reverse declaration order, so the arena
+     * outlives the System and every lane it backs (DESIGN.md §15).
+     */
+    std::unique_ptr<Arena> arena;
     std::unique_ptr<SystemBase> system;
     /** The DBRB wrapper, when `kind` is a DBRB technique. */
     DeadBlockPolicyBase *dbrb = nullptr;

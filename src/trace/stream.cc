@@ -23,6 +23,8 @@ Stream::Stream(const StreamConfig &cfg, Addr base_addr, PC base_pc,
     while (std::gcd(permMul_, cfg_.regionBlocks) != 1)
         permMul_ += 2;
     permAdd_ = seed % cfg_.regionBlocks;
+    strideStep_ = cfg_.strideBlocks % cfg_.regionBlocks;
+    permStep_ = permMul_ % cfg_.regionBlocks;
 
     reset();
 }
@@ -35,6 +37,9 @@ Stream::reset()
     touch_ = 0;
     epoch_ = 0;
     generation_ = 0;
+    pcCursor_ = 0;
+    strideBlock_ = 0;
+    permBlock_ = permAdd_;
     startGeneration();
     if (cfg_.kind == PatternKind::RandomInRegion)
         pos_ = rng_.below(cfg_.regionBlocks);
@@ -99,24 +104,29 @@ Stream::footprintBlocks() const
 Access
 Stream::next()
 {
+    // The incremental cursors (pcCursor_, strideBlock_, permBlock_)
+    // stand in for the modulo expressions of the original
+    // formulation: next() runs once per generated record, and the
+    // hardware divides were the most expensive instructions in the
+    // whole generator.
     std::uint64_t block = 0;
-    unsigned pc_index = touch_ % cfg_.numPcs;
+    unsigned pc_index = pcCursor_; // == touch_ % numPcs
     switch (cfg_.kind) {
       case PatternKind::Sequential:
         block = pos_;
         break;
       case PatternKind::Strided:
-        block = (pos_ * cfg_.strideBlocks) % cfg_.regionBlocks;
+        block = strideBlock_; // == (pos_ * strideBlocks) % region
         break;
       case PatternKind::RandomInRegion:
         block = pos_;
         break;
       case PatternKind::PointerChase:
-        block = permute(pos_);
+        block = permBlock_; // == permute(pos_)
         break;
       case PatternKind::Generational:
         block = pos_;
-        pc_index = epochPcIndex_ * cfg_.numPcs + (touch_ % cfg_.numPcs);
+        pc_index = epochPcIndex_ * cfg_.numPcs + pcCursor_;
         break;
     }
 
@@ -129,7 +139,10 @@ Stream::next()
 
     if (++touch_ >= cfg_.touchesPerBlock) {
         touch_ = 0;
+        pcCursor_ = 0;
         advance();
+    } else if (++pcCursor_ >= cfg_.numPcs) {
+        pcCursor_ = 0;
     }
     return acc;
 }
@@ -139,16 +152,34 @@ Stream::advance()
 {
     switch (cfg_.kind) {
       case PatternKind::Sequential:
-      case PatternKind::PointerChase:
         if (++pos_ >= cfg_.regionBlocks)
             pos_ = 0;
+        break;
+      case PatternKind::PointerChase:
+        if (++pos_ >= cfg_.regionBlocks) {
+            pos_ = 0;
+            permBlock_ = permAdd_; // == permute(0)
+        } else {
+            // permute(pos_ + 1) = permute(pos_) + permMul_ (mod
+            // region); both addends are already reduced, so one
+            // conditional subtract replaces the divide.
+            permBlock_ += permStep_;
+            if (permBlock_ >= cfg_.regionBlocks)
+                permBlock_ -= cfg_.regionBlocks;
+        }
         break;
       case PatternKind::Strided: {
         const std::uint64_t steps =
             (cfg_.regionBlocks + cfg_.strideBlocks - 1) /
             cfg_.strideBlocks;
-        if (++pos_ >= steps)
+        if (++pos_ >= steps) {
             pos_ = 0;
+            strideBlock_ = 0;
+        } else {
+            strideBlock_ += strideStep_;
+            if (strideBlock_ >= cfg_.regionBlocks)
+                strideBlock_ -= cfg_.regionBlocks;
+        }
         break;
       }
       case PatternKind::RandomInRegion: {

@@ -157,6 +157,20 @@ class Stream
     std::uint64_t pos_ = 0;
     /** Touches already issued to the current block. */
     unsigned touch_ = 0;
+    /**
+     * touch_ % numPcs, maintained incrementally: next() runs once
+     * per generated record, and a hardware divide there is the
+     * single most expensive instruction in the generator.
+     */
+    unsigned pcCursor_ = 0;
+    /** (pos_ * strideBlocks) % regionBlocks, incremental (Strided). */
+    std::uint64_t strideBlock_ = 0;
+    /** permute(pos_), incremental (PointerChase). */
+    std::uint64_t permBlock_ = 0;
+    /** strideBlocks % regionBlocks, precomputed. */
+    std::uint64_t strideStep_ = 0;
+    /** permMul_ % regionBlocks, precomputed. */
+    std::uint64_t permStep_ = 0;
     /** Current epoch (Generational). */
     unsigned epoch_ = 0;
     /** Epochs in the current generation (Generational). */

@@ -1,0 +1,8 @@
+#include "util/arena.hh"
+
+namespace sdbp
+{
+
+thread_local Arena *ArenaScope::tlCurrent = nullptr;
+
+} // namespace sdbp

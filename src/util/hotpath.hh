@@ -38,8 +38,20 @@
 
 #if defined(__GNUC__) || defined(__clang__)
 #define SDBP_HOT_PATH __attribute__((hot))
+/**
+ * Forced inlining for functions whose only observable effect is
+ * __builtin_prefetch.  GCC's pure-const analysis does not count a
+ * prefetch as a side effect: an outlined helper that merely computes
+ * an address and prefetches it is classified as pure, and every call
+ * to a void pure function is then deleted as dead code — silently
+ * stripping the whole software-prefetch chain from the binary.
+ * Forcing the chain inline lands the builtins inside callers that
+ * have real side effects, where they survive.
+ */
+#define SDBP_ALWAYS_INLINE __attribute__((always_inline)) inline
 #else
 #define SDBP_HOT_PATH
+#define SDBP_ALWAYS_INLINE inline
 #endif
 
 #endif // SDBP_UTIL_HOTPATH_HH

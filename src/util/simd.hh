@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Vectorized set-scan kernels for the structure-of-arrays cache
+ * lanes (DESIGN.md §15).
+ *
+ * Two primitives cover every hot scan the simulator performs:
+ *
+ *   findTag(tags, n, key)    index of `key` in a tag lane, -1 when
+ *                            absent — the hit-lookup scan;
+ *   minStampIndex(stamps, n) index of the first minimum of a stamp
+ *                            lane — the timestamp-LRU victim scan.
+ *
+ * Both have a scalar reference implementation and an AVX2
+ * implementation compiled in when the build enables AVX2 codegen
+ * (-DSDBP_SIMD=ON adds -mavx2; __AVX2__ is the gate).  The kernels
+ * are plain inline functions — NOT `target("avx2")` clones — because
+ * a target-attribute mismatch blocks inlining into the sealed access
+ * loop, and the resulting out-of-line call per set scan costs more
+ * than the vector compare saves (profiled at 21% exclusive).  -mavx2
+ * alone is value-safe for the byte-identical-stdout guarantee: FMA
+ * contraction needs -mfma, which the build never passes, and without
+ * -ffast-math the vectorizer cannot reorder FP reductions, so every
+ * double computes bit-identically to the scalar build.  Dispatch is
+ * one branch on a process-wide bool resolved from CPUID at
+ * static-init time — never a function pointer, so the sealed engine
+ * symbols stay free of indirect calls (the binary audit checks
+ * this).
+ *
+ * Equivalence contract (pinned by tests/simd_scan_test.cc):
+ *
+ *   - findTag matches the scalar scan for ANY lane content because
+ *     at most one lane can equal `key`: the cache never stores
+ *     duplicate tags in a set, and the all-ones sentinel
+ *     (SetView::kNoBlock) is never a legal probe key (fill asserts
+ *     it), so invalid frames can never match.
+ *   - minStampIndex returns the FIRST index attaining the minimum,
+ *     exactly like the scalar strict-< walk, even when stamps tie
+ *     (LRU stamps are distinct within a set, but the kernel does not
+ *     rely on that).
+ *
+ * Escape hatches: SDBP_NO_SIMD=1 forces the scalar path at startup;
+ * setEnabledForTest() flips it at runtime (equivalence tests and the
+ * BM_SimulatedInstruction/{simd,scalar} bench variants); configuring
+ * with -DSDBP_SIMD=OFF compiles the AVX2 kernels out entirely (the
+ * CI scalar-fallback leg).
+ */
+
+#ifndef SDBP_UTIL_SIMD_HH
+#define SDBP_UTIL_SIMD_HH
+
+#include <cstdint>
+
+#include "util/env.hh"
+#include "util/hotpath.hh"
+
+#if defined(__AVX2__) && !defined(SDBP_SIMD_DISABLED)
+#define SDBP_SIMD_AVX2 1
+#include <immintrin.h>
+#else
+#define SDBP_SIMD_AVX2 0
+#endif
+
+namespace sdbp::simd
+{
+
+/** Scalar reference: index of @p key in @p tags, -1 when absent. */
+SDBP_HOT_PATH inline int
+findTagScalar(const std::uint64_t *tags, std::uint32_t n,
+              std::uint64_t key)
+{
+    int way = -1;
+    for (std::uint32_t w = 0; w < n; ++w)
+        way = tags[w] == key ? static_cast<int>(w) : way;
+    return way;
+}
+
+/** Scalar reference: first index of the minimum of @p stamps. */
+SDBP_HOT_PATH inline std::uint32_t
+minStampIndexScalar(const std::int64_t *stamps, std::uint32_t n)
+{
+    std::uint32_t lru = 0;
+    for (std::uint32_t w = 1; w < n; ++w)
+        if (stamps[w] < stamps[lru])
+            lru = w;
+    return lru;
+}
+
+#if SDBP_SIMD_AVX2
+
+/**
+ * AVX2 tag scan: compare four 64-bit lanes per step and movemask.
+ * At most one lane matches (no-duplicate-tag invariant), so the
+ * first set bit IS the match.  The tail (n % 4) falls back to the
+ * scalar walk; unaligned loads because the lanes live in plain
+ * vectors.
+ */
+SDBP_HOT_PATH inline int
+findTagAvx2(const std::uint64_t *tags, std::uint32_t n,
+            std::uint64_t key)
+{
+    const __m256i vkey = _mm256_set1_epi64x(
+        static_cast<long long>(key));
+    std::uint32_t w = 0;
+    for (; w + 4 <= n; w += 4) {
+        const __m256i lane = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(tags + w));
+        const int mask = _mm256_movemask_pd(_mm256_castsi256_pd(
+            _mm256_cmpeq_epi64(lane, vkey)));
+        if (mask != 0)
+            return static_cast<int>(w) + __builtin_ctz(
+                static_cast<unsigned>(mask));
+    }
+    for (; w < n; ++w)
+        if (tags[w] == key)
+            return static_cast<int>(w);
+    return -1;
+}
+
+/**
+ * AVX2 victim scan: min-reduce the stamp lane (signed 64-bit
+ * compares), then locate the first index equal to the minimum.
+ * Find-first-equal returns the first occurrence, which is exactly
+ * what the scalar strict-< walk selects on ties.
+ */
+SDBP_HOT_PATH inline std::uint32_t
+minStampIndexAvx2(const std::int64_t *stamps, std::uint32_t n)
+{
+    if (n < 4)
+        return minStampIndexScalar(stamps, n);
+
+    __m256i vmin = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(stamps));
+    std::uint32_t w = 4;
+    for (; w + 4 <= n; w += 4) {
+        const __m256i lane = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(stamps + w));
+        // per-lane min(a,b): where a > b take b.
+        vmin = _mm256_blendv_epi8(vmin, lane,
+                                  _mm256_cmpgt_epi64(vmin, lane));
+    }
+    alignas(32) std::int64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), vmin);
+    std::int64_t min = lanes[0];
+    for (int i = 1; i < 4; ++i)
+        if (lanes[i] < min)
+            min = lanes[i];
+    for (; w < n; ++w)
+        if (stamps[w] < min)
+            min = stamps[w];
+
+    const __m256i vbest = _mm256_set1_epi64x(min);
+    for (w = 0; w + 4 <= n; w += 4) {
+        const __m256i lane = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(stamps + w));
+        const int mask = _mm256_movemask_pd(_mm256_castsi256_pd(
+            _mm256_cmpeq_epi64(lane, vbest)));
+        if (mask != 0)
+            return w + static_cast<std::uint32_t>(__builtin_ctz(
+                static_cast<unsigned>(mask)));
+    }
+    for (; w < n; ++w)
+        if (stamps[w] == min)
+            return w;
+    return 0; // unreachable: min came from the lane
+}
+
+#endif // SDBP_SIMD_AVX2
+
+namespace detail
+{
+
+/** CPUID + SDBP_NO_SIMD, resolved once at static-init time. */
+inline bool
+computeEnabled()
+{
+#if SDBP_SIMD_AVX2
+    return __builtin_cpu_supports("avx2") &&
+           env::u64("SDBP_NO_SIMD", 0, 0, 1) == 0;
+#else
+    return false;
+#endif
+}
+
+/** Mutable so tests and bench variants can flip paths in-process. */
+inline bool g_enabled = computeEnabled();
+
+} // namespace detail
+
+/** True when the AVX2 kernels are compiled in and selected. */
+inline bool enabled() { return detail::g_enabled; }
+
+/**
+ * Force the scalar (false) or vector (true) path; returns the
+ * previous setting.  Requesting true is ignored when AVX2 is
+ * unavailable (compiled out, unsupported CPU, or SDBP_NO_SIMD=1
+ * resolved at startup — the env knob wins so a NO_SIMD run can never
+ * silently re-enable vectors).
+ */
+inline bool
+setEnabledForTest(bool on)
+{
+    const bool prev = detail::g_enabled;
+    detail::g_enabled = on && detail::computeEnabled();
+    return prev;
+}
+
+/** Hit-lookup scan: index of @p key in the tag lane, -1 if absent. */
+SDBP_HOT_PATH inline int
+findTag(const std::uint64_t *tags, std::uint32_t n, std::uint64_t key)
+{
+#if SDBP_SIMD_AVX2
+    if (detail::g_enabled)
+        return findTagAvx2(tags, n, key);
+#endif
+    return findTagScalar(tags, n, key);
+}
+
+/** Victim scan: first index of the minimum stamp. */
+SDBP_HOT_PATH inline std::uint32_t
+minStampIndex(const std::int64_t *stamps, std::uint32_t n)
+{
+#if SDBP_SIMD_AVX2
+    if (detail::g_enabled)
+        return minStampIndexAvx2(stamps, n);
+#endif
+    return minStampIndexScalar(stamps, n);
+}
+
+} // namespace sdbp::simd
+
+#endif // SDBP_UTIL_SIMD_HH

@@ -134,7 +134,8 @@ TEST(EngineTest, SealedKindsTakeTheFastPath)
     HierarchyConfig hcfg;
     for (const PolicyKind kind :
          {PolicyKind::Lru, PolicyKind::Random, PolicyKind::Sampler,
-          PolicyKind::RandomSampler}) {
+          PolicyKind::RandomSampler, PolicyKind::Dip,
+          PolicyKind::Tadip, PolicyKind::Lip, PolicyKind::Rrip}) {
         const Engine eng = makeEngine(kind, hcfg, CoreConfig{});
         EXPECT_TRUE(eng.fastPath) << policyName(kind);
         ASSERT_NE(eng.system, nullptr);
@@ -156,7 +157,8 @@ TEST(EngineTest, ForceVirtualOverridesSealedKinds)
 TEST(EngineTest, UnsealedKindsFallBackToTheVirtualStack)
 {
     HierarchyConfig hcfg;
-    const Engine eng = makeEngine(PolicyKind::Dip, hcfg, CoreConfig{});
+    const Engine eng =
+        makeEngine(PolicyKind::TreePlru, hcfg, CoreConfig{});
     EXPECT_FALSE(eng.fastPath);
     ASSERT_NE(eng.system, nullptr);
     EXPECT_EQ(eng.dbrb, nullptr);

@@ -66,8 +66,9 @@ runPart(bench::JsonReport &report, const char *title,
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    sweep::maybeWorkerMain(argc, argv);
     bench::banner(
         "Fig. 10: quad-core normalized weighted speedup (8MB LLC)",
         "Fig. 10(a)/(b), Sec. VII-D");

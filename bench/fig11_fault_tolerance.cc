@@ -30,8 +30,9 @@ rateLabel(std::uint64_t rate)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    sweep::maybeWorkerMain(argc, argv);
     bench::banner(
         "Fig. 11: Sampler MPKI/IPC vs predictor soft-error rate",
         "extension of Sec. VII; fault model in DESIGN.md \xC2\xA7"

@@ -13,8 +13,9 @@
 using namespace sdbp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    sweep::maybeWorkerMain(argc, argv);
     bench::banner("Fig. 1: cache efficiency (live-time ratio)",
                   "Fig. 1 and the Sec. I dead-time claim");
 

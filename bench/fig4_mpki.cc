@@ -10,8 +10,9 @@
 using namespace sdbp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    sweep::maybeWorkerMain(argc, argv);
     bench::banner("Fig. 4: normalized LLC misses (LRU default)",
                   "Fig. 4, Sec. VII-A1");
 

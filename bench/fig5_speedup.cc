@@ -9,8 +9,9 @@
 using namespace sdbp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    sweep::maybeWorkerMain(argc, argv);
     bench::banner("Fig. 5: speedup over LRU (LRU default)",
                   "Fig. 5, Sec. VII-A2");
 

@@ -42,8 +42,9 @@ gmeanSpeedup(bench::JsonReport &report, const Variant &v,
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    sweep::maybeWorkerMain(argc, argv);
     bench::banner("Fig. 6: component contribution ablation",
                   "Fig. 6, Sec. VII-A4 (+ DESIGN.md §6 extras)");
 

@@ -9,8 +9,9 @@
 using namespace sdbp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    sweep::maybeWorkerMain(argc, argv);
     bench::banner("Fig. 7: normalized LLC misses (random default)",
                   "Fig. 7, Sec. VII-B1");
 

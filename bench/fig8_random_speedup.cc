@@ -9,8 +9,9 @@
 using namespace sdbp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    sweep::maybeWorkerMain(argc, argv);
     bench::banner("Fig. 8: speedup over LRU (random default)",
                   "Fig. 8, Sec. VII-B2");
 

@@ -10,8 +10,9 @@
 using namespace sdbp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    sweep::maybeWorkerMain(argc, argv);
     bench::banner("Fig. 9: predictor coverage and false positives",
                   "Fig. 9, Sec. VII-C");
 

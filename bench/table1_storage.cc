@@ -13,8 +13,9 @@
 using namespace sdbp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    sweep::maybeWorkerMain(argc, argv);
     bench::banner("Table I: predictor storage overhead",
                   "Table I, Sec. IV-A/B/C");
 

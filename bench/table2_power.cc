@@ -13,8 +13,9 @@
 using namespace sdbp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    sweep::maybeWorkerMain(argc, argv);
     bench::banner("Table II: predictor leakage and dynamic power",
                   "Table II and Sec. IV-D");
 

@@ -14,8 +14,9 @@
 using namespace sdbp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    sweep::maybeWorkerMain(argc, argv);
     bench::banner("Table III: benchmark characterization",
                   "Table III, Sec. VI-A1");
 

@@ -11,8 +11,9 @@
 using namespace sdbp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    sweep::maybeWorkerMain(argc, argv);
     bench::banner("Table IV: multi-core workload mixes",
                   "Table IV, Sec. VI-A2");
 

@@ -16,6 +16,7 @@
 #endif
 
 #include "obs/span_tracer.hh"
+#include "sim/worker.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -60,30 +61,6 @@ slug(const std::string &name)
     }
     while (!out.empty() && out.back() == '_')
         out.pop_back();
-    return out;
-}
-
-/**
- * Per-cell copy of cfg.  A multi-cell sweep rewrites any artifact
- * paths so concurrent cells never share an output file; a single
- * cell keeps the caller's exact paths.
- */
-RunConfig
-cellConfig(const RunConfig &cfg, bool multi_cell,
-           const std::string &run, const std::string &policy)
-{
-    if (!multi_cell)
-        return cfg;
-    RunConfig out = cfg;
-    if (!out.obs.statsJsonPath.empty())
-        out.obs.statsJsonPath =
-            cellArtifactPath(out.obs.statsJsonPath, run, policy);
-    if (!out.obs.timelineCsvPath.empty())
-        out.obs.timelineCsvPath =
-            cellArtifactPath(out.obs.timelineCsvPath, run, policy);
-    if (!out.obs.traceJsonlPath.empty())
-        out.obs.traceJsonlPath =
-            cellArtifactPath(out.obs.traceJsonlPath, run, policy);
     return out;
 }
 
@@ -251,6 +228,7 @@ SweepOptions::fromEnvironment()
     opts.jobs = defaultJobs();
     opts.retries = defaultRetries();
     opts.resume = env::u64("SDBP_RESUME", 0, 0, 1) == 1;
+    opts.workers = defaultWorkers();
     return opts;
 }
 
@@ -285,6 +263,25 @@ parallelFor(std::size_t n, unsigned jobs,
     }
     if (first)
         std::rethrow_exception(first);
+}
+
+RunConfig
+cellConfig(const RunConfig &cfg, bool multi_cell,
+           const std::string &run, const std::string &policy)
+{
+    if (!multi_cell)
+        return cfg;
+    RunConfig out = cfg;
+    if (!out.obs.statsJsonPath.empty())
+        out.obs.statsJsonPath =
+            cellArtifactPath(out.obs.statsJsonPath, run, policy);
+    if (!out.obs.timelineCsvPath.empty())
+        out.obs.timelineCsvPath =
+            cellArtifactPath(out.obs.timelineCsvPath, run, policy);
+    if (!out.obs.traceJsonlPath.empty())
+        out.obs.traceJsonlPath =
+            cellArtifactPath(out.obs.traceJsonlPath, run, policy);
+    return out;
 }
 
 std::string
@@ -358,9 +355,71 @@ runGrid(std::vector<std::string> benchmarks,
         manifest->flush();
     }
 
+    obs::SpanTracer &tracer = obs::SpanTracer::global();
+
+    // Multi-process mode (DESIGN.md §16): this call becomes the
+    // coordinator, worker subprocesses run the cells.  Any unmet
+    // requirement warns and falls back to the in-process path — a
+    // sweep never silently loses its workers option.
+    if (opts.workers > 0 && n > 0) {
+        const char *why = nullptr;
+        if (!manifest)
+            why = "SDBP_WORKERS needs a sweep manifest";
+        else if (!can_resume)
+            why = "sweep records in-memory artifacts that cannot "
+                  "cross process boundaries";
+        else if (!workerCapable())
+            why = "this binary's main() never called "
+                  "sweep::maybeWorkerMain";
+        if (why) {
+            warn(std::string(why) + "; running the sweep in-process");
+        } else {
+            const auto start = std::chrono::steady_clock::now();
+            manifest->setConfig(runConfigToJson(cfg));
+            manifest->enableSharedAccess();
+            // Clear leases/failures a dead coordinator left behind
+            // (also persists the config blob for the workers).
+            manifest->resetLeases();
+            ProgressMeter progress(n);
+            std::size_t restored = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!(resume && manifest->isCompleted(i)))
+                    continue;
+                ++restored;
+                auto span = tracer.span(
+                    "cell", grid.benchmarks[i / cols] + "/" +
+                        policy_names[i % cols]);
+                span.setResumed();
+                progress.update(false);
+            }
+            const FabricResult fabric = superviseWorkers(
+                *manifest, grid.benchmarks, policy_names,
+                opts.workers, opts.retries,
+                [&progress](bool failed) { progress.update(failed); });
+            if (!fabric.fallback) {
+                grid.jobs = opts.workers;
+                grid.resumed = restored;
+                grid.skipped = fabric.skipped;
+                grid.errors = fabric.errors;
+                for (std::size_t i = 0; i < n; ++i) {
+                    if (manifest->isCompleted(i)) {
+                        grid.cells[i] = runResultFromJson(
+                            manifest->completedMetrics(i));
+                    } else {
+                        grid.cells[i] = RunResult{};
+                        grid.cells[i].benchmark =
+                            grid.benchmarks[i / cols];
+                        grid.cells[i].policy = policy_names[i % cols];
+                    }
+                }
+                grid.wallSeconds = secondsSince(start);
+                return grid;
+            }
+        }
+    }
+
     std::mutex book_mutex;
     ProgressMeter progress(n);
-    obs::SpanTracer &tracer = obs::SpanTracer::global();
     const auto start = std::chrono::steady_clock::now();
     parallelFor(n, grid.jobs, [&](std::size_t i) {
         const auto &bench = grid.benchmarks[i / cols];
@@ -452,15 +511,88 @@ runMixGrid(std::vector<MixProfile> mixes,
         manifest = std::make_unique<SweepManifest>(
             opts.manifestPath, "mix_grid", run_names, policy_names,
             cfg.warmupInstructions, cfg.measureInstructions);
+        // Unlike runGrid, no can_resume guard is needed here:
+        // runMulticore never records the in-memory payloads that
+        // make a grid non-resumable (MulticoreRunResult has no
+        // llcTrace / frameEfficiency members, and the multicore
+        // engine ignores cfg.recordLlcTrace / cfg.trackEfficiency),
+        // so every mix grid checkpoints completely.  See
+        // SweepResilienceTest.MixGridResumeIgnoresArtifactFlags.
         resume = opts.resume;
         if (resume)
             manifest->loadCompleted();
         manifest->flush();
     }
 
+    obs::SpanTracer &tracer = obs::SpanTracer::global();
+
+    // Multi-process mode; see runGrid for the fallback rules.  The
+    // manifest additionally carries each mix's benchmark list so a
+    // worker can rebuild MixProfiles without re-running main().
+    if (opts.workers > 0 && n > 0) {
+        const char *why = nullptr;
+        if (!manifest)
+            why = "SDBP_WORKERS needs a sweep manifest";
+        else if (!workerCapable())
+            why = "this binary's main() never called "
+                  "sweep::maybeWorkerMain";
+        if (why) {
+            warn(std::string(why) + "; running the sweep in-process");
+        } else {
+            const auto start = std::chrono::steady_clock::now();
+            manifest->setConfig(runConfigToJson(cfg));
+            obs::JsonValue jmixes = obs::JsonValue::array();
+            for (const MixProfile &mix : grid.mixes) {
+                obs::JsonValue jm = obs::JsonValue::object();
+                jm.set("name", mix.name);
+                obs::JsonValue jb = obs::JsonValue::array();
+                for (const std::string &b : mix.benchmarks)
+                    jb.push(b);
+                jm.set("benchmarks", std::move(jb));
+                jmixes.push(std::move(jm));
+            }
+            manifest->setMixes(std::move(jmixes));
+            manifest->enableSharedAccess();
+            manifest->resetLeases();
+            ProgressMeter progress(n);
+            std::size_t restored = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!(resume && manifest->isCompleted(i)))
+                    continue;
+                ++restored;
+                auto span = tracer.span(
+                    "cell", run_names[i / cols] + "/" +
+                        policy_names[i % cols]);
+                span.setResumed();
+                progress.update(false);
+            }
+            const FabricResult fabric = superviseWorkers(
+                *manifest, run_names, policy_names, opts.workers,
+                opts.retries,
+                [&progress](bool failed) { progress.update(failed); });
+            if (!fabric.fallback) {
+                grid.jobs = opts.workers;
+                grid.resumed = restored;
+                grid.skipped = fabric.skipped;
+                grid.errors = fabric.errors;
+                for (std::size_t i = 0; i < n; ++i) {
+                    if (manifest->isCompleted(i)) {
+                        grid.cells[i] = multicoreResultFromJson(
+                            manifest->completedMetrics(i));
+                    } else {
+                        grid.cells[i] = MulticoreRunResult{};
+                        grid.cells[i].mix = run_names[i / cols];
+                        grid.cells[i].policy = policy_names[i % cols];
+                    }
+                }
+                grid.wallSeconds = secondsSince(start);
+                return grid;
+            }
+        }
+    }
+
     std::mutex book_mutex;
     ProgressMeter progress(n);
-    obs::SpanTracer &tracer = obs::SpanTracer::global();
     const auto start = std::chrono::steady_clock::now();
     parallelFor(n, grid.jobs, [&](std::size_t i) {
         const auto &mix = grid.mixes[i / cols];

@@ -63,9 +63,20 @@ struct SweepOptions
     /** Restore completed cells from the manifest instead of
      *  re-running them (requires manifestPath). */
     bool resume = false;
+    /**
+     * Crash-isolated multi-process mode (DESIGN.md §16): 0 (the
+     * default) keeps the in-process thread-pool behavior; N > 0
+     * makes the sweep a coordinator that re-execs this binary as N
+     * worker subprocesses claiming cells through manifest leases.
+     * Requires manifestPath and a main() that calls
+     * maybeWorkerMain(); otherwise the sweep warns and runs
+     * in-process.
+     */
+    unsigned workers = 0;
 
-    /** jobs/retries/resume from SDBP_JOBS / SDBP_RETRIES /
-     *  SDBP_RESUME; manifestPath stays empty (caller's choice). */
+    /** jobs/retries/resume/workers from SDBP_JOBS / SDBP_RETRIES /
+     *  SDBP_RESUME / SDBP_WORKERS; manifestPath stays empty
+     *  (caller's choice). */
     static SweepOptions fromEnvironment();
 };
 
@@ -90,6 +101,16 @@ void parallelFor(std::size_t n, unsigned jobs,
 std::string cellArtifactPath(const std::string &base,
                              const std::string &run,
                              const std::string &policy);
+
+/**
+ * Per-cell copy of cfg.  A multi-cell sweep rewrites any artifact
+ * paths via cellArtifactPath so concurrent cells never share an
+ * output file; a single cell keeps the caller's exact paths.  Shared
+ * with the worker subprocess entry (sim/worker) so in-process and
+ * multi-process cells build identical configurations.
+ */
+RunConfig cellConfig(const RunConfig &cfg, bool multi_cell,
+                     const std::string &run, const std::string &policy);
 
 /**
  * Results of a benchmarks x policies sweep, row-major in input

@@ -1,5 +1,7 @@
 #include "sim/sweep_manifest.hh"
 
+#include <optional>
+
 #include "util/file.hh"
 #include "util/logging.hh"
 
@@ -14,11 +16,26 @@ statusName(CellStatus s)
 {
     switch (s) {
     case CellStatus::Pending: return "pending";
+    case CellStatus::Leased: return "leased";
     case CellStatus::Completed: return "completed";
     case CellStatus::Failed: return "failed";
     case CellStatus::Skipped: return "skipped";
     }
     return "pending";
+}
+
+CellStatus
+statusFromName(const std::string &name)
+{
+    if (name == "leased")
+        return CellStatus::Leased;
+    if (name == "completed")
+        return CellStatus::Completed;
+    if (name == "failed")
+        return CellStatus::Failed;
+    if (name == "skipped")
+        return CellStatus::Skipped;
+    return CellStatus::Pending;
 }
 
 std::uint64_t
@@ -96,7 +113,9 @@ SweepManifest::loadCompleted()
     if (!doc)
         fatal("sweep manifest " + path_ + " is not valid JSON (" +
               err + "); delete it to start fresh");
-    if (u64Field(*doc, "schema") != kSchemaVersion)
+    // v1 checkpoints stay readable: cells only gained fields.
+    const std::uint64_t schema = u64Field(*doc, "schema");
+    if (schema < 1 || schema > kSchemaVersion)
         fatal("sweep manifest " + path_ +
               " has an unsupported schema version");
     const obs::JsonValue *fp = doc->find("fingerprint");
@@ -147,6 +166,11 @@ void
 SweepManifest::markCompleted(std::size_t index, obs::JsonValue metrics)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    std::optional<util::FileLock> flk;
+    if (shared_) {
+        flk.emplace(path_ + ".lock");
+        reloadLocked();
+    }
     Cell &c = cells_.at(index);
     c.status = CellStatus::Completed;
     c.metrics = std::move(metrics);
@@ -158,11 +182,20 @@ void
 SweepManifest::markFailed(const CellError &err)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    std::optional<util::FileLock> flk;
+    if (shared_) {
+        flk.emplace(path_ + ".lock");
+        reloadLocked();
+    }
     Cell &c = cells_.at(err.index);
     c.status = CellStatus::Failed;
     c.error = err.message;
     c.attempts = err.attempts;
     c.timedOut = err.timedOut;
+    c.crashed = err.crashed;
+    c.signal = err.signal;
+    if (err.leaseGeneration > 0)
+        c.generation = err.leaseGeneration;
     flushLocked();
 }
 
@@ -170,6 +203,11 @@ void
 SweepManifest::markSkipped(std::size_t index)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    std::optional<util::FileLock> flk;
+    if (shared_) {
+        flk.emplace(path_ + ".lock");
+        reloadLocked();
+    }
     Cell &c = cells_.at(index);
     if (c.status == CellStatus::Pending)
         c.status = CellStatus::Skipped;
@@ -181,6 +219,312 @@ SweepManifest::flush()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     flushLocked();
+}
+
+void
+SweepManifest::setConfig(obs::JsonValue config)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    config_ = std::move(config);
+}
+
+void
+SweepManifest::setMixes(obs::JsonValue mixes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    mixes_ = std::move(mixes);
+}
+
+void
+SweepManifest::enableSharedAccess()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    shared_ = true;
+}
+
+std::optional<SweepManifest::Claim>
+SweepManifest::tryClaim(std::int64_t pid, std::uint64_t now_ms,
+                        std::uint64_t ttl_ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::optional<util::FileLock> flk;
+    if (shared_) {
+        flk.emplace(path_ + ".lock");
+        reloadLocked();
+    }
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        Cell &c = cells_[i];
+        const bool stale = c.status == CellStatus::Leased &&
+            now_ms > c.heartbeatMs && now_ms - c.heartbeatMs > ttl_ms;
+        if (c.status != CellStatus::Pending && !stale)
+            continue;
+        if (stale)
+            warn("reclaiming stale lease on cell " +
+                 std::to_string(i) + " (worker pid " +
+                 std::to_string(c.leasePid) + " stopped heartbeating)");
+        c.status = CellStatus::Leased;
+        c.leasePid = pid;
+        c.claimedMs = now_ms;
+        c.heartbeatMs = now_ms;
+        ++c.generation;
+        flushLocked();
+        return Claim{i, c.generation};
+    }
+    return std::nullopt;
+}
+
+void
+SweepManifest::heartbeat(std::size_t index, std::int64_t pid,
+                         std::uint64_t generation, std::uint64_t now_ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::optional<util::FileLock> flk;
+    if (shared_) {
+        flk.emplace(path_ + ".lock");
+        reloadLocked();
+    }
+    Cell &c = cells_.at(index);
+    if (c.status != CellStatus::Leased || c.leasePid != pid ||
+        c.generation != generation)
+        return; // reclaimed from under us: nothing to refresh
+    c.heartbeatMs = now_ms;
+    flushLocked();
+}
+
+void
+SweepManifest::completeClaimed(std::size_t index, std::int64_t pid,
+                               std::uint64_t generation,
+                               obs::JsonValue metrics,
+                               std::uint64_t started_ms,
+                               std::uint64_t finished_ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::optional<util::FileLock> flk;
+    if (shared_) {
+        flk.emplace(path_ + ".lock");
+        reloadLocked();
+    }
+    Cell &c = cells_.at(index);
+    if (c.status != CellStatus::Leased || c.leasePid != pid ||
+        c.generation != generation)
+        return; // reclaimed; the new owner's result wins
+    c.status = CellStatus::Completed;
+    c.metrics = std::move(metrics);
+    c.error.clear();
+    c.attempts = static_cast<unsigned>(c.generation);
+    c.timedOut = false;
+    c.crashed = false;
+    c.signal = 0;
+    c.leasePid = 0;
+    c.claimedMs = 0;
+    c.heartbeatMs = 0;
+    c.startedMs = started_ms;
+    c.finishedMs = finished_ms;
+    c.workerPid = pid;
+    flushLocked();
+}
+
+CellStatus
+SweepManifest::failClaimed(std::size_t index, const CellError &err,
+                           std::int64_t pid, std::uint64_t generation,
+                           unsigned max_attempts,
+                           std::uint64_t started_ms,
+                           std::uint64_t finished_ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::optional<util::FileLock> flk;
+    if (shared_) {
+        flk.emplace(path_ + ".lock");
+        reloadLocked();
+    }
+    Cell &c = cells_.at(index);
+    if (c.status != CellStatus::Leased || c.leasePid != pid ||
+        c.generation != generation)
+        return c.status;
+    c.startedMs = started_ms;
+    c.finishedMs = finished_ms;
+    c.workerPid = pid;
+    const CellStatus out = requeueOrFailLocked(c, err, max_attempts);
+    flushLocked();
+    return out;
+}
+
+CellStatus
+SweepManifest::chargeCrash(std::size_t index, std::int64_t pid,
+                           const std::string &message, int sig,
+                           bool timed_out, unsigned max_attempts,
+                           std::uint64_t now_ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::optional<util::FileLock> flk;
+    if (shared_) {
+        flk.emplace(path_ + ".lock");
+        reloadLocked();
+    }
+    Cell &c = cells_.at(index);
+    if (c.status != CellStatus::Leased || c.leasePid != pid)
+        return c.status; // completed/failed in-band or reclaimed
+    CellError err;
+    err.message = message;
+    err.timedOut = timed_out;
+    err.crashed = true;
+    err.signal = sig;
+    c.startedMs = c.claimedMs;
+    c.finishedMs = now_ms;
+    c.workerPid = pid;
+    const CellStatus out = requeueOrFailLocked(c, err, max_attempts);
+    flushLocked();
+    return out;
+}
+
+CellStatus
+SweepManifest::requeueOrFailLocked(Cell &c, const CellError &err,
+                                   unsigned max_attempts)
+{
+    c.attempts = static_cast<unsigned>(c.generation);
+    c.leasePid = 0;
+    c.claimedMs = 0;
+    c.heartbeatMs = 0;
+    if (c.generation < max_attempts) {
+        c.status = CellStatus::Pending;
+        c.error = err.message; // diagnostic; pending cells re-run
+        c.timedOut = err.timedOut;
+        c.crashed = err.crashed;
+        c.signal = err.signal;
+        return CellStatus::Pending;
+    }
+    c.status = CellStatus::Failed;
+    c.error = err.message;
+    c.timedOut = err.timedOut;
+    c.crashed = err.crashed;
+    c.signal = err.signal;
+    return CellStatus::Failed;
+}
+
+void
+SweepManifest::resetLeases()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::optional<util::FileLock> flk;
+    if (shared_) {
+        flk.emplace(path_ + ".lock");
+        reloadLocked();
+    }
+    for (Cell &c : cells_) {
+        if (c.status == CellStatus::Completed)
+            continue;
+        // Any lease or failure in the file predates this
+        // coordinator; re-run those cells with a fresh budget, as
+        // the in-process resume path does.
+        c.status = CellStatus::Pending;
+        c.leasePid = 0;
+        c.claimedMs = 0;
+        c.heartbeatMs = 0;
+        c.attempts = 0;
+        c.generation = 0;
+        c.timedOut = false;
+        c.crashed = false;
+        c.signal = 0;
+        c.workerPid = 0;
+        c.error.clear();
+    }
+    flushLocked();
+}
+
+void
+SweepManifest::markSkippedPending()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::optional<util::FileLock> flk;
+    if (shared_) {
+        flk.emplace(path_ + ".lock");
+        reloadLocked();
+    }
+    for (Cell &c : cells_)
+        if (c.status == CellStatus::Pending)
+            c.status = CellStatus::Skipped;
+    flushLocked();
+}
+
+std::vector<SweepManifest::CellView>
+SweepManifest::snapshotCells()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shared_) {
+        // Read-only: tmp+rename keeps the file consistent without
+        // the flock, so polling never contends with the workers.
+        reloadLocked();
+    }
+    std::vector<CellView> out;
+    out.reserve(cells_.size());
+    for (const Cell &c : cells_) {
+        CellView v;
+        v.status = c.status;
+        v.leasePid = c.leasePid;
+        v.leaseGeneration = c.generation;
+        v.claimedMs = c.claimedMs;
+        v.heartbeatMs = c.heartbeatMs;
+        v.startedMs = c.startedMs;
+        v.finishedMs = c.finishedMs;
+        v.attempts = c.attempts;
+        v.timedOut = c.timedOut;
+        v.crashed = c.crashed;
+        v.signal = c.signal;
+        v.workerPid = c.workerPid;
+        v.error = c.error;
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+void
+SweepManifest::reloadLocked()
+{
+    bool ok = false;
+    const std::string text = util::readFile(path_, &ok);
+    if (!ok)
+        fatal("sweep manifest " + path_ +
+              " disappeared mid-sweep; cannot coordinate workers");
+    std::string err;
+    const auto doc = obs::JsonValue::parse(text, &err);
+    if (!doc)
+        fatal("sweep manifest " + path_ +
+              " became invalid JSON mid-sweep (" + err + ")");
+    const obs::JsonValue *cells = doc->find("cells");
+    if (!cells || !cells->isArray() || cells->size() != cells_.size())
+        fatal("sweep manifest " + path_ +
+              " changed cell count mid-sweep");
+    if (const obs::JsonValue *cfg = doc->find("config"))
+        config_ = *cfg;
+    if (const obs::JsonValue *mixes = doc->find("mixes"))
+        mixes_ = *mixes;
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        const obs::JsonValue &jc = cells->at(i);
+        Cell &c = cells_[i];
+        c.status = statusFromName(strField(jc, "status"));
+        if (const obs::JsonValue *m = jc.find("metrics"))
+            c.metrics = *m;
+        c.error = strField(jc, "error");
+        c.attempts = static_cast<unsigned>(u64Field(jc, "attempts"));
+        c.timedOut = boolField(jc, "timed_out");
+        c.crashed = boolField(jc, "crashed");
+        c.signal = static_cast<int>(u64Field(jc, "signal"));
+        c.generation = u64Field(jc, "lease_generation");
+        c.startedMs = u64Field(jc, "started_ms");
+        c.finishedMs = u64Field(jc, "finished_ms");
+        c.workerPid =
+            static_cast<std::int64_t>(u64Field(jc, "worker_pid"));
+        if (const obs::JsonValue *lease = jc.find("lease")) {
+            c.leasePid =
+                static_cast<std::int64_t>(u64Field(*lease, "pid"));
+            c.claimedMs = u64Field(*lease, "claimed_ms");
+            c.heartbeatMs = u64Field(*lease, "heartbeat_ms");
+        } else {
+            c.leasePid = 0;
+            c.claimedMs = 0;
+            c.heartbeatMs = 0;
+        }
+    }
 }
 
 obs::JsonValue
@@ -195,6 +539,10 @@ SweepManifest::toJsonLocked() const
     fp.set("warmup_instructions", std::uint64_t{warmup_});
     fp.set("measure_instructions", std::uint64_t{measure_});
     doc.set("fingerprint", std::move(fp));
+    if (!config_.isNull())
+        doc.set("config", config_);
+    if (!mixes_.isNull())
+        doc.set("mixes", mixes_);
 
     obs::JsonValue cells = obs::JsonValue::array();
     const std::size_t cols = policies_.size();
@@ -210,7 +558,28 @@ SweepManifest::toJsonLocked() const
             cell.set("error", c.error);
             cell.set("attempts", std::uint64_t{c.attempts});
             cell.set("timed_out", c.timedOut);
+            if (c.crashed) {
+                cell.set("crashed", true);
+                cell.set("signal",
+                         static_cast<std::uint64_t>(c.signal));
+            }
         }
+        if (c.generation > 0)
+            cell.set("lease_generation", c.generation);
+        if (c.status == CellStatus::Leased) {
+            obs::JsonValue lease = obs::JsonValue::object();
+            lease.set("pid", static_cast<std::uint64_t>(c.leasePid));
+            lease.set("claimed_ms", c.claimedMs);
+            lease.set("heartbeat_ms", c.heartbeatMs);
+            cell.set("lease", std::move(lease));
+        }
+        if (c.startedMs > 0)
+            cell.set("started_ms", c.startedMs);
+        if (c.finishedMs > 0)
+            cell.set("finished_ms", c.finishedMs);
+        if (c.workerPid != 0)
+            cell.set("worker_pid",
+                     static_cast<std::uint64_t>(c.workerPid));
         cells.push(std::move(cell));
     }
     doc.set("cells", std::move(cells));

@@ -6,6 +6,16 @@
  * with SDBP_RESUME=1 and only the failed or missing cells re-execute;
  * completed cells restore their metrics from the manifest.
  *
+ * Schema v2 (DESIGN.md §16) extends the manifest into the
+ * coordination substrate of multi-process sweeps: cells carry lease
+ * records ({pid, generation, claimed_ms, heartbeat_ms} on the
+ * system-wide monotonic clock) that worker subprocesses claim via
+ * atomic tmp+rename under a flock(2)'d sidecar, plus structured
+ * crash fields (crashed/signal/lease_generation) per failed cell and
+ * an opaque RunConfig blob so a worker is self-contained.  Schema v1
+ * manifests are still readable (same fingerprint guard); writes are
+ * always v2.
+ *
  * The manifest stores metrics only (the scalar RunResult payload).
  * In-memory artifacts — the LLC reference trace, per-frame
  * efficiency, RunArtifacts — are not persisted, so sweeps that need
@@ -17,7 +27,9 @@
 #define SDBP_SIM_SWEEP_MANIFEST_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -40,22 +52,64 @@ struct CellError
     std::string message;
     /** Attempts made (1 + retries actually used). */
     unsigned attempts = 0;
-    /** The last failure was a SimulationTimeout. */
+    /** The last failure was a SimulationTimeout (or a hard-timeout
+     *  kill in multi-process mode). */
     bool timedOut = false;
+    /** The worker process running the cell died (signal or nonzero
+     *  exit) instead of reporting a failure in-band. */
+    bool crashed = false;
+    /** Terminating signal of the crashed worker (0 = exit-code
+     *  death or not a crash). */
+    int signal = 0;
+    /** Lease generation of the last claim (multi-process sweeps;
+     *  0 = cell never ran under a lease). */
+    std::uint64_t leaseGeneration = 0;
 };
 
-enum class CellStatus { Pending, Completed, Failed, Skipped };
+enum class CellStatus { Pending, Leased, Completed, Failed, Skipped };
 
 /**
  * One sweep's checkpoint file.  All mutators are thread-safe (sweep
  * workers complete cells concurrently) and every mutation rewrites
  * the manifest via an atomic tmp+rename, so the on-disk file is a
  * well-formed JSON document at every instant — even across SIGKILL.
+ *
+ * With enableSharedAccess() the manifest additionally becomes safe
+ * against concurrent *processes*: every mutator then re-reads the
+ * file under an exclusive flock on "<path>.lock" before applying its
+ * change, so coordinator and workers see one serialized history.
  */
 class SweepManifest
 {
   public:
-    static constexpr std::uint64_t kSchemaVersion = 1;
+    static constexpr std::uint64_t kSchemaVersion = 2;
+
+    /** One successful lease acquisition. */
+    struct Claim
+    {
+        std::size_t index = 0;
+        /** 1-based count of claims this cell has ever received. */
+        std::uint64_t generation = 0;
+    };
+
+    /** Read-only view of one cell, for coordinator supervision. */
+    struct CellView
+    {
+        CellStatus status = CellStatus::Pending;
+        std::int64_t leasePid = 0;
+        std::uint64_t leaseGeneration = 0;
+        std::uint64_t claimedMs = 0;
+        std::uint64_t heartbeatMs = 0;
+        std::uint64_t startedMs = 0;
+        std::uint64_t finishedMs = 0;
+        unsigned attempts = 0;
+        bool timedOut = false;
+        bool crashed = false;
+        int signal = 0;
+        /** Pid that last ran the cell (telemetry; 0 = in-process). */
+        std::int64_t workerPid = 0;
+        std::string error;
+    };
 
     /**
      * Describe a grid about to run: @p kind is "grid" or "mix_grid",
@@ -73,7 +127,7 @@ class SweepManifest
      * A missing file is a fresh start (returns 0).  A malformed file
      * or one whose fingerprint (kind, runs, policies, instruction
      * budget) differs is fatal(): resuming a *different* sweep would
-     * silently mix experiments.
+     * silently mix experiments.  Accepts schema v1 and v2 files.
      *
      * @return number of cells restored to Completed
      */
@@ -93,6 +147,86 @@ class SweepManifest
     const std::string &path() const { return path_; }
     std::size_t cellCount() const { return cells_.size(); }
 
+    // ---- multi-process fabric (schema v2) -------------------------
+
+    /**
+     * Opaque payloads a worker subprocess needs to be self-contained:
+     * the sweep's RunConfig as JSON, and — for mix grids — each mix's
+     * benchmark list.  Written at the manifest top level; neither is
+     * part of the resume fingerprint (the instruction budget and
+     * labels already pin the experiment).
+     */
+    void setConfig(obs::JsonValue config);
+    void setMixes(obs::JsonValue mixes);
+
+    /**
+     * Serialize every mutator against other *processes* through an
+     * exclusive flock on "<path>.lock": lock, re-read the file,
+     * apply, atomic-rewrite, unlock.  The in-process mutex still
+     * guards against sibling threads.
+     */
+    void enableSharedAccess();
+
+    /**
+     * Claim the first claimable cell: Pending, or Leased with a
+     * heartbeat older than @p ttl_ms (a stale lease — its worker is
+     * dead or wedged, so the cell is re-farmed).  nullopt when no
+     * cell is claimable.  @p now_ms is util::monotonicMs().
+     */
+    std::optional<Claim> tryClaim(std::int64_t pid,
+                                  std::uint64_t now_ms,
+                                  std::uint64_t ttl_ms);
+
+    /** Refresh the heartbeat of a lease still held by (pid, gen);
+     *  no-op if the cell was reclaimed from under the caller. */
+    void heartbeat(std::size_t index, std::int64_t pid,
+                   std::uint64_t generation, std::uint64_t now_ms);
+
+    /** Complete a leased cell: store metrics + timing, clear the
+     *  lease.  No-op if (pid, gen) no longer owns the cell. */
+    void completeClaimed(std::size_t index, std::int64_t pid,
+                         std::uint64_t generation,
+                         obs::JsonValue metrics,
+                         std::uint64_t started_ms,
+                         std::uint64_t finished_ms);
+
+    /**
+     * Fail a leased cell in-band (the worker caught the exception):
+     * requeue as Pending while generation < max_attempts, else mark
+     * Failed with @p err.  Returns the resulting status.
+     */
+    CellStatus failClaimed(std::size_t index, const CellError &err,
+                           std::int64_t pid, std::uint64_t generation,
+                           unsigned max_attempts,
+                           std::uint64_t started_ms,
+                           std::uint64_t finished_ms);
+
+    /**
+     * Coordinator-side crash charge: the worker owning this cell
+     * died (signal @p sig, or nonzero exit when sig == 0) without
+     * reporting.  Same requeue-or-fail policy as failClaimed.  No-op
+     * (returns current status) unless @p pid still owns the lease.
+     */
+    CellStatus chargeCrash(std::size_t index, std::int64_t pid,
+                           const std::string &message, int sig,
+                           bool timed_out, unsigned max_attempts,
+                           std::uint64_t now_ms);
+
+    /**
+     * Coordinator startup: clear leftover leases (their owners died
+     * with a previous coordinator) and reset the attempt count of
+     * every non-completed cell, so a resumed sweep gets a fresh
+     * retry budget — matching the in-process resume semantics.
+     */
+    void resetLeases();
+
+    /** Mark every Pending cell Skipped (coordinator shutdown). */
+    void markSkippedPending();
+
+    /** Per-cell view of the current state (reloads from disk first
+     *  in shared mode). */
+    std::vector<CellView> snapshotCells();
+
   private:
     struct Cell
     {
@@ -101,10 +235,27 @@ class SweepManifest
         std::string error;
         unsigned attempts = 0;
         bool timedOut = false;
+        bool crashed = false;
+        int signal = 0;
+        /** Claims this cell has ever received (lease generation). */
+        std::uint64_t generation = 0;
+        /** Live lease (status == Leased only). */
+        std::int64_t leasePid = 0;
+        std::uint64_t claimedMs = 0;
+        std::uint64_t heartbeatMs = 0;
+        /** Worker-side cell execution window (monotonic ms). */
+        std::uint64_t startedMs = 0;
+        std::uint64_t finishedMs = 0;
+        /** Pid that last ran the cell (telemetry; 0 = in-process). */
+        std::int64_t workerPid = 0;
     };
 
     void flushLocked() const;
     obs::JsonValue toJsonLocked() const;
+    /** Shared mode: absorb the on-disk state before mutating. */
+    void reloadLocked();
+    CellStatus requeueOrFailLocked(Cell &c, const CellError &err,
+                                   unsigned max_attempts);
 
     mutable std::mutex mutex_;
     std::string path_;
@@ -114,6 +265,9 @@ class SweepManifest
     InstCount warmup_ = 0;
     InstCount measure_ = 0;
     std::vector<Cell> cells_;
+    obs::JsonValue config_;
+    obs::JsonValue mixes_;
+    bool shared_ = false;
 };
 
 /**

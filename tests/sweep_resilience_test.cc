@@ -446,5 +446,40 @@ TEST(SweepResilience, MixGridIsolatesFailures)
     std::remove(path.c_str());
 }
 
+TEST(SweepResilienceTest, MixGridResumeIgnoresArtifactFlags)
+{
+    // runGrid refuses to resume when the config requests in-memory
+    // payloads (recordLlcTrace / trackEfficiency) because those are
+    // not checkpointed.  Mix grids are exempt from that guard:
+    // runMulticore never records either payload, so a mix-grid
+    // checkpoint is always authoritative and a resume must restore
+    // even with the artifact flags set.
+    RunConfig cfg = RunConfig::quadCore();
+    cfg.warmupInstructions = 20000;
+    cfg.measureInstructions = 100000;
+    cfg.recordLlcTrace = true;
+    cfg.trackEfficiency = true;
+    const auto &all = multicoreMixes();
+    ASSERT_GE(all.size(), 1u);
+    const std::vector<MixProfile> mixes(all.begin(), all.begin() + 1);
+    const std::vector<PolicyKind> policies = {PolicyKind::Lru};
+    const std::string path = manifestPath("mix_resume_artifacts");
+
+    sweep::SweepOptions opts;
+    opts.jobs = 1;
+    opts.manifestPath = path;
+    const sweep::MixGrid first =
+        sweep::runMixGrid(mixes, policies, cfg, opts);
+    ASSERT_TRUE(first.ok());
+
+    opts.resume = true;
+    const sweep::MixGrid second =
+        sweep::runMixGrid(mixes, policies, cfg, opts);
+    EXPECT_TRUE(second.ok());
+    EXPECT_EQ(second.resumed, 1u); // restored, not re-run
+    EXPECT_EQ(second.at(0, 0).llcMisses, first.at(0, 0).llcMisses);
+    std::remove(path.c_str());
+}
+
 } // anonymous namespace
 } // namespace sdbp

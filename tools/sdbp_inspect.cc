@@ -31,6 +31,7 @@
 #include "obs/span_tracer.hh"
 #include "sim/runner.hh"
 #include "sim/sweep.hh"
+#include "sim/worker.hh"
 #include "trace/spec_profiles.hh"
 #include "util/file.hh"
 #include "util/stats.hh"
@@ -63,13 +64,24 @@ usage(const char *prog)
            "interchangeable;\n"
         << "                       comma-separated lists sweep a "
            "grid\n"
-        << "  --jobs <n>           sweep workers (default SDBP_JOBS "
+        << "  --jobs <n>           sweep threads (default SDBP_JOBS "
            "or all cores)\n"
+        << "  --workers <n>        crash-isolated worker *processes* "
+           "instead of\n"
+        << "                       threads (default SDBP_WORKERS or "
+           "0 = in-process);\n"
+        << "                       requires --manifest\n"
         << "  --retries <n>        extra attempts per failing sweep "
            "cell\n"
         << "                       (default SDBP_RETRIES or 0)\n"
         << "  --manifest <path>    checkpoint each cell outcome to "
            "this JSON\n"
+        << "  --manifest-info <f>  print the per-cell state of a "
+           "sweep manifest\n"
+        << "                       (status, lease pid/generation, "
+           "crash detail)\n"
+        << "                       and exit; works on in-flight "
+           "sweeps\n"
         << "  --resume             restore completed cells from the "
            "manifest\n"
         << "                       instead of re-running them\n"
@@ -376,11 +388,117 @@ summarizeSpans(const std::string &path)
     return 0;
 }
 
+/**
+ * `--manifest-info <file>`: print the per-cell state of a sweep
+ * manifest — the operator's view of an in-flight (or crashed)
+ * multi-process sweep.  Shows each cell's status, the live lease
+ * (worker pid, generation, heartbeat age) for Leased cells, and the
+ * structured crash detail (signal, attempts) for Failed ones.
+ *
+ * Exit status: 0 when every cell completed, 1 when any cell failed
+ * or was skipped, 3 while the sweep is still in flight (pending or
+ * leased cells remain), 2 on a malformed file.
+ */
+int
+summarizeManifest(const std::string &path)
+{
+    bool ok = false;
+    const std::string text = util::readFile(path, &ok);
+    if (!ok) {
+        std::cerr << "error: cannot read " << path << "\n";
+        return 2;
+    }
+    std::string parse_err;
+    const auto doc = obs::JsonValue::parse(text, &parse_err);
+    if (!doc) {
+        std::cerr << "error: " << path << ": " << parse_err << "\n";
+        return 2;
+    }
+    const obs::JsonValue *cells = doc->find("cells");
+    if (!cells || !cells->isArray()) {
+        std::cerr << "error: " << path
+                  << " is not a sweep manifest (no cells array)\n";
+        return 2;
+    }
+
+    auto u64 = [](const obs::JsonValue &v, const char *key) {
+        const obs::JsonValue *f = v.find(key);
+        return f ? f->asUInt() : std::uint64_t{0};
+    };
+    auto str = [](const obs::JsonValue &v, const char *key) {
+        const obs::JsonValue *f = v.find(key);
+        return f ? f->asString() : std::string();
+    };
+
+    std::uint64_t schema = u64(*doc, "schema");
+    std::cout << "Sweep manifest " << path << " (schema v" << schema
+              << ", kind " << str(*doc, "kind") << "): "
+              << cells->size() << " cell(s)\n\n";
+
+    const std::uint64_t now_ms = util::monotonicMs();
+    std::size_t completed = 0, failed = 0, leased = 0, pending = 0,
+                skipped = 0, crashed = 0;
+    TextTable t({"Cell", "Status", "Att", "Pid", "Gen", "Hb age",
+                 "Detail"});
+    for (std::size_t i = 0; i < cells->size(); ++i) {
+        const obs::JsonValue &c = cells->at(i);
+        const std::string status = str(c, "status");
+        const obs::JsonValue *lease = c.find("lease");
+        std::string pid = "-", hb_age = "-";
+        if (lease) {
+            ++leased;
+            pid = std::to_string(u64(*lease, "pid"));
+            const std::uint64_t hb = u64(*lease, "heartbeat_ms");
+            hb_age = hb && hb <= now_ms
+                         ? formatDouble((now_ms - hb) / 1000.0, 1) +
+                               " s"
+                         : "?";
+        } else if (const std::uint64_t wp = u64(c, "worker_pid")) {
+            pid = std::to_string(wp);
+        }
+        std::string detail;
+        if (status == "completed") {
+            ++completed;
+        } else if (status == "failed") {
+            ++failed;
+            if (c.find("crashed")) {
+                ++crashed;
+                detail = "crashed, signal " +
+                         std::to_string(u64(c, "signal")) + ": ";
+            }
+            detail += str(c, "error");
+        } else if (status == "skipped") {
+            ++skipped;
+        } else if (status == "pending") {
+            ++pending;
+        }
+        const std::uint64_t gen = u64(c, "lease_generation");
+        const std::uint64_t att = u64(c, "attempts");
+        t.row()
+            .cell(str(c, "run") + "/" + str(c, "policy"))
+            .cell(status)
+            .cell(att ? std::to_string(att) : "-")
+            .cell(pid)
+            .cell(gen ? std::to_string(gen) : "-")
+            .cell(hb_age)
+            .cell(detail.empty() ? "-" : detail);
+    }
+    t.print(std::cout);
+    std::cout << "\n" << completed << " completed, " << failed
+              << " failed (" << crashed << " crashed), " << leased
+              << " leased, " << pending << " pending, " << skipped
+              << " skipped\n";
+    if (pending > 0 || leased > 0)
+        return 3;
+    return failed > 0 || skipped > 0 ? 1 : 0;
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
+    sweep::maybeWorkerMain(argc, argv);
     std::string benchmark = "456.hmmer";
     std::string policy_name = "Sampler";
     RunConfig cfg = RunConfig::singleCore();
@@ -388,6 +506,7 @@ main(int argc, char **argv)
     bool dump_stats = false;
     std::string spans_file;
     std::string spans_out;
+    std::string manifest_info;
     sweep::SweepOptions opts = sweep::SweepOptions::fromEnvironment();
 
     for (int i = 1; i < argc; ++i) {
@@ -411,11 +530,16 @@ main(int argc, char **argv)
                 std::cerr << "error: --jobs needs a positive count\n";
                 return 2;
             }
+        } else if (arg == "--workers" || arg == "-w") {
+            opts.workers = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
         } else if (arg == "--retries") {
             opts.retries = static_cast<unsigned>(
                 std::strtoul(next(), nullptr, 10));
         } else if (arg == "--manifest") {
             opts.manifestPath = next();
+        } else if (arg == "--manifest-info") {
+            manifest_info = next();
         } else if (arg == "--resume") {
             opts.resume = true;
         } else if (arg == "--fault-rate") {
@@ -467,6 +591,8 @@ main(int argc, char **argv)
         }
     }
 
+    if (!manifest_info.empty())
+        return summarizeManifest(manifest_info);
     if (!spans_file.empty())
         return summarizeSpans(spans_file);
     if (!spans_out.empty())
@@ -505,6 +631,11 @@ main(int argc, char **argv)
         std::cerr << "error: --resume requires --manifest\n";
         return 2;
     }
+    if (opts.workers > 0 && opts.manifestPath.empty()) {
+        std::cerr << "error: --workers requires --manifest (the "
+                     "manifest is the coordination substrate)\n";
+        return 2;
+    }
 
     const unsigned jobs =
         opts.jobs ? opts.jobs : sweep::defaultJobs();
@@ -515,6 +646,14 @@ main(int argc, char **argv)
                   << cfg.warmupInstructions << " warmup + "
                   << cfg.measureInstructions
                   << " measured instructions)...\n\n";
+    else if (opts.workers > 0)
+        std::cout << "Sweeping " << benchmarks.size()
+                  << " benchmark(s) x " << kinds.size()
+                  << " policy(ies) across " << opts.workers
+                  << " crash-isolated worker process(es) ("
+                  << cfg.warmupInstructions << " warmup + "
+                  << cfg.measureInstructions
+                  << " measured instructions per run)...\n\n";
     else
         std::cout << "Sweeping " << benchmarks.size()
                   << " benchmark(s) x " << kinds.size()
@@ -527,11 +666,14 @@ main(int argc, char **argv)
     const sweep::Grid grid =
         sweep::runGrid(benchmarks, kinds, cfg, opts);
 
-    for (const auto &err : grid.errors)
+    for (const auto &err : grid.errors) {
         std::cerr << "FAILED cell " << err.run << "/" << err.policy
                   << " after " << err.attempts << " attempt(s)"
-                  << (err.timedOut ? " [timeout]" : "") << ": "
-                  << err.message << "\n";
+                  << (err.timedOut ? " [timeout]" : "");
+        if (err.crashed)
+            std::cerr << " [crashed, signal " << err.signal << "]";
+        std::cerr << ": " << err.message << "\n";
+    }
     if (grid.skipped > 0)
         std::cerr << "interrupted: " << grid.skipped
                   << " cell(s) skipped\n";
@@ -613,7 +755,7 @@ main(int argc, char **argv)
     t.print(std::cout);
     std::cout << "\nSweep of " << cells << " runs took "
               << formatDouble(grid.wallSeconds, 2) << " s with "
-              << jobs << " worker(s); serial-equivalent cost "
+              << grid.jobs << " worker(s); serial-equivalent cost "
               << formatDouble(grid.runSecondsTotal(), 2) << " s.\n";
     if (!cfg.obs.statsJsonPath.empty() ||
         !cfg.obs.timelineCsvPath.empty() ||

@@ -15,7 +15,8 @@
  * type-erased alias.
  *
  * Generators are consumed in ~1 KiB batches to amortize the virtual
- * next() dispatch; after run() returns, a generator's position is
+ * nextBatch() dispatch (a generator's sole virtual primitive); after
+ * run() returns, a generator's position is
  * whatever the read-ahead left it at (callers that reuse a generator
  * must reset() it).  Batching changes no simulated outcome: records
  * are consumed in exactly the order a record-at-a-time loop would,

@@ -8,8 +8,12 @@
 #include <memory>
 #include <mutex>
 
+#include <cmath>
+
 #include "obs/span_tracer.hh"
 #include "obs/trace_sink.hh"
+#include "trace/interval_select.hh"
+#include "trace/trace_file.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
@@ -188,10 +192,16 @@ RunConfig::quadCore()
     return cfg;
 }
 
-RunResult
-runSingleCore(const std::string &benchmark, PolicyKind kind,
-              RunConfig cfg)
+namespace
 {
+
+/** The single-core run proper, over an already-built generator. */
+RunResult
+runSingleCoreWith(AccessGenerator &workload,
+                  const std::string &benchmark, PolicyKind kind,
+                  const RunConfig &cfg_in)
+{
+    RunConfig cfg = cfg_in;
     const auto wall_start = std::chrono::steady_clock::now();
     cfg.hierarchy.numCores = 1;
     cfg.hierarchy.llc.trackEfficiency = cfg.trackEfficiency;
@@ -214,7 +224,6 @@ runSingleCore(const std::string &benchmark, PolicyKind kind,
         spanProf = attachSpanProfiler(sys,
                                       benchmark + "/" + res.policy);
 
-    SyntheticWorkload workload(specProfile(benchmark));
     std::vector<AccessGenerator *> gens = {&workload};
     std::unique_ptr<util::PerfCounters> hostCounters;
     if (util::hostCountersEnabled()) {
@@ -271,6 +280,119 @@ runSingleCore(const std::string &benchmark, PolicyKind kind,
     return res;
 }
 
+/**
+ * Interval-selected run (DESIGN.md §17): fingerprint + cluster the
+ * trace, then simulate one representative interval per cluster — each
+ * on a fresh engine, warmed by its predecessor interval — and blend
+ * the per-representative metrics by cluster instruction share into
+ * full-trace estimates.
+ */
+RunResult
+runIntervalSelected(const std::string &benchmark, PolicyKind kind,
+                    const RunConfig &cfg)
+{
+    const auto wall_start = std::chrono::steady_clock::now();
+    if (cfg.trace.synthetic())
+        fatal("interval selection needs a trace file "
+              "(record one with sdbp_inspect --record)");
+
+    auto reader = openTraceReader(cfg.trace.path);
+    IntervalSelectConfig isc;
+    isc.intervalInstructions = cfg.trace.intervalInstructions;
+    isc.clusters = cfg.trace.selectClusters;
+    const IntervalSelection sel = selectIntervals(*reader, isc);
+
+    // Materialize each representative and its predecessor (the
+    // cache warm-up) in one sequential pass.
+    std::vector<std::size_t> wanted;
+    for (const auto &rep : sel.reps) {
+        if (rep.interval > 0)
+            wanted.push_back(rep.interval - 1);
+        wanted.push_back(rep.interval);
+    }
+    auto collected = collectIntervals(*reader, sel, wanted);
+
+    RunResult res;
+    res.benchmark = benchmark;
+    res.policy = policyName(kind);
+    res.intervalSelected = true;
+    res.traceInstructions = sel.totalInstructions;
+    res.intervalsTotal = sel.intervals.size();
+    res.intervalsSimulated = sel.reps.size();
+
+    // Instruction-share weighting: CPI (not IPC) averages linearly
+    // over instructions, so IPC blends through its reciprocal.
+    double cpi_w = 0, mpki_w = 0, apki_w = 0, bpki_w = 0;
+    std::size_t slot = 0;
+    for (const auto &rep : sel.reps) {
+        std::vector<Access> records;
+        InstCount warm_instr = 0;
+        if (rep.interval > 0) {
+            records = std::move(collected[slot++]);
+            warm_instr = sel.intervals[rep.interval - 1].instructions;
+        }
+        const auto &measure = collected[slot++];
+        records.insert(records.end(), measure.begin(), measure.end());
+
+        RunConfig sub = cfg;
+        sub.trace = TraceSpec{}; // the records below are the source
+        sub.warmupInstructions = warm_instr;
+        sub.measureInstructions =
+            sel.intervals[rep.interval].instructions;
+        sub.obs = ObsOptions{}; // per-rep artifacts are meaningless
+        sub.recordLlcTrace = false;
+        sub.trackEfficiency = false;
+
+        TraceReplayGenerator gen(std::move(records));
+        const RunResult r =
+            runSingleCoreWith(gen, benchmark, kind, sub);
+        res.simulatedInstructions += warm_instr + r.instructions;
+        res.faultsInjected += r.faultsInjected;
+
+        const double w = rep.weight;
+        if (r.ipc > 0)
+            cpi_w += w / r.ipc;
+        mpki_w += w * r.mpki;
+        if (r.instructions > 0) {
+            const double instr =
+                static_cast<double>(r.instructions);
+            apki_w += w * 1000.0 *
+                static_cast<double>(r.llcAccesses) / instr;
+            bpki_w += w * 1000.0 *
+                static_cast<double>(r.llcBypasses) / instr;
+        }
+    }
+
+    const double total =
+        static_cast<double>(sel.totalInstructions);
+    res.instructions = sel.totalInstructions;
+    res.ipc = cpi_w > 0 ? 1.0 / cpi_w : 0;
+    res.mpki = mpki_w;
+    res.llcMisses = static_cast<std::uint64_t>(
+        std::llround(mpki_w * total / 1000.0));
+    res.llcAccesses = static_cast<std::uint64_t>(
+        std::llround(apki_w * total / 1000.0));
+    res.llcBypasses = static_cast<std::uint64_t>(
+        std::llround(bpki_w * total / 1000.0));
+    res.cycles = res.ipc > 0
+        ? static_cast<Cycle>(std::llround(total / res.ipc))
+        : 0;
+    res.wallSeconds = secondsSince(wall_start);
+    return res;
+}
+
+} // anonymous namespace
+
+RunResult
+runSingleCore(const std::string &benchmark, PolicyKind kind,
+              RunConfig cfg)
+{
+    if (cfg.trace.selectionEnabled())
+        return runIntervalSelected(benchmark, kind, cfg);
+    const auto gen = makeTraceSource(cfg.trace, benchmark);
+    return runSingleCoreWith(*gen, benchmark, kind, cfg);
+}
+
 MulticoreRunResult
 runMulticore(const MixProfile &mix, PolicyKind kind, RunConfig cfg)
 {
@@ -284,13 +406,16 @@ runMulticore(const MixProfile &mix, PolicyKind kind, RunConfig cfg)
                             cfg.policy, cfg.forceVirtualPath);
     SystemBase &sys = *eng.system;
 
-    std::vector<SyntheticWorkload> workloads;
+    // Interval selection is a single-core methodology; a multi-core
+    // mix with a file-backed trace replays the full trace per core.
+    std::vector<std::unique_ptr<AccessGenerator>> workloads;
     workloads.reserve(cores);
     for (std::uint32_t c = 0; c < cores; ++c)
-        workloads.emplace_back(specProfile(mix.benchmarks[c]), c);
+        workloads.push_back(
+            makeTraceSource(cfg.trace, mix.benchmarks[c], c));
     std::vector<AccessGenerator *> gens;
     for (auto &w : workloads)
-        gens.push_back(&w);
+        gens.push_back(w.get());
     applyCellTimeout(sys);
     const std::string cell = mix.name + "/" + policyName(kind);
     auto harness = attachObs(eng, cfg.obs, cell);

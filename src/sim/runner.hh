@@ -15,6 +15,7 @@
 #include "obs/artifacts.hh"
 #include "sim/policy_factory.hh"
 #include "trace/spec_profiles.hh"
+#include "trace/trace_source.hh"
 #include "util/perf_counters.hh"
 
 namespace sdbp
@@ -60,6 +61,14 @@ struct RunConfig
      * (SDBP_NO_FASTPATH=1).
      */
     bool forceVirtualPath = false;
+    /**
+     * Where the reference stream comes from: the benchmark's
+     * synthetic workload by default, or a trace file (native or
+     * ChampSim), optionally simulated via interval selection
+     * (DESIGN.md §17).  Round-trips through sweep manifests so
+     * worker-mode sweeps transport trace-driven cells.
+     */
+    TraceSpec trace;
     PolicyOptions policy;
     ObsOptions obs;
 
@@ -110,6 +119,20 @@ struct RunResult
     /** Host hardware counters over warmup+measure (valid gated;
      *  no-op hosts report valid=false).  DESIGN.md §14. */
     util::PerfCounters::Sample hostPerf;
+
+    /**
+     * Interval-selection summary (when cfg.trace.selectionEnabled()).
+     * In that mode `instructions`, `ipc`, `mpki` and the LLC counters
+     * above are weighted full-trace *estimates*;
+     * `simulatedInstructions` is what actually ran (warm-up intervals
+     * included), so traceInstructions / simulatedInstructions is the
+     * speedup factor.
+     */
+    bool intervalSelected = false;
+    std::uint64_t traceInstructions = 0;
+    std::uint64_t intervalsTotal = 0;
+    std::uint64_t intervalsSimulated = 0;
+    std::uint64_t simulatedInstructions = 0;
 
     /** Host nanoseconds per simulated instruction (0 until run). */
     double nsPerInstr() const

@@ -620,6 +620,16 @@ runResultToJson(const RunResult &r)
     }
     v.set("faults_injected", r.faultsInjected);
     v.set("wall_seconds", r.wallSeconds);
+    // Present only for interval-selected runs so plain sweep cells
+    // keep their established shape byte for byte.
+    if (r.intervalSelected) {
+        obs::JsonValue iv = obs::JsonValue::object();
+        iv.set("trace_instructions", r.traceInstructions);
+        iv.set("intervals_total", r.intervalsTotal);
+        iv.set("intervals_simulated", r.intervalsSimulated);
+        iv.set("simulated_instructions", r.simulatedInstructions);
+        v.set("interval", std::move(iv));
+    }
     return v;
 }
 
@@ -648,6 +658,14 @@ runResultFromJson(const obs::JsonValue &v)
     }
     r.faultsInjected = u64Field(v, "faults_injected");
     r.wallSeconds = numField(v, "wall_seconds");
+    if (const obs::JsonValue *iv = v.find("interval")) {
+        r.intervalSelected = true;
+        r.traceInstructions = u64Field(*iv, "trace_instructions");
+        r.intervalsTotal = u64Field(*iv, "intervals_total");
+        r.intervalsSimulated = u64Field(*iv, "intervals_simulated");
+        r.simulatedInstructions =
+            u64Field(*iv, "simulated_instructions");
+    }
     return r;
 }
 

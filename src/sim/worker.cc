@@ -158,6 +158,19 @@ runConfigToJson(const RunConfig &cfg)
     }
     v.set("policy", std::move(pol));
 
+    // Emitted only when non-default so manifests of synthetic-only
+    // sweeps keep their established shape byte for byte.
+    if (cfg.trace != TraceSpec{}) {
+        obs::JsonValue tr = obs::JsonValue::object();
+        tr.set("kind", traceKindName(cfg.trace.kind));
+        tr.set("path", cfg.trace.path);
+        tr.set("interval_instructions",
+               cfg.trace.intervalInstructions);
+        tr.set("select_clusters",
+               std::uint64_t{cfg.trace.selectClusters});
+        v.set("trace", std::move(tr));
+    }
+
     obs::JsonValue ob = obs::JsonValue::object();
     ob.set("collect", cfg.obs.collect);
     ob.set("interval_instructions", cfg.obs.intervalInstructions);
@@ -268,6 +281,16 @@ runConfigFromJson(const obs::JsonValue &v)
             }
             cfg.policy.sdbp = sd;
         }
+    }
+    if (const obs::JsonValue *t = v.find("trace")) {
+        if (const auto kind = parseTraceKind(strOr(*t, "kind")))
+            cfg.trace.kind = *kind;
+        cfg.trace.path = strOr(*t, "path");
+        cfg.trace.intervalInstructions =
+            u64Or(*t, "interval_instructions",
+                  cfg.trace.intervalInstructions);
+        cfg.trace.selectClusters = static_cast<unsigned>(
+            u64Or(*t, "select_clusters", cfg.trace.selectClusters));
     }
     if (const obs::JsonValue *o = v.find("obs")) {
         cfg.obs.collect = boolOr(*o, "collect", cfg.obs.collect);

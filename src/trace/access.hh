@@ -89,24 +89,30 @@ class AccessGenerator
   public:
     virtual ~AccessGenerator() = default;
 
-    /** Produce the next record. */
-    virtual Access next() = 0;
+    /**
+     * Fill @p out with the next out.size() records — the sole
+     * virtual primitive of the generator protocol (the per-record
+     * `virtual next()` override point is retired; batching is how
+     * every consumer amortizes the dispatch).  Callers that buffer
+     * ahead own the unconsumed tail: after a run that read ahead,
+     * the generator's position is whatever the batching left it at.
+     */
+    virtual void nextBatch(std::span<Access> out) = 0;
 
     /** Restart the stream from the beginning. */
     virtual void reset() = 0;
 
     /**
-     * Fill @p out with the next out.size() records.  The default
-     * loops next(); generators with a cheap inner loop override it
-     * to amortize the virtual dispatch.  Callers that buffer ahead
-     * own the unconsumed tail: after a run that read ahead, the
-     * generator's position is whatever the batching left it at.
+     * Convenience for record-at-a-time callers (tests, capture
+     * tools): a one-element batch.  Non-virtual on purpose — the
+     * record sequence is always the one nextBatch produces.
      */
-    virtual void
-    nextBatch(std::span<Access> out)
+    Access
+    next()
     {
-        for (auto &rec : out)
-            rec = next();
+        Access rec;
+        nextBatch(std::span<Access>(&rec, 1));
+        return rec;
     }
 };
 

@@ -1,0 +1,161 @@
+#include "trace/champsim.hh"
+
+#include "util/logging.hh"
+
+namespace sdbp
+{
+
+ChampSimTraceWriter::ChampSimTraceWriter(const std::string &path)
+    : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        fatal("ChampSimTraceWriter: cannot open '" + path + "'");
+}
+
+ChampSimTraceWriter::~ChampSimTraceWriter()
+{
+    close();
+}
+
+void
+ChampSimTraceWriter::write(const ChampSimRecord &r)
+{
+    if (std::fwrite(&r, sizeof(r), 1, file_) != 1)
+        fatal("ChampSimTraceWriter: write failed on '" + path_ + "'");
+    ++instructions_;
+}
+
+void
+ChampSimTraceWriter::append(const Access &rec)
+{
+    if (!file_)
+        fatal("ChampSimTraceWriter: append after close");
+    // gap non-memory instructions first, then the access itself —
+    // the decoder recovers gap by counting them.
+    ChampSimRecord filler;
+    filler.ip = kFillerPc;
+    for (std::uint32_t i = 0; i < rec.gap; ++i)
+        write(filler);
+
+    ChampSimRecord mem;
+    mem.ip = rec.pc;
+    mem.sourceRegisters[0] =
+        rec.dependsOnPrevLoad ? kLoadDestReg : kIndepReg;
+    if (rec.isWrite) {
+        mem.destinationMemory[0] = rec.addr;
+    } else {
+        mem.sourceMemory[0] = rec.addr;
+        mem.destinationRegisters[0] = kLoadDestReg;
+    }
+    write(mem);
+}
+
+void
+ChampSimTraceWriter::close()
+{
+    if (!file_)
+        return;
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+std::uint64_t
+recordChampSimTrace(AccessGenerator &gen, std::uint64_t instructions,
+                    const std::string &path)
+{
+    ChampSimTraceWriter writer(path);
+    while (writer.instructionsWritten() < instructions)
+        writer.append(gen.next());
+    writer.close();
+    return writer.instructionsWritten();
+}
+
+// --- ChampSimTraceReader --------------------------------------------
+
+ChampSimTraceReader::ChampSimTraceReader(const std::string &path)
+    : input_(path)
+{
+}
+
+bool
+ChampSimTraceReader::decodeRecord(ChampSimRecord &r)
+{
+    const std::size_t got = input_.read(&r, sizeof(r));
+    if (got == 0)
+        return false;
+    if (got != sizeof(r))
+        fatal("truncated ChampSim record in trace '" + input_.path() +
+              "'");
+    return true;
+}
+
+std::size_t
+ChampSimTraceReader::readBatch(std::span<Access> out)
+{
+    std::size_t produced = 0;
+    while (produced < out.size()) {
+        // Drain accesses already decoded from the current record.
+        if (queuePos_ < queued_) {
+            out[produced++] = queue_[queuePos_++];
+            continue;
+        }
+        ChampSimRecord r;
+        if (!decodeRecord(r))
+            break;
+
+        // Dependency recovery, ChampSim-style: the access depends on
+        // the previous load iff a source register names that load's
+        // destination register.
+        bool depends = false;
+        for (const std::uint8_t reg : r.sourceRegisters)
+            depends |= reg != 0 && reg == lastLoadDest_;
+
+        queued_ = queuePos_ = 0;
+        bool is_load = false;
+        for (const std::uint64_t addr : r.sourceMemory) {
+            if (addr == 0)
+                continue;
+            Access rec;
+            rec.pc = r.ip;
+            rec.addr = addr;
+            rec.dependsOnPrevLoad = depends;
+            queue_[queued_++] = rec;
+            is_load = true;
+        }
+        for (const std::uint64_t addr : r.destinationMemory) {
+            if (addr == 0)
+                continue;
+            Access rec;
+            rec.pc = r.ip;
+            rec.addr = addr;
+            rec.isWrite = true;
+            rec.dependsOnPrevLoad = depends;
+            queue_[queued_++] = rec;
+        }
+        if (queued_ == 0) {
+            // Non-memory instruction: it becomes gap on the next
+            // access.
+            ++pendingGap_;
+            continue;
+        }
+        // The accumulated gap belongs to the record's first access;
+        // further operands of the same instruction carry gap 0.
+        queue_[0].gap = pendingGap_;
+        pendingGap_ = 0;
+        if (is_load && r.destinationRegisters[0] != 0)
+            lastLoadDest_ = r.destinationRegisters[0];
+    }
+    return produced;
+}
+
+void
+ChampSimTraceReader::rewind()
+{
+    input_.rewind();
+    pendingGap_ = 0;
+    lastLoadDest_ = kLoadDestReg;
+    queued_ = queuePos_ = 0;
+}
+
+} // namespace sdbp

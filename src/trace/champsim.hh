@@ -1,0 +1,135 @@
+/**
+ * @file
+ * ChampSim classic trace format: 64-byte per-*instruction* records
+ * (ip, branch info, register lists, up to 2 destination and 4 source
+ * memory operands).  This repo both ingests such traces and records
+ * its synthetic workloads in the format, and the encoding is chosen
+ * so a recorded trace replays bit-identically (DESIGN.md §17):
+ *
+ *  - an Access with gap = g is emitted as g non-memory filler
+ *    instructions followed by one memory instruction at Access::pc;
+ *  - loads read the address via source_memory[0] and define
+ *    destination_registers[0] = kLoadDestReg; stores write it via
+ *    destination_memory[0];
+ *  - dependsOnPrevLoad is carried the way ChampSim itself would see
+ *    it: the dependent instruction's source_registers[0] names the
+ *    previous load's destination register (kLoadDestReg), an
+ *    independent one names kIndepReg.
+ *
+ * The decoder implements the general format (multiple memory
+ * operands per instruction, arbitrary registers), not just what the
+ * recorder emits, so externally produced ChampSim traces ingest too.
+ */
+
+#ifndef SDBP_TRACE_CHAMPSIM_HH
+#define SDBP_TRACE_CHAMPSIM_HH
+
+#include <cstdio>
+#include <string>
+
+#include "trace/access.hh"
+#include "trace/trace_reader.hh"
+
+namespace sdbp
+{
+
+/** One ChampSim instruction record (the classic input_instr). */
+struct ChampSimRecord
+{
+    std::uint64_t ip = 0;
+    std::uint8_t isBranch = 0;
+    std::uint8_t branchTaken = 0;
+    std::uint8_t destinationRegisters[2] = {0, 0};
+    std::uint8_t sourceRegisters[4] = {0, 0, 0, 0};
+    std::uint64_t destinationMemory[2] = {0, 0};
+    std::uint64_t sourceMemory[4] = {0, 0, 0, 0};
+};
+static_assert(sizeof(ChampSimRecord) == 64, "stable on-disk layout");
+
+/** Register the recorder assigns to every load's destination. */
+constexpr std::uint8_t kLoadDestReg = 9;
+/** Source register of accesses independent of the previous load. */
+constexpr std::uint8_t kIndepReg = 10;
+/** ip of the recorder's non-memory filler instructions. */
+constexpr std::uint64_t kFillerPc = 0xf111'0000ull;
+
+/**
+ * Streaming writer: one Access becomes gap filler instructions plus
+ * one memory instruction.  Plain-file output only (compress with
+ * gzip/xz afterwards, as ChampSim distributions do).
+ */
+class ChampSimTraceWriter
+{
+  public:
+    /** Opens (truncates) @p path; fatal() on failure. */
+    explicit ChampSimTraceWriter(const std::string &path);
+    ~ChampSimTraceWriter();
+
+    ChampSimTraceWriter(const ChampSimTraceWriter &) = delete;
+    ChampSimTraceWriter &operator=(const ChampSimTraceWriter &) =
+        delete;
+
+    void append(const Access &rec);
+    void close();
+
+    /** Instructions written so far (fillers + memory). */
+    std::uint64_t instructionsWritten() const { return instructions_; }
+
+  private:
+    void write(const ChampSimRecord &r);
+
+    std::FILE *file_ = nullptr;
+    std::string path_;
+    std::uint64_t instructions_ = 0;
+};
+
+/**
+ * Capture at least @p instructions instructions (gap + 1 per access)
+ * from @p gen into a ChampSim trace at @p path.
+ *
+ * @return instructions actually written
+ */
+std::uint64_t recordChampSimTrace(AccessGenerator &gen,
+                                  std::uint64_t instructions,
+                                  const std::string &path);
+
+/**
+ * Streaming decoder: accumulates non-memory instructions into the
+ * next access's gap and emits one Access per memory operand.
+ * Truncated (non-multiple-of-64) files are fatal().
+ */
+class ChampSimTraceReader final : public TraceReader
+{
+  public:
+    explicit ChampSimTraceReader(const std::string &path);
+
+    std::size_t readBatch(std::span<Access> out) override;
+    void rewind() override;
+    const std::string &source() const override
+    {
+        return input_.path();
+    }
+
+  private:
+    /** Decode one instruction record; returns false at EOF. */
+    bool decodeRecord(ChampSimRecord &r);
+
+    TraceInput input_;
+    /** Non-memory instructions seen since the last memory access. */
+    std::uint32_t pendingGap_ = 0;
+    /**
+     * Destination register of the most recent load, for dependency
+     * recovery.  Seeded with kLoadDestReg so a trace whose *first*
+     * access is a dependent load (pointer-chase streams start that
+     * way) survives the round trip.
+     */
+    std::uint8_t lastLoadDest_ = kLoadDestReg;
+    /** Accesses decoded from the current record not yet emitted. */
+    Access queue_[6];
+    std::size_t queued_ = 0;
+    std::size_t queuePos_ = 0;
+};
+
+} // namespace sdbp
+
+#endif // SDBP_TRACE_CHAMPSIM_HH

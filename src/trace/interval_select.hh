@@ -1,0 +1,89 @@
+/**
+ * @file
+ * SimPoint-style interval selection (DESIGN.md §17): split a trace
+ * into fixed-length instruction intervals, fingerprint each with a
+ * BBV-style PC-hashed access histogram, cluster the fingerprints
+ * with deterministic k-means, and simulate only one representative
+ * interval per cluster, weighted by the cluster's share of the
+ * trace's instructions.  Everything here is pure analysis over a
+ * TraceReader; the runner owns actually simulating the picks.
+ */
+
+#ifndef SDBP_TRACE_INTERVAL_SELECT_HH
+#define SDBP_TRACE_INTERVAL_SELECT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/access.hh"
+#include "trace/trace_reader.hh"
+
+namespace sdbp
+{
+
+struct IntervalSelectConfig
+{
+    /** Interval length in instructions (gap + 1 per access). */
+    std::uint64_t intervalInstructions = 0;
+    /** Number of clusters / representatives (k). */
+    unsigned clusters = 0;
+    /** Fingerprint dimensions (PC hash buckets). */
+    unsigned dims = 64;
+    /** k-means iteration cap; it usually converges much earlier. */
+    unsigned maxIterations = 32;
+};
+
+/** One fixed-length interval of the trace. */
+struct TraceInterval
+{
+    /** Index of the interval's first record in the trace. */
+    std::uint64_t firstRecord = 0;
+    std::uint64_t recordCount = 0;
+    /** Instructions the interval covers (last one may be short). */
+    std::uint64_t instructions = 0;
+    /** Cluster this interval was assigned to. */
+    unsigned cluster = 0;
+};
+
+/** One simulated pick: an interval standing for its whole cluster. */
+struct RepresentativeInterval
+{
+    /** Index into IntervalSelection::intervals. */
+    std::size_t interval = 0;
+    /** Cluster's share of total instructions, in [0, 1]. */
+    double weight = 0.0;
+};
+
+struct IntervalSelection
+{
+    std::uint64_t totalInstructions = 0;
+    std::uint64_t totalRecords = 0;
+    std::vector<TraceInterval> intervals;
+    /** Sorted by interval index; weights sum to 1. */
+    std::vector<RepresentativeInterval> reps;
+};
+
+/**
+ * Fingerprint + cluster the whole trace behind @p reader (which is
+ * rewound first) and pick representatives.  Deterministic: identical
+ * traces and configs yield identical selections on any host.
+ * fatal() on a config without interval length or clusters, or an
+ * empty trace.  When the trace has fewer intervals than clusters,
+ * every interval becomes its own representative.
+ */
+IntervalSelection selectIntervals(TraceReader &reader,
+                                  const IntervalSelectConfig &cfg);
+
+/**
+ * Second pass: materialize the records of the listed intervals (by
+ * index into @p sel.intervals, any order, duplicates ok) in one
+ * sequential read of @p reader.  Returns them in the same order as
+ * @p wanted.
+ */
+std::vector<std::vector<Access>>
+collectIntervals(TraceReader &reader, const IntervalSelection &sel,
+                 const std::vector<std::size_t> &wanted);
+
+} // namespace sdbp
+
+#endif // SDBP_TRACE_INTERVAL_SELECT_HH

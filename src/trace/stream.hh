@@ -129,7 +129,9 @@ class Stream
     Stream(const StreamConfig &cfg, Addr base_addr, PC base_pc,
            std::uint64_t seed);
 
-    /** Produce the next access (gap/thread left for the caller). */
+    /** Produce the next access (gap/thread left for the caller).
+     *  Plain member function: Stream is a building block below the
+     *  AccessGenerator protocol, whose only virtual is nextBatch. */
     Access next();
 
     /** Restart from the initial state. */

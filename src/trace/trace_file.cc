@@ -7,28 +7,13 @@
 namespace sdbp
 {
 
-namespace
-{
-
-constexpr std::uint64_t kMagic = 0x534442505452ull; // "SDBPTR"
-constexpr std::uint64_t kVersion = 1;
-
-struct FileHeader
-{
-    std::uint64_t magic;
-    std::uint64_t version;
-    std::uint64_t count;
-};
-static_assert(sizeof(FileHeader) == 24, "stable on-disk layout");
-
-} // anonymous namespace
-
 TraceWriter::TraceWriter(const std::string &path)
 {
     file_ = std::fopen(path.c_str(), "wb");
     if (!file_)
         fatal("TraceWriter: cannot open '" + path + "'");
-    const FileHeader header{kMagic, kVersion, 0};
+    const NativeTraceHeader header{kNativeTraceMagic,
+                                   kNativeTraceVersion, 0};
     if (std::fwrite(&header, sizeof(header), 1, file_) != 1)
         fatal("TraceWriter: header write failed");
 }
@@ -61,7 +46,8 @@ TraceWriter::close()
     if (!file_)
         return;
     // Patch the record count into the header.
-    const FileHeader header{kMagic, kVersion, count_};
+    const NativeTraceHeader header{kNativeTraceMagic,
+                                   kNativeTraceVersion, count_};
     std::fseek(file_, 0, SEEK_SET);
     if (std::fwrite(&header, sizeof(header), 1, file_) != 1)
         fatal("TraceWriter: header rewrite failed");
@@ -72,32 +58,19 @@ TraceWriter::close()
 std::vector<Access>
 readTraceFile(const std::string &path)
 {
-    std::FILE *file = std::fopen(path.c_str(), "rb");
-    if (!file)
-        fatal("readTraceFile: cannot open '" + path + "'");
-    FileHeader header{};
-    if (std::fread(&header, sizeof(header), 1, file) != 1)
-        fatal("readTraceFile: truncated header in '" + path + "'");
-    if (header.magic != kMagic)
-        fatal("readTraceFile: '" + path + "' is not an sdbp trace");
-    if (header.version != kVersion)
-        fatal("readTraceFile: unsupported trace version");
-
+    NativeTraceReader reader(path);
     std::vector<Access> records;
-    records.reserve(header.count);
-    for (std::uint64_t i = 0; i < header.count; ++i) {
-        TraceFileRecord r{};
-        if (std::fread(&r, sizeof(r), 1, file) != 1)
-            fatal("readTraceFile: truncated record in '" + path + "'");
-        Access rec;
-        rec.gap = r.gap;
-        rec.pc = r.pc;
-        rec.addr = r.addr;
-        rec.isWrite = r.isWrite != 0;
-        rec.dependsOnPrevLoad = r.dependsOnPrevLoad != 0;
-        records.push_back(rec);
+    records.reserve(reader.declaredRecords());
+    Access batch[1024];
+    for (;;) {
+        const std::size_t n =
+            reader.readBatch(std::span<Access>(batch));
+        if (n == 0)
+            break;
+        records.insert(records.end(), batch, batch + n);
     }
-    std::fclose(file);
+    if (records.size() != reader.declaredRecords())
+        fatal("trace '" + path + "' record count mismatch");
     return records;
 }
 
@@ -117,6 +90,7 @@ TraceReplayGenerator::TraceReplayGenerator(
 {
     if (records_.empty())
         fatal("TraceReplayGenerator: empty trace");
+    knownSize_ = records_.size();
 }
 
 TraceReplayGenerator::TraceReplayGenerator(const std::string &path)
@@ -124,29 +98,79 @@ TraceReplayGenerator::TraceReplayGenerator(const std::string &path)
 {
 }
 
-Access
-TraceReplayGenerator::next()
+TraceReplayGenerator::TraceReplayGenerator(
+    std::unique_ptr<TraceReader> reader, std::size_t ring_records)
+    : reader_(std::move(reader))
 {
-    const Access rec = records_[pos_];
-    if (++pos_ == records_.size()) {
-        pos_ = 0;
-        ++loops_;
+    if (ring_records == 0)
+        fatal("TraceReplayGenerator: ring must hold records");
+    ring_.resize(ring_records);
+    refill();
+    if (ringFill_ == 0)
+        fatal("TraceReplayGenerator: empty trace '" +
+              reader_->source() + "'");
+}
+
+void
+TraceReplayGenerator::refill()
+{
+    ringPos_ = 0;
+    ringFill_ = reader_->readBatch(std::span<Access>(ring_));
+    if (ringFill_ > 0) {
+        streamed_ += ringFill_;
+        return;
     }
-    return rec;
+    // End of trace: remember its length, wrap around.
+    knownSize_ = streamed_;
+    streamed_ = 0;
+    ++loops_;
+    reader_->rewind();
+    ringFill_ = reader_->readBatch(std::span<Access>(ring_));
+    streamed_ = ringFill_;
+    if (ringFill_ == 0)
+        fatal("TraceReplayGenerator: trace '" + reader_->source() +
+              "' vanished on rewind");
 }
 
 void
 TraceReplayGenerator::nextBatch(std::span<Access> out)
 {
-    for (auto &rec : out)
-        rec = next();
+    if (!reader_) {
+        for (auto &rec : out) {
+            rec = records_[pos_];
+            if (++pos_ == records_.size()) {
+                pos_ = 0;
+                ++loops_;
+            }
+        }
+        return;
+    }
+    std::size_t produced = 0;
+    while (produced < out.size()) {
+        if (ringPos_ == ringFill_)
+            refill();
+        const std::size_t take = std::min(out.size() - produced,
+                                          ringFill_ - ringPos_);
+        std::memcpy(out.data() + produced, ring_.data() + ringPos_,
+                    take * sizeof(Access));
+        ringPos_ += take;
+        produced += take;
+    }
 }
 
 void
 TraceReplayGenerator::reset()
 {
-    pos_ = 0;
     loops_ = 0;
+    if (!reader_) {
+        pos_ = 0;
+        return;
+    }
+    reader_->rewind();
+    streamed_ = 0;
+    ringPos_ = ringFill_ = 0;
+    refill();
+    loops_ = 0; // refill of a drained ring must not count as a loop
 }
 
 } // namespace sdbp

@@ -1,9 +1,9 @@
 /**
  * @file
- * Binary memory-trace files: capture a generator's reference stream
- * to disk and replay it later, so experiments can also be driven by
- * externally produced traces (e.g. converted ChampSim/CRC traces)
- * instead of the synthetic generators.
+ * Binary memory-trace files in the native sdbp format: capture a
+ * generator's reference stream to disk and replay it later.  The
+ * ChampSim format lives in trace/champsim.hh; both replay through
+ * the same streaming TraceReader interface (trace/trace_reader.hh).
  *
  * Format: a 24-byte header (magic, version, record count) followed
  * by fixed-size little-endian records.
@@ -13,13 +13,29 @@
 #define SDBP_TRACE_TRACE_FILE_HH
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "trace/access.hh"
+#include "trace/trace_reader.hh"
 
 namespace sdbp
 {
+
+constexpr std::uint64_t kNativeTraceMagic =
+    0x534442505452ull; // "SDBPTR"
+constexpr std::uint64_t kNativeTraceVersion = 1;
+
+/** On-disk header of a native trace. */
+struct NativeTraceHeader
+{
+    std::uint64_t magic;
+    std::uint64_t version;
+    std::uint64_t count;
+};
+static_assert(sizeof(NativeTraceHeader) == 24,
+              "stable on-disk layout");
 
 /** On-disk record: one access with its leading instruction gap. */
 struct TraceFileRecord
@@ -56,7 +72,10 @@ class TraceWriter
     std::uint64_t count_ = 0;
 };
 
-/** Loads a whole trace file into memory; fatal() on malformed input. */
+/** Loads a whole trace into memory through the streaming reader —
+ *  a convenience for tests and small traces; large traces should
+ *  stream (TraceReplayGenerator's reader mode).  fatal() on
+ *  malformed input. */
 std::vector<Access> readTraceFile(const std::string &path);
 
 /** Capture @p n records from a generator into @p path. */
@@ -64,28 +83,55 @@ void captureTrace(AccessGenerator &gen, std::uint64_t n,
                   const std::string &path);
 
 /**
- * Generator replaying a loaded trace, looping back to the start when
+ * Generator replaying a trace, looping back to the start when
  * exhausted (so the multi-core restart methodology works).
+ *
+ * Two modes: in-memory (constructed from a record vector — tests,
+ * small traces) and streaming (constructed from a TraceReader — a
+ * bounded ring of decoded records is refilled from the reader, so
+ * memory stays constant no matter how large the trace is).
  */
 class TraceReplayGenerator : public AccessGenerator
 {
   public:
     explicit TraceReplayGenerator(std::vector<Access> records);
 
-    /** Convenience: load from file. */
+    /** Convenience: load the whole file into memory. */
     explicit TraceReplayGenerator(const std::string &path);
 
-    Access next() override;
+    /** Streaming mode over @p reader; at most @p ring_records
+     *  decoded records are held at any time. */
+    explicit TraceReplayGenerator(
+        std::unique_ptr<TraceReader> reader,
+        std::size_t ring_records = 4096);
+
     void nextBatch(std::span<Access> out) override;
     void reset() override;
 
-    std::size_t size() const { return records_.size(); }
+    /** Records in the trace: exact in-memory; in streaming mode 0
+     *  until the first wrap-around taught us the length. */
+    std::uint64_t size() const { return knownSize_; }
     /** Times the trace wrapped back to the beginning. */
     std::uint64_t loops() const { return loops_; }
+    bool streaming() const { return reader_ != nullptr; }
+    /** Decoded records currently buffered (streaming mode). */
+    std::size_t bufferedRecords() const { return ringFill_; }
 
   private:
+    void refill();
+
+    // In-memory mode.
     std::vector<Access> records_;
     std::size_t pos_ = 0;
+
+    // Streaming mode.
+    std::unique_ptr<TraceReader> reader_;
+    std::vector<Access> ring_;
+    std::size_t ringPos_ = 0;
+    std::size_t ringFill_ = 0;
+    std::uint64_t streamed_ = 0;
+
+    std::uint64_t knownSize_ = 0;
     std::uint64_t loops_ = 0;
 };
 

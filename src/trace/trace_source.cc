@@ -1,0 +1,74 @@
+#include "trace/trace_source.hh"
+
+#include <cstring>
+
+#include "trace/champsim.hh"
+#include "trace/spec_profiles.hh"
+#include "trace/trace_file.hh"
+#include "trace/trace_reader.hh"
+#include "trace/workload.hh"
+#include "util/logging.hh"
+
+namespace sdbp
+{
+
+std::string
+traceKindName(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::Synthetic:
+        return "synthetic";
+      case TraceKind::Native:
+        return "native";
+      case TraceKind::ChampSim:
+        return "champsim";
+    }
+    panic("traceKindName: bad kind");
+}
+
+std::optional<TraceKind>
+parseTraceKind(const std::string &name)
+{
+    if (name == "synthetic")
+        return TraceKind::Synthetic;
+    if (name == "native")
+        return TraceKind::Native;
+    if (name == "champsim")
+        return TraceKind::ChampSim;
+    return std::nullopt;
+}
+
+TraceKind
+detectTraceKind(const std::string &path)
+{
+    TraceInput input(path);
+    std::uint64_t magic = 0;
+    if (input.read(&magic, sizeof(magic)) != sizeof(magic))
+        fatal("trace '" + path + "' is empty (or not decompressible)");
+    return magic == kNativeTraceMagic ? TraceKind::Native
+                                      : TraceKind::ChampSim;
+}
+
+std::unique_ptr<AccessGenerator>
+makeTraceSource(const TraceSpec &spec, const std::string &benchmark,
+                unsigned address_space)
+{
+    switch (spec.kind) {
+      case TraceKind::Synthetic:
+        return std::make_unique<SyntheticWorkload>(
+            specProfile(benchmark), address_space);
+      case TraceKind::Native:
+      case TraceKind::ChampSim:
+        if (spec.path.empty())
+            fatal("trace spec of kind '" + traceKindName(spec.kind) +
+                  "' needs a path");
+        // openTraceReader probes the actual format, so a spec whose
+        // declared kind disagrees with the file still replays the
+        // file faithfully.
+        return std::make_unique<TraceReplayGenerator>(
+            openTraceReader(spec.path));
+    }
+    panic("makeTraceSource: bad kind");
+}
+
+} // namespace sdbp

@@ -75,17 +75,11 @@ SyntheticWorkload::generate()
     return rec;
 }
 
-Access
-SyntheticWorkload::next()
-{
-    return generate();
-}
-
 void
 SyntheticWorkload::nextBatch(std::span<Access> out)
 {
-    // One virtual dispatch per batch instead of one per record; the
-    // record sequence is identical to repeated next() calls.
+    // One virtual dispatch per batch; the record sequence is
+    // identical for any batching of the same stream position.
     for (auto &rec : out)
         rec = generate();
 }

@@ -48,7 +48,6 @@ class SyntheticWorkload : public AccessGenerator
     explicit SyntheticWorkload(const WorkloadProfile &profile,
                                unsigned address_space = 0);
 
-    Access next() override;
     void nextBatch(std::span<Access> out) override;
     void reset() override;
 

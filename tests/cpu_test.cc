@@ -114,15 +114,16 @@ class ScanGen : public AccessGenerator
         : base_(base), blocks_(blocks)
     {
     }
-    Access
-    next() override
+    void
+    nextBatch(std::span<Access> out) override
     {
-        Access r;
-        r.gap = 1;
-        r.pc = 0x400000;
-        r.addr = base_ + (pos_++ % blocks_) * blockBytes;
-        ++emitted_;
-        return r;
+        for (auto &r : out) {
+            r = Access{};
+            r.gap = 1;
+            r.pc = 0x400000;
+            r.addr = base_ + (pos_++ % blocks_) * blockBytes;
+            ++emitted_;
+        }
     }
     void
     reset() override

@@ -15,6 +15,7 @@
 #include "obs/json.hh"
 #include "sim/runner.hh"
 #include "sim/sweep.hh"
+#include "sim/worker.hh"
 #include "trace/spec_profiles.hh"
 #include "util/file.hh"
 
@@ -126,6 +127,48 @@ TEST(SweepManifestTest, RunResultJsonRoundTrip)
     EXPECT_EQ(back.dbrb.bypasses, r.dbrb.bypasses);
     EXPECT_EQ(back.faultsInjected, r.faultsInjected);
     EXPECT_EQ(back.wallSeconds, r.wallSeconds);
+    EXPECT_FALSE(back.intervalSelected);
+}
+
+TEST(SweepManifestTest, IntervalResultJsonRoundTrip)
+{
+    RunResult r;
+    r.benchmark = "trace";
+    r.policy = "LRU";
+    r.intervalSelected = true;
+    r.traceInstructions = 4'000'000;
+    r.intervalsTotal = 64;
+    r.intervalsSimulated = 3;
+    r.simulatedInstructions = 375'000;
+
+    const RunResult back =
+        sweep::runResultFromJson(sweep::runResultToJson(r));
+    EXPECT_TRUE(back.intervalSelected);
+    EXPECT_EQ(back.traceInstructions, r.traceInstructions);
+    EXPECT_EQ(back.intervalsTotal, r.intervalsTotal);
+    EXPECT_EQ(back.intervalsSimulated, r.intervalsSimulated);
+    EXPECT_EQ(back.simulatedInstructions, r.simulatedInstructions);
+}
+
+TEST(SweepManifestTest, TraceSpecJsonRoundTrip)
+{
+    // Default (synthetic) specs must not emit a "trace" block at all
+    // so established manifests keep their shape.
+    RunConfig plain;
+    EXPECT_EQ(sweep::runConfigToJson(plain).find("trace"), nullptr);
+    const RunConfig plain_back =
+        sweep::runConfigFromJson(sweep::runConfigToJson(plain));
+    EXPECT_TRUE(plain_back.trace == TraceSpec{});
+
+    RunConfig cfg;
+    cfg.trace.kind = TraceKind::ChampSim;
+    cfg.trace.path = "/tmp/some.trace.xz";
+    cfg.trace.intervalInstructions = 125'000;
+    cfg.trace.selectClusters = 3;
+    const RunConfig back =
+        sweep::runConfigFromJson(sweep::runConfigToJson(cfg));
+    EXPECT_TRUE(back.trace == cfg.trace);
+    EXPECT_TRUE(back.trace.selectionEnabled());
 }
 
 TEST(SweepManifestTest, MulticoreResultJsonRoundTrip)

@@ -32,7 +32,9 @@
 #include "sim/runner.hh"
 #include "sim/sweep.hh"
 #include "sim/worker.hh"
+#include "trace/champsim.hh"
 #include "trace/spec_profiles.hh"
+#include "trace/workload.hh"
 #include "util/file.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -92,9 +94,26 @@ usage(const char *prog)
         << "  --warmup <n>         warm-up instructions\n"
         << "  --instructions <n>   measured instructions\n"
         << "  --interval <n>       snapshot period in instructions\n"
+        << "  --trace <file>       simulate this memory trace (native "
+           "or ChampSim\n"
+        << "                       format; .gz/.xz transparently "
+           "decompressed)\n"
+        << "                       instead of a synthetic benchmark\n"
+        << "  --record <out>       record the benchmark's reference "
+           "stream as a\n"
+        << "                       ChampSim trace covering the run's "
+           "instruction\n"
+        << "                       budget, then exit\n"
+        << "  --intervals <n>      interval-selection: interval "
+           "length in\n"
+        << "                       instructions (with --select)\n"
+        << "  --select <k>         interval-selection: simulate k "
+           "weighted\n"
+        << "                       representative intervals of the "
+           "trace\n"
         << "  --json <path>        write the run-artifact JSON\n"
         << "  --csv <path>         write the derived timeline CSV\n"
-        << "  --trace <path>       stream trace events as JSONL\n"
+        << "  --events <path>      stream trace events as JSONL\n"
         << "  --spans <file>       summarize a sdbp.trace_spans/1 "
            "JSON (slowest\n"
         << "                       cells, retries, per-phase "
@@ -507,6 +526,8 @@ main(int argc, char **argv)
     std::string spans_file;
     std::string spans_out;
     std::string manifest_info;
+    std::string trace_file;
+    std::string record_out;
     sweep::SweepOptions opts = sweep::SweepOptions::fromEnvironment();
 
     for (int i = 1; i < argc; ++i) {
@@ -567,6 +588,16 @@ main(int argc, char **argv)
         } else if (arg == "--csv") {
             cfg.obs.timelineCsvPath = next();
         } else if (arg == "--trace") {
+            trace_file = next();
+        } else if (arg == "--record") {
+            record_out = next();
+        } else if (arg == "--intervals") {
+            cfg.trace.intervalInstructions =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--select") {
+            cfg.trace.selectClusters = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--events") {
             cfg.obs.traceJsonlPath = next();
         } else if (arg == "--spans") {
             spans_file = next();
@@ -598,18 +629,64 @@ main(int argc, char **argv)
     if (!spans_out.empty())
         obs::SpanTracer::global().setEnabled(true);
 
-    std::vector<std::string> benchmarks;
-    for (const auto &name : splitList(benchmark)) {
-        const auto resolved = resolveBenchmark(name);
-        if (!resolved) {
-            std::cerr << "error: unknown benchmark '" << name
-                      << "'; valid benchmarks are:\n";
-            for (const auto &b : allSpecBenchmarks())
-                std::cerr << "  " << b << "\n";
+    if (!record_out.empty()) {
+        if (!trace_file.empty()) {
+            std::cerr << "error: --record and --trace are mutually "
+                         "exclusive\n";
             return 2;
         }
-        benchmarks.push_back(*resolved);
+        const auto resolved = resolveBenchmark(benchmark);
+        if (!resolved) {
+            std::cerr << "error: unknown benchmark '" << benchmark
+                      << "' (--record takes a single benchmark)\n";
+            return 2;
+        }
+        // Slack beyond warmup+measure: the system's batched decode
+        // reads a little past the measured budget, and replay must
+        // never wrap mid-run for the round trip to be bit-identical.
+        const std::uint64_t budget = cfg.warmupInstructions +
+            cfg.measureInstructions +
+            cfg.measureInstructions / 100 + 4096;
+        SyntheticWorkload gen(specProfile(*resolved));
+        const std::uint64_t written =
+            recordChampSimTrace(gen, budget, record_out);
+        std::cout << "[recorded " << written << " instructions of "
+                  << *resolved << " to " << record_out << "]\n";
+        return 0;
     }
+
+    if (cfg.trace.selectionEnabled() && trace_file.empty()) {
+        std::cerr << "error: --intervals/--select need --trace\n";
+        return 2;
+    }
+    if ((cfg.trace.intervalInstructions > 0) !=
+        (cfg.trace.selectClusters > 0)) {
+        std::cerr << "error: --intervals and --select go together\n";
+        return 2;
+    }
+
+    std::vector<std::string> benchmarks;
+    if (!trace_file.empty()) {
+        // detectTraceKind is also the early validity check: corrupt
+        // or missing traces exit nonzero with one line on stderr.
+        cfg.trace.kind = detectTraceKind(trace_file);
+        cfg.trace.path = trace_file;
+        const auto slash = trace_file.find_last_of('/');
+        benchmarks.push_back(slash == std::string::npos
+                                 ? trace_file
+                                 : trace_file.substr(slash + 1));
+    } else
+        for (const auto &name : splitList(benchmark)) {
+            const auto resolved = resolveBenchmark(name);
+            if (!resolved) {
+                std::cerr << "error: unknown benchmark '" << name
+                          << "'; valid benchmarks are:\n";
+                for (const auto &b : allSpecBenchmarks())
+                    std::cerr << "  " << b << "\n";
+                return 2;
+            }
+            benchmarks.push_back(*resolved);
+        }
     std::vector<PolicyKind> kinds;
     for (const auto &name : splitList(policy_name)) {
         const auto kind = parsePolicyKind(name);
@@ -699,6 +776,33 @@ main(int argc, char **argv)
         if (!grid.ok())
             return grid.skipped > 0 ? 130 : 1;
         const RunResult &res = grid.at(0, 0);
+        if (res.intervalSelected) {
+            // Interval selection runs without per-rep artifacts;
+            // print the weighted full-trace estimates instead.
+            TextTable t({"Metric", "Value"});
+            t.row().cell("trace").cell(res.benchmark);
+            t.row().cell("policy").cell(res.policy);
+            t.row().cell("trace instructions").cell(
+                std::to_string(res.traceInstructions));
+            t.row().cell("intervals (simulated/total)").cell(
+                std::to_string(res.intervalsSimulated) + "/" +
+                std::to_string(res.intervalsTotal));
+            t.row().cell("instructions simulated").cell(
+                std::to_string(res.simulatedInstructions));
+            t.row().cell("instruction reduction").cell(
+                formatDouble(res.simulatedInstructions > 0
+                                 ? static_cast<double>(
+                                       res.traceInstructions) /
+                                     static_cast<double>(
+                                         res.simulatedInstructions)
+                                 : 0, 1) + "x");
+            t.row().cell("estimated IPC").cell(
+                formatDouble(res.ipc, 3));
+            t.row().cell("estimated LLC MPKI").cell(
+                formatDouble(res.mpki, 3));
+            t.print(std::cout);
+            return 0;
+        }
         if (!res.artifacts && grid.resumed > 0) {
             // Manifest checkpoints carry metrics, not artifacts.
             std::cout << res.benchmark << " under " << res.policy
